@@ -1,0 +1,33 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures through the
+``repro.experiments`` entry points.  Each runs a single measured round (the
+simulations inside are deterministic, so repetition adds no information) and
+attaches the regenerated rows to ``benchmark.extra_info`` so the numbers land
+in the pytest-benchmark JSON output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Measured DRAM cycles per configuration point.  Large enough for the memory
+#: system to reach steady state; small enough that the whole suite finishes
+#: in a few minutes.  Raise for closer-to-paper windows.
+BENCH_CYCLES = 5000
+BENCH_WARMUP = 400
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment once under pytest-benchmark and return its rows."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_cycles():
+    return BENCH_CYCLES
+
+
+@pytest.fixture
+def bench_warmup():
+    return BENCH_WARMUP

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 2 (rank idle-time breakdown per mix)."""
+
+from conftest import BENCH_CYCLES, BENCH_WARMUP, run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.fig02_idle import run_idle_histogram, short_idle_fraction
+
+MIXES = ["mix0", "mix1", "mix4", "mix8"]
+
+
+def test_fig02_rank_idle_breakdown(benchmark):
+    rows = run_once(benchmark, run_idle_histogram, mixes=MIXES,
+                    cycles=BENCH_CYCLES, warmup=BENCH_WARMUP)
+    print("\nFigure 2 — rank idle-time breakdown vs. idleness granularity")
+    print(format_table(rows))
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 4) if isinstance(v, float) else v) for k, v in r.items()}
+        for r in rows
+    ]
+    by_mix = {r["mix"]: r for r in rows}
+    # Paper shape: busier mixes are busier, and for memory-intensive mixes the
+    # majority of idle time sits in short (<250 cycle) gaps.
+    assert by_mix["mix1"]["Busy"] > by_mix["mix8"]["Busy"]
+    assert short_idle_fraction(by_mix["mix1"]) > 0.5

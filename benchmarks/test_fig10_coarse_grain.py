@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 10 (impact of coarse-grain NDA operations)."""
+
+from conftest import BENCH_CYCLES, BENCH_WARMUP, run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.fig10_coarse import coarse_vs_fine_summary, run_coarse_grain_sweep
+
+GRANULARITIES = (1, 16, 256, 4096)
+RANK_CONFIGS = ((2, 2), (2, 4))
+
+
+def test_fig10_coarse_grain_sweep(benchmark):
+    rows = run_once(benchmark, run_coarse_grain_sweep,
+                    granularities=GRANULARITIES, rank_configs=RANK_CONFIGS,
+                    cycles=BENCH_CYCLES, warmup=BENCH_WARMUP)
+    print("\nFigure 10 — host IPC and NDA BW utilization vs. cache blocks per "
+          "NDA instruction")
+    print(format_table(rows))
+    summary = coarse_vs_fine_summary(rows)
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 4) if isinstance(v, float) else v) for k, v in r.items()}
+        for r in rows
+    ]
+    benchmark.extra_info["summary"] = {k: round(v, 3) for k, v in summary.items()}
+    # Paper shape: coarse-grain operations improve NDA utilization (and never
+    # hurt the host) relative to fine-grain single-cache-block instructions.
+    for key, gain in summary.items():
+        if key.endswith("nda_util_gain"):
+            assert gain > 1.0

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 12 (stochastic issue and next-rank prediction)."""
+
+from conftest import BENCH_CYCLES, BENCH_WARMUP, run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.fig12_throttle import run_write_throttling, tradeoff_summary
+
+MIXES = ["mix1", "mix5", "mix8"]
+
+
+def test_fig12_write_throttling(benchmark):
+    rows = run_once(benchmark, run_write_throttling, mixes=MIXES,
+                    cycles=BENCH_CYCLES, warmup=BENCH_WARMUP)
+    print("\nFigure 12 — NDA write throttling policies (COPY workload)")
+    print(format_table(rows))
+    summary = tradeoff_summary(rows)
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 4) if isinstance(v, float) else v) for k, v in r.items()}
+        for r in rows
+    ]
+    benchmark.extra_info["summary"] = {
+        policy: {k: round(v, 3) for k, v in values.items()}
+        for policy, values in summary.items()
+    }
+    # Paper takeaway 3: throttling NDA writes protects the host; unthrottled
+    # issue maximizes NDA bandwidth at the highest host cost.
+    assert summary["issue_if_idle"]["host_ipc"] <= summary["predict_next_rank"]["host_ipc"]
+    assert (summary["issue_if_idle"]["nda_bw_utilization"]
+            >= summary["predict_next_rank"]["nda_bw_utilization"])

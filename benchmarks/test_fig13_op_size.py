@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 13 (NDA operation type and operand size)."""
+
+from conftest import BENCH_CYCLES, BENCH_WARMUP, run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.fig13_opsize import (
+    ALL_OPERATIONS,
+    run_operation_size_sweep,
+    write_intensity_correlation,
+)
+
+SIZES = ("small", "medium")
+
+
+def test_fig13_operation_and_size_sweep(benchmark):
+    rows = run_once(benchmark, run_operation_size_sweep,
+                    operations=ALL_OPERATIONS, sizes=SIZES,
+                    include_async_small=True,
+                    cycles=BENCH_CYCLES, warmup=BENCH_WARMUP)
+    print("\nFigure 13 — impact of NDA operation type and operand size")
+    print(format_table(rows))
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 4) if isinstance(v, float) else v) for k, v in r.items()}
+        for r in rows
+    ]
+    correlation = write_intensity_correlation(rows, size="medium")
+    benchmark.extra_info["write_intensity_consistency"] = round(correlation, 3)
+    # Paper takeaway 4: NDA performance is inversely related to write
+    # intensity (checked as majority pairwise consistency), and larger
+    # operands achieve at least the bandwidth of small ones.
+    assert correlation >= 0.5
+    by_key = {(r["operation"], r["size"]): r for r in rows}
+    assert (by_key[("copy", "medium")]["nda_bw_utilization"]
+            >= by_key[("copy", "small")]["nda_bw_utilization"] * 0.9)

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 14 (Chopim vs. rank partitioning scalability)."""
+
+from conftest import BENCH_CYCLES, BENCH_WARMUP, run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.fig14_scaling import (
+    FULL_RANK_CONFIGS,
+    chopim_advantage,
+    run_scalability_comparison,
+    scaling_factor,
+)
+
+WORKLOADS = ("dot", "copy", "svrg", "cg", "sc")
+
+
+def test_fig14_chopim_vs_rank_partitioning(benchmark):
+    rows = run_once(benchmark, run_scalability_comparison,
+                    rank_configs=FULL_RANK_CONFIGS, workloads=WORKLOADS,
+                    cycles=BENCH_CYCLES, warmup=BENCH_WARMUP)
+    print("\nFigure 14 — scalability: Chopim vs. rank partitioning")
+    print(format_table(rows))
+    advantage = chopim_advantage(rows)
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 4) if isinstance(v, float) else v) for k, v in r.items()}
+        for r in rows
+    ]
+    benchmark.extra_info["chopim_over_rank_partitioning"] = {
+        k: round(v, 3) for k, v in advantage.items()
+    }
+    # Paper takeaway 5: Chopim delivers more NDA bandwidth than rank
+    # partitioning for the read-intensive extreme on the baseline system and
+    # scales at least as well when ranks double.
+    assert advantage["2x2:dot"] > 1.0
+    chopim_scale = scaling_factor(rows, "chopim", "dot")
+    rank_scale = scaling_factor(rows, "rank_partitioning", "dot")
+    benchmark.extra_info["scaling_chopim_dot"] = round(chopim_scale or 0.0, 3)
+    benchmark.extra_info["scaling_rank_partitioning_dot"] = round(rank_scale or 0.0, 3)
+    assert chopim_scale is not None and chopim_scale > 1.3

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate the Section VII memory-power analysis."""
+
+from conftest import BENCH_CYCLES, BENCH_WARMUP, run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.power_table import concurrent_below_host_max, run_power_analysis
+
+
+def test_memory_power_under_concurrent_access(benchmark):
+    rows = run_once(benchmark, run_power_analysis, mix="mix1",
+                    cycles=BENCH_CYCLES, warmup=BENCH_WARMUP)
+    print("\nSection VII — memory power under concurrent access")
+    print(format_table(rows))
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 3) if isinstance(v, float) else v) for k, v in r.items()}
+        for r in rows
+    ]
+    # Paper takeaway 7: operating all ranks for concurrent access stays within
+    # the host-only theoretical power envelope.
+    assert concurrent_below_host_max(rows)
+    concurrent = next(r for r in rows if str(r["scenario"]).startswith("concurrent"))
+    assert concurrent["nda_power_w"] > 0.0

@@ -1,0 +1,40 @@
+"""Chopim reproduction: near-data acceleration with concurrent host access.
+
+This package is a from-scratch, full-system Python reproduction of
+
+    Benjamin Y. Cho, Yongkee Kwon, Sangkug Lym, Mattan Erez,
+    "Near Data Acceleration with Concurrent Host Access", ISCA 2020.
+
+The public API is intentionally small; most users interact with:
+
+* :class:`repro.config.SystemConfig` — system/DRAM/NDA configuration (Table II).
+* :class:`repro.core.system.ChopimSystem` — the full-system simulator.
+* :mod:`repro.runtime.api` — the NDA vector/matrix runtime API used by
+  example applications.
+* :mod:`repro.experiments` — one module per paper figure/table.
+"""
+
+from repro.config import (
+    DramOrgConfig,
+    DramTimingConfig,
+    EnergyConfig,
+    HostConfig,
+    NdaConfig,
+    SystemConfig,
+)
+from repro.core.modes import AccessMode
+from repro.core.system import ChopimSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DramTimingConfig",
+    "DramOrgConfig",
+    "EnergyConfig",
+    "HostConfig",
+    "NdaConfig",
+    "SystemConfig",
+    "ChopimSystem",
+    "AccessMode",
+    "__version__",
+]

@@ -1,0 +1,174 @@
+"""NDA operand layout: rank alignment of operands (Section III-A, Figure 3).
+
+Coarse-grain NDA vector instructions require every operand of an instruction
+to be fully local to one NDA (one rank).  Chopim achieves this without data
+copies by combining
+
+* coarse allocation — operands are allocated at *system-row* granularity
+  (one DRAM row per bank of the system, 2 MiB in the reference system), and
+* OS frame coloring — the OS only hands out frames whose physical-frame-number
+  bits contribute the same (channel, rank) hash value, so equal offsets of
+  two operands land in the same rank.
+
+This module provides the layout queries used by the runtime and the tests:
+locating individual elements, verifying rank alignment of operand groups, and
+summarizing how an allocation distributes over ranks and banks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.addressing.mapping import AddressMapping
+from repro.dram.commands import DramAddress
+
+
+def element_location(mapping: AddressMapping, base_phys: int, index: int,
+                     elem_bytes: int = 4) -> DramAddress:
+    """DRAM location of element ``index`` of an operand starting at ``base_phys``."""
+    return mapping.to_dram(base_phys + index * elem_bytes)
+
+
+def rank_of_element(mapping: AddressMapping, base_phys: int, index: int,
+                    elem_bytes: int = 4) -> Tuple[int, int]:
+    """(channel, rank) of element ``index`` of an operand."""
+    addr = element_location(mapping, base_phys, index, elem_bytes)
+    return (addr.channel, addr.rank)
+
+
+def check_operand_alignment(mapping: AddressMapping, bases: Sequence[int],
+                            num_elements: int, elem_bytes: int = 4,
+                            sample_stride: int = 1) -> List[int]:
+    """Indices at which operands are *not* co-located in the same rank.
+
+    Checks every ``sample_stride``-th element index; an empty return value
+    means all sampled indices are aligned.  This is the Figure 3 property:
+    with the Chopim layout all elements with equal index live in the same
+    (channel, rank); with the naive layout they generally do not.
+    """
+    if len(bases) < 2:
+        return []
+    misaligned: List[int] = []
+    for index in range(0, num_elements, max(1, sample_stride)):
+        reference = rank_of_element(mapping, bases[0], index, elem_bytes)
+        for base in bases[1:]:
+            if rank_of_element(mapping, base, index, elem_bytes) != reference:
+                misaligned.append(index)
+                break
+    return misaligned
+
+
+@dataclass(frozen=True)
+class RowSegment:
+    """A contiguous run of columns of one DRAM row holding operand data."""
+
+    channel: int
+    rank: int
+    bank_group: int
+    bank: int
+    row: int
+    column_start: int
+    column_count: int
+
+    @property
+    def global_rank(self) -> Tuple[int, int]:
+        return (self.channel, self.rank)
+
+
+class OperandPlacement:
+    """Summary of how a physical allocation spreads over the DRAM geometry.
+
+    The summary is computed by walking the allocation at cache-line
+    granularity and coalescing consecutive cache lines that share a row into
+    :class:`RowSegment` runs.  For very large operands pass ``max_bytes`` to
+    inspect a prefix; the layouts are periodic so a prefix of a few
+    system rows characterizes the whole placement.
+    """
+
+    def __init__(self, mapping: AddressMapping, base_phys: int, num_bytes: int,
+                 max_bytes: Optional[int] = None) -> None:
+        self.mapping = mapping
+        self.base_phys = base_phys
+        self.num_bytes = num_bytes
+        inspect_bytes = num_bytes if max_bytes is None else min(num_bytes, max_bytes)
+        self.segments: List[RowSegment] = list(
+            self._walk(mapping, base_phys, inspect_bytes)
+        )
+
+    @staticmethod
+    def _walk(mapping: AddressMapping, base_phys: int,
+              num_bytes: int) -> Iterator[RowSegment]:
+        cl_bytes = mapping.org.cacheline_bytes
+        num_lines = (num_bytes + cl_bytes - 1) // cl_bytes
+        current: Optional[DramAddress] = None
+        start_col = 0
+        count = 0
+        for i in range(num_lines):
+            addr = mapping.to_dram(base_phys + i * cl_bytes)
+            if (current is not None
+                    and addr.channel == current.channel and addr.rank == current.rank
+                    and addr.bank_group == current.bank_group
+                    and addr.bank == current.bank and addr.row == current.row
+                    and addr.column == start_col + count):
+                count += 1
+                continue
+            if current is not None:
+                yield RowSegment(current.channel, current.rank, current.bank_group,
+                                 current.bank, current.row, start_col, count)
+            current = addr
+            start_col = addr.column
+            count = 1
+        if current is not None:
+            yield RowSegment(current.channel, current.rank, current.bank_group,
+                             current.bank, current.row, start_col, count)
+
+    # ------------------------------------------------------------------ #
+    # Summaries
+    # ------------------------------------------------------------------ #
+
+    def bytes_per_rank(self) -> Dict[Tuple[int, int], int]:
+        """Bytes of the inspected prefix held by each (channel, rank)."""
+        cl_bytes = self.mapping.org.cacheline_bytes
+        totals: Dict[Tuple[int, int], int] = defaultdict(int)
+        for seg in self.segments:
+            totals[seg.global_rank] += seg.column_count * cl_bytes
+        return dict(totals)
+
+    def banks_used(self) -> Dict[Tuple[int, int], set]:
+        """Flat bank indices touched in each (channel, rank)."""
+        banks: Dict[Tuple[int, int], set] = defaultdict(set)
+        for seg in self.segments:
+            banks[seg.global_rank].add(
+                seg.bank_group * self.mapping.org.banks_per_group + seg.bank
+            )
+        return dict(banks)
+
+    def is_balanced(self, tolerance: float = 0.25) -> bool:
+        """Whether the inspected bytes spread roughly evenly over all ranks."""
+        per_rank = self.bytes_per_rank()
+        total_ranks = self.mapping.org.channels * self.mapping.org.ranks_per_channel
+        if len(per_rank) < total_ranks:
+            return False
+        values = list(per_rank.values())
+        mean = sum(values) / len(values)
+        return all(abs(v - mean) <= tolerance * mean for v in values)
+
+    def average_run_length(self) -> float:
+        """Mean contiguous columns per segment (row-buffer locality proxy)."""
+        if not self.segments:
+            return 0.0
+        return sum(s.column_count for s in self.segments) / len(self.segments)
+
+
+def partition_elements_per_rank(num_elements: int, total_ranks: int) -> List[int]:
+    """Evenly split ``num_elements`` over ``total_ranks`` (first ranks get extras).
+
+    The Chopim runtime uses this split when it issues one NDA instruction per
+    rank for a rank-aligned operand group.
+    """
+    if total_ranks <= 0:
+        raise ValueError("total_ranks must be positive")
+    base, remainder = divmod(num_elements, total_ranks)
+    return [base + (1 if r < remainder else 0) for r in range(total_ranks)]

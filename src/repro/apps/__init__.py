@@ -1,0 +1,36 @@
+"""Application workloads: SVRG logistic regression, CG and streamcluster.
+
+The SVRG case study (paper Section IV, Figures 15a/15b) is implemented in
+full: host-only, NDA-accelerated (serialized) and delayed-update (parallel)
+variants, with convergence computed functionally (numpy) and wall-clock time
+derived from simulator-measured host/NDA throughput.  Conjugate gradient and
+streamcluster provide the additional NDA workload points of Figure 14.
+"""
+
+from repro.apps.datasets import SyntheticClassificationDataset, make_dataset
+from repro.apps.svrg import (
+    SvrgConfig,
+    SvrgTimingModel,
+    SvrgTrainer,
+    SvrgVariant,
+    measure_svrg_timing,
+)
+from repro.apps.cg import ConjugateGradientSolver, cg_kernel_sequence
+from repro.apps.streamcluster import StreamClusterer, streamcluster_kernel_sequence
+from repro.apps.workloads import application_kernel_sequence, svrg_kernel_sequence
+
+__all__ = [
+    "SyntheticClassificationDataset",
+    "make_dataset",
+    "SvrgConfig",
+    "SvrgTimingModel",
+    "SvrgTrainer",
+    "SvrgVariant",
+    "measure_svrg_timing",
+    "ConjugateGradientSolver",
+    "cg_kernel_sequence",
+    "StreamClusterer",
+    "streamcluster_kernel_sequence",
+    "application_kernel_sequence",
+    "svrg_kernel_sequence",
+]

@@ -1,0 +1,23 @@
+"""Chopim core: full-system assembly, access modes, statistics and energy.
+
+This package ties the substrates together into the simulated system of the
+paper's evaluation: a multi-core host with FR-FCFS memory controllers and
+NDA-enabled DDR4 ranks accessed concurrently, under one of several access
+modes (shared, bank-partitioned, rank-partitioned, host-only, NDA-only).
+"""
+
+from repro.core.modes import AccessMode
+from repro.core.stats import SimulationResult, SimulationStats
+from repro.core.energy import EnergyBreakdown, EnergyModel
+from repro.core.scheduler import ConcurrentAccessScheduler
+from repro.core.system import ChopimSystem
+
+__all__ = [
+    "AccessMode",
+    "SimulationResult",
+    "SimulationStats",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "ConcurrentAccessScheduler",
+    "ChopimSystem",
+]

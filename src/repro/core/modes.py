@@ -1,0 +1,53 @@
+"""Memory access modes compared in the paper's evaluation.
+
+* ``SHARED`` — host and NDAs interleave accesses to the same banks with no
+  partitioning (the "Shared" bars of Figure 11).
+* ``BANK_PARTITIONED`` — Chopim's proposal: a small number of banks per rank
+  is reserved for the shared host/NDA region; host-only data never touches
+  them (Section III-C, the "Partitioned" bars of Figure 11).
+* ``RANK_PARTITIONED`` — the prior-work baseline: ranks are statically split
+  between host and NDAs (Figure 14).
+* ``HOST_ONLY`` — no NDA activity (baselines of Figures 2 and 15).
+* ``NDA_ONLY`` — no host traffic (idealized NDA bandwidth reference).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+
+class AccessMode(enum.Enum):
+    SHARED = "shared"
+    BANK_PARTITIONED = "bank_partitioned"
+    RANK_PARTITIONED = "rank_partitioned"
+    HOST_ONLY = "host_only"
+    NDA_ONLY = "nda_only"
+
+    @property
+    def has_host_traffic(self) -> bool:
+        return self is not AccessMode.NDA_ONLY
+
+    @property
+    def has_nda_traffic(self) -> bool:
+        return self is not AccessMode.HOST_ONLY
+
+    @property
+    def uses_bank_partitioning(self) -> bool:
+        return self is AccessMode.BANK_PARTITIONED
+
+
+def split_ranks_for_partitioning(ranks_per_channel: int) -> Tuple[List[int], List[int]]:
+    """(host ranks, NDA ranks) for rank partitioning: an even static split.
+
+    The paper assumes ranks are evenly partitioned between the host and NDAs;
+    with an odd rank count the host receives the extra rank.
+    """
+    if ranks_per_channel <= 0:
+        raise ValueError("ranks_per_channel must be positive")
+    if ranks_per_channel == 1:
+        return [0], []
+    nda_count = ranks_per_channel // 2
+    host_ranks = list(range(ranks_per_channel - nda_count))
+    nda_ranks = list(range(ranks_per_channel - nda_count, ranks_per_channel))
+    return host_ranks, nda_ranks

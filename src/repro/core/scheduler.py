@@ -1,0 +1,74 @@
+"""Concurrent-access scheduling: when may an NDA touch its rank?
+
+The basic Chopim policy (Section III-B): host requests always have priority;
+NDAs opportunistically use any cycle in which their rank is not serving the
+host.  This module encapsulates that gating decision so the system loop and
+the tests share one implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.dram.device import DramSystem
+from repro.memctrl.controller import ChannelController
+
+
+class ConcurrentAccessScheduler:
+    """Decides, per cycle and per rank, whether NDA commands may issue."""
+
+    def __init__(self, dram: DramSystem,
+                 channel_controllers: Dict[int, ChannelController]) -> None:
+        self.dram = dram
+        self.channel_controllers = channel_controllers
+        self._host_issued_this_cycle: Set[Tuple[int, int]] = set()
+        self._cycle = -1
+        self.nda_issue_opportunities = 0
+        self.nda_blocked_cycles = 0
+
+    # ------------------------------------------------------------------ #
+
+    def begin_cycle(self, now: int) -> None:
+        if now != self._cycle:
+            self._cycle = now
+            self._host_issued_this_cycle.clear()
+
+    def note_host_issue(self, channel: int, rank: int, now: int) -> None:
+        """Record that the host issued a command to (channel, rank) at ``now``."""
+        self.begin_cycle(now)
+        self._host_issued_this_cycle.add((channel, rank))
+
+    def nda_may_issue(self, channel: int, rank: int, now: int) -> bool:
+        """Whether the NDA of (channel, rank) may issue a command at ``now``.
+
+        True only if the host neither issued a command to the rank this cycle
+        nor is currently transferring data to/from it — "a rank that is being
+        accessed by the host cannot at the same time serve NDA requests".
+        """
+        self.begin_cycle(now)
+        if (channel, rank) in self._host_issued_this_cycle:
+            self.nda_blocked_cycles += 1
+            return False
+        if self.dram.rank_host_busy(channel, rank, now):
+            self.nda_blocked_cycles += 1
+            return False
+        self.nda_issue_opportunities += 1
+        return True
+
+    def host_pending_to_bank(self, channel: int, rank: int, flat_bank: int) -> bool:
+        """Whether the host has a queued request to the given bank.
+
+        NDA row commands (ACT/PRE) yield to pending host requests targeting
+        the same bank, so an NDA activation never delays a host row access.
+        """
+        controller = self.channel_controllers.get(channel)
+        if controller is None:
+            return False
+        banks_per_group = self.dram.org.banks_per_group
+        for queue in (controller.read_queue, controller.write_queue):
+            for request in queue:
+                if (request.addr.rank == rank
+                        and request.addr.bank_group * banks_per_group
+                        + request.addr.bank == flat_bank):
+                    return True
+        return False

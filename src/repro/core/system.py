@@ -1,0 +1,422 @@
+"""Full-system Chopim simulator.
+
+:class:`ChopimSystem` assembles the DDR4 device model, per-channel host
+memory controllers, the multi-programmed host cores, the per-rank NDA
+controllers, the host-side NDA controller and the statistics/energy models,
+and advances them together cycle by cycle in the DRAM command-clock domain.
+
+Typical usage::
+
+    from repro import ChopimSystem, AccessMode
+    from repro.nda.isa import NdaOpcode
+
+    system = ChopimSystem(mode=AccessMode.BANK_PARTITIONED, mix="mix1")
+    system.set_nda_workload(NdaOpcode.COPY, elements_per_rank=1 << 16)
+    result = system.run(cycles=50_000)
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.addressing.bank_partition import BankPartitionMapping
+from repro.addressing.mapping import AddressMapping, skylake_mapping
+from repro.config import SystemConfig, default_config
+from repro.core.energy import EnergyModel
+from repro.core.modes import AccessMode, split_ranks_for_partitioning
+from repro.core.scheduler import ConcurrentAccessScheduler
+from repro.core.stats import SimulationResult, SimulationStats
+from repro.dram.commands import DramAddress
+from repro.dram.device import DramSystem
+from repro.host.core import CoreModel
+from repro.host.mixes import mix_profiles
+from repro.host.profiles import BenchmarkProfile
+from repro.host.traffic import AddressStreamGenerator
+from repro.memctrl.controller import ChannelController
+from repro.memctrl.request import MemoryRequest
+from repro.nda.controller import NdaRankController
+from repro.nda.isa import NdaInstruction, NdaOpcode
+from repro.nda.launch import NdaHostController, NdaOperation
+from repro.nda.throttle import make_policy
+from repro.utils.rng import DeterministicRng
+
+
+@dataclasses.dataclass
+class _NdaWorkloadSpec:
+    """A continuously re-launched NDA kernel (the paper's methodology)."""
+
+    opcode: NdaOpcode
+    elements_per_rank: int
+    cache_blocks: Optional[int]
+    async_launch: bool
+    matrix_columns: int = 0
+    continuous: bool = True
+    launches: int = 0
+
+
+@dataclasses.dataclass
+class NdaKernelSpec:
+    """One step of a composite NDA workload (application kernels).
+
+    Application workloads such as SVRG's average gradient, conjugate gradient
+    or streamcluster are sequences of Table I operations; the system cycles
+    through the sequence, re-launching it for as long as the simulation runs.
+    """
+
+    opcode: NdaOpcode
+    elements_per_rank: int
+    matrix_columns: int = 0
+    cache_blocks: Optional[int] = None
+    async_launch: bool = False
+
+
+class ChopimSystem:
+    """The simulated multi-core host + NDA-enabled DDR4 memory system."""
+
+    def __init__(self, config: Optional[SystemConfig] = None,
+                 mode: AccessMode = AccessMode.SHARED,
+                 mix: Optional[str] = "mix1",
+                 profiles: Optional[Sequence[BenchmarkProfile]] = None,
+                 throttle: str = "next_rank",
+                 stochastic_probability: float = 0.25,
+                 launch_packets_use_channel: bool = True,
+                 collect_energy: bool = True) -> None:
+        self.config = config or default_config()
+        self.config.validate()
+        self.mode = mode
+        self.mix = mix if profiles is None else None
+        self.rng = DeterministicRng(self.config.seed, "system")
+        self.collect_energy = collect_energy
+
+        org = self.config.org
+        self.dram = DramSystem(org, self.config.timing)
+        self.mapping = self._build_mapping()
+        self.channel_controllers: Dict[int, ChannelController] = {
+            ch: ChannelController(ch, self.dram, self.config.scheduler)
+            for ch in range(org.channels)
+        }
+        self.scheduler = ConcurrentAccessScheduler(self.dram, self.channel_controllers)
+
+        # ---- host cores --------------------------------------------------
+        self.cores: List[CoreModel] = []
+        self._core_backlog: List[Deque[MemoryRequest]] = []
+        if mode.has_host_traffic:
+            selected = list(profiles) if profiles is not None else mix_profiles(mix or "mix1")
+            self._build_cores(selected)
+
+        # ---- NDA controllers ----------------------------------------------
+        self.rank_controllers: Dict[Tuple[int, int], NdaRankController] = {}
+        self.nda_host: Optional[NdaHostController] = None
+        self._throttle_name = throttle
+        self._stochastic_probability = stochastic_probability
+        if mode.has_nda_traffic:
+            self._build_nda(throttle, stochastic_probability, launch_packets_use_channel)
+
+        self.stats = SimulationStats(self.config, list(self.rank_controllers.keys()))
+        self.energy_model = EnergyModel(org, self.config.energy)
+        self._nda_workload: Optional[_NdaWorkloadSpec] = None
+        self._nda_sequence: Optional[List[NdaKernelSpec]] = None
+        self._nda_sequence_index = 0
+        self._nda_sequence_continuous = True
+        self.now = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    def _build_mapping(self) -> AddressMapping:
+        if self.mode.uses_bank_partitioning:
+            return BankPartitionMapping(
+                self.config.org,
+                reserved_banks_per_rank=self.config.shared_banks_per_rank,
+            )
+        return skylake_mapping(self.config.org)
+
+    def _host_capacity(self) -> int:
+        if isinstance(self.mapping, BankPartitionMapping):
+            return self.mapping.host_capacity_bytes
+        return self.mapping.capacity_bytes
+
+    def _build_cores(self, profiles: Sequence[BenchmarkProfile]) -> None:
+        host_capacity = self._host_capacity()
+        region_bytes = host_capacity // max(1, len(profiles))
+        align = self.config.org.system_row_bytes
+        region_bytes = (region_bytes // align) * align
+        for core_id, profile in enumerate(profiles):
+            rng = self.rng.spawn(f"core{core_id}.{profile.name}")
+            traffic = AddressStreamGenerator(
+                profile,
+                region_base=core_id * region_bytes,
+                region_bytes=region_bytes,
+                rng=rng.spawn("traffic"),
+                cacheline_bytes=self.config.org.cacheline_bytes,
+            )
+            self.cores.append(
+                CoreModel(core_id, profile, traffic, self.config.host, rng)
+            )
+            self._core_backlog.append(deque())
+
+    def _nda_rank_keys(self) -> List[Tuple[int, int]]:
+        org = self.config.org
+        if self.mode is AccessMode.RANK_PARTITIONED:
+            _, nda_ranks = split_ranks_for_partitioning(org.ranks_per_channel)
+            return [(ch, rk) for ch in range(org.channels) for rk in nda_ranks]
+        return [(ch, rk) for ch in range(org.channels)
+                for rk in range(org.ranks_per_channel)]
+
+    def _nda_allowed_banks(self) -> List[int]:
+        if isinstance(self.mapping, BankPartitionMapping):
+            return list(self.mapping.reserved_banks)
+        return list(range(self.config.org.banks_per_rank))
+
+    def _build_nda(self, throttle: str, probability: float,
+                   launch_packets_use_channel: bool) -> None:
+        allowed_banks = self._nda_allowed_banks()
+        policy = make_policy(
+            throttle,
+            rng=self.rng.spawn("stochastic_issue"),
+            probability=probability,
+            host_controllers=self.channel_controllers,
+        )
+        self.throttle_policy = policy
+        for key in self._nda_rank_keys():
+            ch, rk = key
+            self.rank_controllers[key] = NdaRankController(
+                channel=ch, rank=rk, dram=self.dram, config=self.config.nda,
+                allowed_banks=allowed_banks, throttle=policy,
+                host_pending_to_bank=self.scheduler.host_pending_to_bank,
+            )
+        self.nda_host = NdaHostController(
+            self.dram, self.channel_controllers, self.rank_controllers,
+            config=self.config.nda,
+            launch_packets_use_channel=launch_packets_use_channel,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Workload control
+    # ------------------------------------------------------------------ #
+
+    def set_nda_workload(self, opcode: NdaOpcode, elements_per_rank: int,
+                         cache_blocks: Optional[int] = None,
+                         async_launch: bool = False,
+                         matrix_columns: int = 0,
+                         continuous: bool = True) -> None:
+        """Configure an NDA kernel that is (re-)launched whenever the NDAs idle.
+
+        This matches the paper's methodology: "If an NDA workload completes
+        while the simulation is still running, it is relaunched so that
+        concurrent access occurs throughout the simulation time."
+        """
+        if not self.mode.has_nda_traffic:
+            raise RuntimeError(f"mode {self.mode} does not run NDA traffic")
+        self._nda_workload = _NdaWorkloadSpec(
+            opcode=opcode,
+            elements_per_rank=elements_per_rank,
+            cache_blocks=cache_blocks,
+            async_launch=async_launch,
+            matrix_columns=matrix_columns,
+            continuous=continuous,
+        )
+        self._nda_sequence = None
+        self._nda_sequence_index = 0
+
+    def set_nda_workload_sequence(self, kernels: Sequence["NdaKernelSpec"],
+                                  continuous: bool = True) -> None:
+        """Configure a composite NDA workload (a repeating kernel sequence).
+
+        Used for the application workloads of Figure 14 (SVRG average
+        gradient, CG, streamcluster), which mix read- and write-intensive
+        Table I operations.
+        """
+        if not self.mode.has_nda_traffic:
+            raise RuntimeError(f"mode {self.mode} does not run NDA traffic")
+        if not kernels:
+            raise ValueError("kernel sequence must not be empty")
+        self._nda_workload = None
+        self._nda_sequence = list(kernels)
+        self._nda_sequence_continuous = continuous
+        self._nda_sequence_index = 0
+
+    def submit_nda_operation(self, operation: NdaOperation) -> NdaOperation:
+        """Submit a one-off NDA operation (used by the runtime API)."""
+        if self.nda_host is None:
+            raise RuntimeError("this system has no NDA controllers")
+        return self.nda_host.submit(operation)
+
+    def _maybe_relaunch_workload(self) -> None:
+        if self.nda_host is None or not self.nda_host.idle:
+            return
+        spec = self._nda_workload
+        if spec is not None:
+            if spec.launches > 0 and not spec.continuous:
+                return
+            total_elements = spec.elements_per_rank * max(1, len(self.rank_controllers))
+            self.nda_host.submit_kernel(
+                spec.opcode, total_elements,
+                cache_blocks=spec.cache_blocks,
+                async_launch=spec.async_launch,
+                matrix_columns=spec.matrix_columns,
+            )
+            spec.launches += 1
+            return
+        sequence = getattr(self, "_nda_sequence", None)
+        if not sequence:
+            return
+        if (self._nda_sequence_index >= len(sequence)
+                and not getattr(self, "_nda_sequence_continuous", True)):
+            return
+        kernel = sequence[self._nda_sequence_index % len(sequence)]
+        self._nda_sequence_index += 1
+        total_elements = kernel.elements_per_rank * max(1, len(self.rank_controllers))
+        self.nda_host.submit_kernel(
+            kernel.opcode, total_elements,
+            cache_blocks=kernel.cache_blocks,
+            async_launch=kernel.async_launch,
+            matrix_columns=kernel.matrix_columns,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def _make_host_request(self, core: CoreModel, phys: int,
+                           is_write: bool) -> MemoryRequest:
+        phys %= self._host_capacity()
+        addr = self.mapping.to_dram(phys)
+        if self.mode is AccessMode.RANK_PARTITIONED:
+            host_ranks, _ = split_ranks_for_partitioning(
+                self.config.org.ranks_per_channel
+            )
+            addr = addr._replace(rank=host_ranks[addr.rank % len(host_ranks)])
+        on_complete = None
+        if not is_write:
+            on_complete = (lambda cycle, c=core, p=phys: c.notify_completion(p))
+        return MemoryRequest(addr=addr, is_write=is_write, phys=phys,
+                             core_id=core.core_id, on_complete=on_complete)
+
+    def _host_cycle(self, now: int) -> None:
+        cpu_per_dram = self.config.host.cycles_per_dram_cycle
+        for core, backlog in zip(self.cores, self._core_backlog):
+            # Back-pressure: retry requests the controller rejected earlier.
+            while backlog:
+                request = backlog[0]
+                if self.channel_controllers[request.addr.channel].enqueue(request, now):
+                    backlog.popleft()
+                else:
+                    break
+            for phys, is_write in core.tick(cpu_per_dram):
+                request = self._make_host_request(core, phys, is_write)
+                controller = self.channel_controllers[request.addr.channel]
+                if backlog or not controller.enqueue(request, now):
+                    backlog.append(request)
+
+    def _nda_cycle(self, now: int) -> None:
+        if self.nda_host is None:
+            return
+        self._maybe_relaunch_workload()
+        self.nda_host.tick(now)
+        for (ch, rk), controller in self.rank_controllers.items():
+            if self.scheduler.nda_may_issue(ch, rk, now):
+                controller.try_issue(now)
+            controller.post_cycle(now)
+
+    def step(self) -> None:
+        """Advance the whole system by one DRAM cycle."""
+        now = self.now
+        self.scheduler.begin_cycle(now)
+        for ch, controller in self.channel_controllers.items():
+            controller.tick(now)
+            if controller.last_issue_cycle == now:
+                self.scheduler.note_host_issue(ch, controller.last_issue_rank, now)
+        if self.mode.has_host_traffic:
+            self._host_cycle(now)
+        self._nda_cycle(now)
+        rank_busy = {
+            (ch, rk): self.dram.rank_host_busy(ch, rk, now)
+            for ch in range(self.config.org.channels)
+            for rk in range(self.config.org.ranks_per_channel)
+        }
+        self.stats.observe_cycle(rank_busy)
+        self.now = now + 1
+
+    def run(self, cycles: int, warmup: int = 0) -> SimulationResult:
+        """Run for ``warmup + cycles`` DRAM cycles and summarize the last ``cycles``."""
+        for _ in range(max(0, warmup)):
+            self.step()
+        self._reset_measurement()
+        for _ in range(cycles):
+            self.step()
+        return self._result(cycles)
+
+    def _reset_measurement(self) -> None:
+        self.stats = SimulationStats(self.config, list(self.rank_controllers.keys()))
+        for core in self.cores:
+            core.instructions_retired = 0.0
+            core.cpu_cycles = 0.0
+            core.stall_cycles = 0.0
+        for controller in self.rank_controllers.values():
+            controller.bytes_read = 0
+            controller.bytes_written = 0
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+
+    def _result(self, cycles: int) -> SimulationResult:
+        per_core_ipc = [core.ipc for core in self.cores]
+        nda_bytes = sum(c.total_bytes for c in self.rank_controllers.values())
+        counts = self.dram.counts
+        host_hits = counts.host_row_hits
+        host_total = host_hits + counts.host_row_conflicts + 1e-9
+        nda_hits = counts.nda_row_hits
+        nda_total = nda_hits + counts.nda_row_conflicts + 1e-9
+        avg_latency = 0.0
+        latencies = [mc.read_latency.mean for mc in self.channel_controllers.values()
+                     if mc.read_latency.count]
+        if latencies:
+            avg_latency = sum(latencies) / len(latencies)
+        energy: Dict[str, float] = {}
+        if self.collect_energy:
+            pes = [pe for rc in self.rank_controllers.values() for pe in rc.pes]
+            energy = self.energy_model.compute(counts, pes, self.now).as_dict()
+        return SimulationResult(
+            cycles=cycles,
+            mode=self.mode.value,
+            mix=self.mix,
+            host_ipc=sum(per_core_ipc),
+            per_core_ipc=per_core_ipc,
+            nda_bandwidth_gbs=self.stats.nda_bandwidth_gbs(nda_bytes),
+            nda_bw_utilization=self.stats.nda_bw_utilization(nda_bytes),
+            idealized_bw_utilization=self.stats.idealized_bw_utilization(),
+            nda_bytes=nda_bytes,
+            host_reads=counts.host_reads,
+            host_writes=counts.host_writes,
+            nda_instructions_completed=sum(
+                rc.instructions_completed for rc in self.rank_controllers.values()
+            ),
+            nda_operations_completed=(self.nda_host.operations_completed
+                                      if self.nda_host else 0),
+            rank_idle_breakdown=self.stats.rank_breakdowns(),
+            row_hit_rate_host=host_hits / host_total,
+            row_hit_rate_nda=nda_hits / nda_total,
+            avg_read_latency=avg_latency,
+            energy=energy,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors used by experiments
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_nda_bytes(self) -> int:
+        return sum(c.total_bytes for c in self.rank_controllers.values())
+
+    def aggregate_host_ipc(self) -> float:
+        return sum(core.ipc for core in self.cores)
+
+    def verify_fsm_sync(self) -> bool:
+        """Check every rank's replicated FSM copies agree (Section III-D)."""
+        return all(rc.fsm.in_sync for rc in self.rank_controllers.values())

@@ -1,0 +1,23 @@
+"""DDR4 DRAM device model: commands, bank state, timing constraints.
+
+This package is the Ramulator-equivalent substrate of the reproduction: a
+cycle-level model of DDR4 channels, ranks, bank groups and banks with the
+full Table II timing parameter set, plus per-rank internal data buses used by
+the near-data accelerators (NDAs).
+"""
+
+from repro.dram.commands import Command, CommandType, DramAddress, RequestSource
+from repro.dram.bank import Bank, BankState
+from repro.dram.timing import TimingEngine
+from repro.dram.device import DramSystem
+
+__all__ = [
+    "Command",
+    "CommandType",
+    "DramAddress",
+    "RequestSource",
+    "Bank",
+    "BankState",
+    "TimingEngine",
+    "DramSystem",
+]

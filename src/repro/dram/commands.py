@@ -1,0 +1,98 @@
+"""DRAM command and address types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import NamedTuple, Optional
+
+
+class CommandType(enum.Enum):
+    """DDR4 command set used by the simulator."""
+
+    ACT = "activate"
+    PRE = "precharge"
+    RD = "read"
+    WR = "write"
+    REF = "refresh"
+
+    @property
+    def is_column(self) -> bool:
+        """True for commands that move data (occupy a data bus)."""
+        return self in (CommandType.RD, CommandType.WR)
+
+    @property
+    def is_row(self) -> bool:
+        """True for row commands (ACT/PRE)."""
+        return self in (CommandType.ACT, CommandType.PRE)
+
+
+class RequestSource(enum.Enum):
+    """Who issued a command: the host memory controller or a rank's NDA."""
+
+    HOST = "host"
+    NDA = "nda"
+
+
+class DramAddress(NamedTuple):
+    """A fully decoded DRAM location.
+
+    ``column`` is in cache-line granularity (one column = one 64-byte burst
+    across the rank, or 8 bytes per chip for NDA-local accesses).
+    """
+
+    channel: int
+    rank: int
+    bank_group: int
+    bank: int
+    row: int
+    column: int
+
+    @property
+    def flat_bank(self) -> int:
+        """Bank index within the rank, flattened over bank groups."""
+        return self.bank_group * 4 + self.bank
+
+    def with_column(self, column: int) -> "DramAddress":
+        return self._replace(column=column)
+
+    def with_row(self, row: int) -> "DramAddress":
+        return self._replace(row=row)
+
+    def same_bank(self, other: "DramAddress") -> bool:
+        return (self.channel == other.channel and self.rank == other.rank
+                and self.bank_group == other.bank_group and self.bank == other.bank)
+
+
+@dataclass
+class Command:
+    """A DRAM command ready to be issued to a device.
+
+    Attributes
+    ----------
+    kind:
+        The command type.
+    addr:
+        Target DRAM address.  For ``PRE`` and ``REF`` only the bank/rank
+        portion is meaningful.
+    source:
+        ``HOST`` for commands issued by the host memory controller over the
+        channel C/A bus, ``NDA`` for commands issued locally by a rank's NDA
+        memory controller.
+    request_id:
+        Identifier of the originating memory request (host requests only).
+    """
+
+    kind: CommandType
+    addr: DramAddress
+    source: RequestSource = RequestSource.HOST
+    request_id: Optional[int] = None
+
+    @property
+    def is_nda(self) -> bool:
+        return self.source is RequestSource.NDA
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Command({self.kind.name}, ch{self.addr.channel} rk{self.addr.rank} "
+                f"bg{self.addr.bank_group} bk{self.addr.bank} row{self.addr.row} "
+                f"col{self.addr.column}, {self.source.value})")

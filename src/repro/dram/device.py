@@ -1,0 +1,205 @@
+"""The DRAM system façade: banks + timing engine + event statistics.
+
+:class:`DramSystem` is the single object memory controllers talk to.  It
+validates command legality (both protocol state and timing), applies the
+command to bank state, and accumulates the event counts that the statistics
+and energy models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.config import DramOrgConfig, DramTimingConfig
+from repro.dram.bank import Bank, BankState
+from repro.dram.commands import Command, CommandType, DramAddress, RequestSource
+from repro.dram.timing import TimingEngine
+from repro.utils.stats import Counter
+
+
+@dataclass
+class DramEventCounts:
+    """Aggregate DRAM event counts used by the energy and stats models."""
+
+    activates: int = 0
+    precharges: int = 0
+    refreshes: int = 0
+    host_reads: int = 0
+    host_writes: int = 0
+    nda_reads: int = 0
+    nda_writes: int = 0
+    host_row_hits: int = 0
+    host_row_conflicts: int = 0
+    nda_row_hits: int = 0
+    nda_row_conflicts: int = 0
+
+    @property
+    def host_columns(self) -> int:
+        return self.host_reads + self.host_writes
+
+    @property
+    def nda_columns(self) -> int:
+        return self.nda_reads + self.nda_writes
+
+
+class DramSystem:
+    """All banks of the memory system plus the timing engine."""
+
+    def __init__(self, org: DramOrgConfig, timing: DramTimingConfig) -> None:
+        org.validate()
+        timing.validate()
+        self.org = org
+        self.timing_config = timing
+        self.timing = TimingEngine(org, timing)
+        self.counts = DramEventCounts()
+        self._banks: Dict[Tuple[int, int, int, int], Bank] = {}
+        for ch in range(org.channels):
+            for rk in range(org.ranks_per_channel):
+                for bg in range(org.bank_groups):
+                    for bk in range(org.banks_per_group):
+                        self._banks[(ch, rk, bg, bk)] = Bank(ch, rk, bg, bk)
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+
+    def bank(self, addr: DramAddress) -> Bank:
+        return self._banks[(addr.channel, addr.rank, addr.bank_group, addr.bank)]
+
+    def banks(self) -> Iterable[Bank]:
+        return self._banks.values()
+
+    def banks_of_rank(self, channel: int, rank: int) -> List[Bank]:
+        return [b for (ch, rk, _, _), b in self._banks.items()
+                if ch == channel and rk == rank]
+
+    def global_rank_index(self, channel: int, rank: int) -> int:
+        return channel * self.org.ranks_per_channel + rank
+
+    def all_rank_coords(self) -> List[Tuple[int, int]]:
+        return [(ch, rk) for ch in range(self.org.channels)
+                for rk in range(self.org.ranks_per_channel)]
+
+    # ------------------------------------------------------------------ #
+    # Command legality and the prerequisite sequence for an access
+    # ------------------------------------------------------------------ #
+
+    def required_command(self, addr: DramAddress, is_write: bool) -> CommandType:
+        """The next command needed to complete a column access to ``addr``.
+
+        Follows the open-page protocol: a row conflict requires a PRE, a
+        closed bank requires an ACT, an open matching row allows RD/WR.
+        """
+        bank = self.bank(addr)
+        if bank.state is BankState.CLOSED:
+            return CommandType.ACT
+        if bank.open_row == addr.row:
+            return CommandType.WR if is_write else CommandType.RD
+        return CommandType.PRE
+
+    def can_issue(self, cmd: Command, now: int) -> bool:
+        """Protocol-state plus timing legality of ``cmd`` at cycle ``now``."""
+        bank = self.bank(cmd.addr)
+        if cmd.kind is CommandType.ACT and bank.state is BankState.OPEN:
+            return False
+        if cmd.kind in (CommandType.RD, CommandType.WR):
+            if not bank.is_open(cmd.addr.row):
+                return False
+        if cmd.kind is CommandType.REF:
+            if any(b.state is BankState.OPEN
+                   for b in self.banks_of_rank(cmd.addr.channel, cmd.addr.rank)):
+                return False
+        return self.timing.can_issue(cmd, now)
+
+    def earliest_issue(self, cmd: Command, now: int) -> int:
+        return self.timing.earliest_issue(cmd, now)
+
+    def issue(self, cmd: Command, now: int) -> None:
+        """Issue ``cmd``: update bank state, timing state and event counts."""
+        if not self.can_issue(cmd, now):
+            raise ValueError(f"illegal command at cycle {now}: {cmd}")
+        bank = self.bank(cmd.addr)
+        is_nda = cmd.is_nda
+
+        if cmd.kind is CommandType.ACT:
+            bank.activate(cmd.addr.row)
+            self.counts.activates += 1
+        elif cmd.kind is CommandType.PRE:
+            bank.precharge()
+            self.counts.precharges += 1
+        elif cmd.kind is CommandType.REF:
+            self.counts.refreshes += 1
+        else:
+            is_write = cmd.kind is CommandType.WR
+            if is_write:
+                if is_nda:
+                    self.counts.nda_writes += 1
+                else:
+                    self.counts.host_writes += 1
+            else:
+                if is_nda:
+                    self.counts.nda_reads += 1
+                else:
+                    self.counts.host_reads += 1
+        self.timing.issue(cmd, now)
+
+    def record_access_outcome(self, addr: DramAddress, is_write: bool,
+                              is_nda: bool) -> str:
+        """Classify and record the row-buffer outcome of a new column access.
+
+        Memory controllers call this once per access, at the moment the
+        access is first scheduled (before any PRE/ACT it may require), so the
+        hit/miss/conflict classification reflects the bank state the access
+        found.  Returns the outcome string.
+        """
+        bank = self.bank(addr)
+        outcome = bank.classify_access(addr.row)
+        bank.record_column(addr.row, is_write, is_nda, outcome)
+        if outcome == "hit":
+            if is_nda:
+                self.counts.nda_row_hits += 1
+            else:
+                self.counts.host_row_hits += 1
+        elif outcome == "conflict":
+            if is_nda:
+                self.counts.nda_row_conflicts += 1
+            else:
+                self.counts.host_row_conflicts += 1
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # Convenience queries used by schedulers and statistics
+    # ------------------------------------------------------------------ #
+
+    def row_hit_possible(self, addr: DramAddress) -> bool:
+        """Whether a column access to ``addr`` would be a row-buffer hit."""
+        return self.bank(addr).is_open(addr.row)
+
+    def open_row(self, addr: DramAddress) -> Optional[int]:
+        return self.bank(addr).open_row
+
+    def refresh_due(self, channel: int, rank: int, now: int) -> bool:
+        return self.timing.refresh_due(channel, rank, now)
+
+    def rank_host_busy(self, channel: int, rank: int, now: int) -> bool:
+        return self.timing.rank_host_busy(channel, rank, now)
+
+    def read_latency(self) -> int:
+        return self.timing.read_latency()
+
+    def write_latency(self) -> int:
+        return self.timing.write_latency()
+
+    def conflict_counts(self) -> Dict[str, int]:
+        """Row hit / miss / conflict totals split by requester."""
+        totals = Counter()
+        for bank in self.banks():
+            totals.add("row_hits", bank.row_hits)
+            totals.add("row_misses", bank.row_misses)
+            totals.add("row_conflicts", bank.row_conflicts)
+            totals.add("host_reads", bank.reads)
+            totals.add("host_writes", bank.writes)
+            totals.add("nda_reads", bank.nda_reads)
+            totals.add("nda_writes", bank.nda_writes)
+        return totals.as_dict()

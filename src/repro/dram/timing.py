@@ -1,0 +1,302 @@
+"""DDR4 timing-constraint engine.
+
+The engine tracks, for every bank, rank and channel, the earliest cycle at
+which each command type may legally issue, applying the Table II parameters:
+
+* per bank:  tRCD, tRP, tRAS, tRC, tRTP, write recovery (tCWL+tBL+tWR)
+* per rank:  tRRD_S/tRRD_L, tFAW, tCCD_S/tCCD_L, write-to-read turnaround
+             (tCWL+tBL+tWTR_S/L), read-to-write turnaround
+* per channel (host column commands only): data-bus occupancy (tBL) and
+             rank-to-rank switching (tRTRS)
+* per rank (NDA column commands only): internal data-bus occupancy
+
+Host and NDA column commands to the *same rank* share the rank-level
+constraints (the DRAM IO circuitry is shared inside the rank), which is the
+source of the read/write-turnaround interference studied in Section III-B.
+Host and NDA commands to *different ranks* only interact through the
+channel-level constraints, which NDA commands do not use.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.config import DramOrgConfig, DramTimingConfig
+from repro.dram.commands import Command, CommandType
+
+
+class _RankTiming:
+    """Mutable timing state of one rank."""
+
+    __slots__ = (
+        "act_allowed", "act_allowed_bg", "faw_window",
+        "last_read_cycle", "last_read_bg",
+        "last_host_read_cycle", "last_nda_read_cycle",
+        "last_write_cycle", "last_write_bg",
+        "busy_until", "data_busy_from", "data_busy_until",
+        "nda_bus_free", "refresh_due", "refreshing_until",
+    )
+
+    def __init__(self, bank_groups: int, tREFI: int) -> None:
+        self.act_allowed = 0
+        self.act_allowed_bg = [0] * bank_groups
+        self.faw_window: Deque[int] = deque(maxlen=4)
+        self.last_read_cycle = -(10 ** 9)
+        self.last_read_bg = -1
+        self.last_host_read_cycle = -(10 ** 9)
+        self.last_nda_read_cycle = -(10 ** 9)
+        self.last_write_cycle = -(10 ** 9)
+        self.last_write_bg = -1
+        self.busy_until = 0
+        self.data_busy_from = 0
+        self.data_busy_until = 0
+        self.nda_bus_free = 0
+        self.refresh_due = tREFI
+        self.refreshing_until = 0
+
+
+class _BankTiming:
+    """Mutable timing state of one bank."""
+
+    __slots__ = ("act_allowed", "pre_allowed", "rd_allowed", "wr_allowed")
+
+    def __init__(self) -> None:
+        self.act_allowed = 0
+        self.pre_allowed = 0
+        self.rd_allowed = 0
+        self.wr_allowed = 0
+
+
+class _ChannelTiming:
+    """Mutable timing state of one channel's shared buses (host side)."""
+
+    __slots__ = ("data_bus_free", "last_col_rank", "last_data_end",
+                 "last_col_was_write", "last_col_cycle")
+
+    def __init__(self) -> None:
+        self.data_bus_free = 0
+        self.last_col_rank = -1
+        self.last_data_end = 0
+        self.last_col_was_write = False
+        self.last_col_cycle = -(10 ** 9)
+
+
+class TimingEngine:
+    """Tracks and enforces DDR4 timing constraints for every command."""
+
+    def __init__(self, org: DramOrgConfig, timing: DramTimingConfig) -> None:
+        self.org = org
+        self.timing = timing
+        self._banks: Dict[Tuple[int, int, int, int], _BankTiming] = {}
+        self._ranks: Dict[Tuple[int, int], _RankTiming] = {}
+        self._channels: List[_ChannelTiming] = [
+            _ChannelTiming() for _ in range(org.channels)
+        ]
+        for ch in range(org.channels):
+            for rk in range(org.ranks_per_channel):
+                self._ranks[(ch, rk)] = _RankTiming(org.bank_groups, timing.tREFI)
+                for bg in range(org.bank_groups):
+                    for bk in range(org.banks_per_group):
+                        self._banks[(ch, rk, bg, bk)] = _BankTiming()
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    def _bank(self, cmd: Command) -> _BankTiming:
+        a = cmd.addr
+        return self._banks[(a.channel, a.rank, a.bank_group, a.bank)]
+
+    def _rank(self, cmd: Command) -> _RankTiming:
+        a = cmd.addr
+        return self._ranks[(a.channel, a.rank)]
+
+    def rank_state(self, channel: int, rank: int) -> _RankTiming:
+        return self._ranks[(channel, rank)]
+
+    # ------------------------------------------------------------------ #
+    # Constraint checks
+    # ------------------------------------------------------------------ #
+
+    def earliest_issue(self, cmd: Command, now: int) -> int:
+        """Earliest cycle >= ``now`` at which ``cmd`` may legally issue."""
+        t = self.timing
+        bank = self._bank(cmd)
+        rank = self._rank(cmd)
+        earliest = max(now, rank.refreshing_until)
+
+        if cmd.kind is CommandType.ACT:
+            earliest = max(earliest, bank.act_allowed, rank.act_allowed,
+                           rank.act_allowed_bg[cmd.addr.bank_group])
+            if len(rank.faw_window) == 4:
+                earliest = max(earliest, rank.faw_window[0] + t.tFAW)
+            return earliest
+
+        if cmd.kind is CommandType.PRE:
+            return max(earliest, bank.pre_allowed)
+
+        if cmd.kind is CommandType.REF:
+            return earliest
+
+        # Column commands (RD / WR).  NDA accesses move data over the rank's
+        # internal (TSV) path rather than the chip IO mux, so back-to-back
+        # NDA column commands are paced at tCCD_S even within one bank group;
+        # all cross-type turnaround constraints still apply because the bank
+        # and sense-amp resources are shared with host accesses.
+        same_bg_rd = cmd.addr.bank_group == rank.last_read_bg
+        same_bg_wr = cmd.addr.bank_group == rank.last_write_bg
+        ccd_long = t.tCCDS if cmd.is_nda else t.tCCDL
+        if cmd.kind is CommandType.RD:
+            earliest = max(earliest, bank.rd_allowed)
+            # read-after-read spacing within the rank
+            earliest = max(
+                earliest,
+                rank.last_read_cycle + (ccd_long if same_bg_rd else t.tCCDS),
+            )
+            # write-to-read turnaround within the rank
+            wtr = t.tWTRL if same_bg_wr else t.tWTRS
+            earliest = max(earliest, rank.last_write_cycle + t.tCWL + t.tBL + wtr)
+        else:  # WR
+            earliest = max(earliest, bank.wr_allowed)
+            earliest = max(
+                earliest,
+                rank.last_write_cycle + (ccd_long if same_bg_wr else t.tCCDS),
+            )
+            # Read-to-write turnaround is a data-bus direction change, so it
+            # only applies between accesses sharing a data path: host reads
+            # and host writes share the channel DQ bus, NDA reads and NDA
+            # writes share the rank-internal path.  A read on the *other*
+            # path only imposes the basic column spacing.
+            same_path_read = (rank.last_nda_read_cycle if cmd.is_nda
+                              else rank.last_host_read_cycle)
+            other_path_read = (rank.last_host_read_cycle if cmd.is_nda
+                               else rank.last_nda_read_cycle)
+            earliest = max(earliest, same_path_read + t.read_to_write)
+            earliest = max(earliest, other_path_read + t.tCCDS)
+
+        if cmd.is_nda:
+            # NDA column accesses use the rank-internal bus only.
+            data_start_offset = t.tCL if cmd.kind is CommandType.RD else t.tCWL
+            if rank.nda_bus_free > earliest + data_start_offset:
+                earliest = rank.nda_bus_free - data_start_offset
+            return earliest
+
+        # Host column accesses use the shared channel data bus.
+        channel = self._channels[cmd.addr.channel]
+        data_start_offset = t.tCL if cmd.kind is CommandType.RD else t.tCWL
+        data_start = earliest + data_start_offset
+        if channel.data_bus_free > data_start:
+            data_start = channel.data_bus_free
+        if (channel.last_col_rank not in (-1, cmd.addr.rank)
+                and channel.last_data_end + t.tRTRS > data_start):
+            data_start = channel.last_data_end + t.tRTRS
+        return max(earliest, data_start - data_start_offset)
+
+    def can_issue(self, cmd: Command, now: int) -> bool:
+        """Whether ``cmd`` can legally issue at cycle ``now``."""
+        return self.earliest_issue(cmd, now) <= now
+
+    # ------------------------------------------------------------------ #
+    # State updates on issue
+    # ------------------------------------------------------------------ #
+
+    def issue(self, cmd: Command, now: int) -> None:
+        """Apply the timing consequences of issuing ``cmd`` at cycle ``now``."""
+        t = self.timing
+        bank = self._bank(cmd)
+        rank = self._rank(cmd)
+
+        if cmd.kind is CommandType.ACT:
+            bank.rd_allowed = max(bank.rd_allowed, now + t.tRCD)
+            bank.wr_allowed = max(bank.wr_allowed, now + t.tRCD)
+            bank.pre_allowed = max(bank.pre_allowed, now + t.tRAS)
+            bank.act_allowed = max(bank.act_allowed, now + t.tRC)
+            rank.act_allowed = max(rank.act_allowed, now + t.tRRDS)
+            bg = cmd.addr.bank_group
+            rank.act_allowed_bg[bg] = max(rank.act_allowed_bg[bg], now + t.tRRDL)
+            rank.faw_window.append(now)
+            rank.busy_until = max(rank.busy_until, now + 1)
+            return
+
+        if cmd.kind is CommandType.PRE:
+            bank.act_allowed = max(bank.act_allowed, now + t.tRP)
+            rank.busy_until = max(rank.busy_until, now + 1)
+            return
+
+        if cmd.kind is CommandType.REF:
+            rank.refreshing_until = max(rank.refreshing_until, now + t.tRFC)
+            rank.refresh_due += t.tREFI
+            for bg in range(self.org.bank_groups):
+                for bk in range(self.org.banks_per_group):
+                    b = self._banks[(cmd.addr.channel, cmd.addr.rank, bg, bk)]
+                    b.act_allowed = max(b.act_allowed, now + t.tRFC)
+            rank.busy_until = max(rank.busy_until, now + t.tRFC)
+            return
+
+        # Column commands.
+        is_read = cmd.kind is CommandType.RD
+        data_start = now + (t.tCL if is_read else t.tCWL)
+        data_end = data_start + t.tBL
+
+        if is_read:
+            bank.pre_allowed = max(bank.pre_allowed, now + t.tRTP)
+            rank.last_read_cycle = now
+            rank.last_read_bg = cmd.addr.bank_group
+            if cmd.is_nda:
+                rank.last_nda_read_cycle = now
+            else:
+                rank.last_host_read_cycle = now
+        else:
+            bank.pre_allowed = max(bank.pre_allowed, now + t.write_to_precharge)
+            rank.last_write_cycle = now
+            rank.last_write_bg = cmd.addr.bank_group
+
+        if cmd.is_nda:
+            rank.nda_bus_free = max(rank.nda_bus_free, data_end)
+        else:
+            channel = self._channels[cmd.addr.channel]
+            channel.data_bus_free = max(channel.data_bus_free, data_end)
+            channel.last_col_rank = cmd.addr.rank
+            channel.last_data_end = data_end
+            channel.last_col_was_write = not is_read
+            channel.last_col_cycle = now
+            # The rank is occupied by the host for the command cycle and for
+            # the data-burst window; the gap in between (CAS latency) is a
+            # short idle period the NDA may exploit (Section III-B).
+            rank.busy_until = max(rank.busy_until, now + 1)
+            if data_start >= rank.data_busy_until:
+                rank.data_busy_from = data_start
+            rank.data_busy_until = max(rank.data_busy_until, data_end)
+
+    # ------------------------------------------------------------------ #
+    # Refresh bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def refresh_due(self, channel: int, rank: int, now: int) -> bool:
+        """Whether a refresh is due for the given rank at cycle ``now``."""
+        return now >= self._ranks[(channel, rank)].refresh_due
+
+    def refresh_urgency(self, channel: int, rank: int, now: int) -> float:
+        """How overdue the next refresh is, in multiples of tREFI."""
+        due = self._ranks[(channel, rank)].refresh_due
+        return (now - due) / self.timing.tREFI if now > due else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Host-busy queries used by the NDA opportunistic scheduler
+    # ------------------------------------------------------------------ #
+
+    def rank_host_busy(self, channel: int, rank: int, now: int) -> bool:
+        """Whether the host currently occupies the rank (command or data)."""
+        state = self._ranks[(channel, rank)]
+        if state.busy_until > now:
+            return True
+        return state.data_busy_from <= now < state.data_busy_until
+
+    def read_latency(self) -> int:
+        """Cycles from RD issue until the last data beat is received."""
+        return self.timing.tCL + self.timing.tBL
+
+    def write_latency(self) -> int:
+        """Cycles from WR issue until the last data beat is driven."""
+        return self.timing.tCWL + self.timing.tBL

@@ -1,0 +1,81 @@
+"""Shared experiment plumbing: default cycle budgets and table rendering."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.config import SystemConfig, scaled_config
+from repro.core.modes import AccessMode
+from repro.core.system import ChopimSystem
+from repro.nda.isa import NdaOpcode
+
+#: Default measured window per configuration point, in DRAM cycles.  Long
+#: enough for the memory system to reach steady state; short enough that a
+#: full figure regenerates in minutes on a laptop.  Every ``run_*`` function
+#: accepts an override.
+DEFAULT_CYCLES = 6000
+
+#: Default warm-up cycles excluded from measurement.
+DEFAULT_WARMUP = 500
+
+#: The mix subset used by "quick" figure regenerations (spans the highest,
+#: a middle and the lowest memory intensity).
+QUICK_MIXES = ["mix1", "mix5", "mix8"]
+
+#: Per-rank NDA operand size (elements) used by the microbenchmark figures.
+DEFAULT_ELEMENTS_PER_RANK = 1 << 14
+
+
+def build_system(mode: AccessMode, mix: Optional[str],
+                 channels: int = 2, ranks_per_channel: int = 2,
+                 throttle: str = "next_rank",
+                 stochastic_probability: float = 0.25,
+                 config: Optional[SystemConfig] = None,
+                 cores: Optional[int] = None) -> ChopimSystem:
+    """Construct a system for one experiment point."""
+    cfg = config or scaled_config(channels, ranks_per_channel, cores=cores)
+    return ChopimSystem(config=cfg, mode=mode, mix=mix, throttle=throttle,
+                        stochastic_probability=stochastic_probability)
+
+
+def run_point(system: ChopimSystem, cycles: int = DEFAULT_CYCLES,
+              warmup: int = DEFAULT_WARMUP):
+    """Run one configuration point and return its :class:`SimulationResult`."""
+    return system.run(cycles=cycles, warmup=warmup)
+
+
+def format_table(rows: Sequence[Dict[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 float_format: str = "{:.3f}") -> str:
+    """Render a list of row dicts as an aligned text table."""
+    if not rows:
+        return "(no data)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    widths = {c: len(c) for c in columns}
+    rendered = []
+    for row in rows:
+        cells = {c: fmt(row.get(c, "")) for c in columns}
+        rendered.append(cells)
+        for c in columns:
+            widths[c] = max(widths[c], len(cells[c]))
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    separator = "  ".join("-" * widths[c] for c in columns)
+    lines = [header, separator]
+    for cells in rendered:
+        lines.append("  ".join(cells[c].ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def opcode_by_name(name: str) -> NdaOpcode:
+    """Look an NDA opcode up by its lowercase name (``dot``, ``copy``, ...)."""
+    try:
+        return NdaOpcode(name.lower())
+    except ValueError as exc:
+        valid = ", ".join(op.value for op in NdaOpcode)
+        raise KeyError(f"unknown NDA operation {name!r}; valid: {valid}") from exc

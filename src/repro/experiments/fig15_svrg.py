@@ -1,0 +1,161 @@
+"""Figure 15: SVRG collaboration benefits.
+
+* Figure 15a — training-loss-vs-time trajectories for host-only execution
+  (epoch N, N/2, N/4), NDA-accelerated serialized execution (same epoch
+  sweep) and delayed-update parallel execution.
+* Figure 15b — speedup of the best accelerated configuration and of
+  delayed-update SVRG over host-only, as the NDA count scales (4, 8, 16 NDAs
+  = 2x2, 2x4, 2x8 ranks).
+
+Convergence is functional (numpy); timing comes from simulator-measured host
+and NDA bandwidth (:func:`repro.apps.svrg.measure_svrg_timing`) or, when
+``measure=False``, from the analytic bandwidth model, which keeps the quick
+benchmark path fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.datasets import make_dataset
+from repro.apps.svrg import (
+    SvrgConfig,
+    SvrgHistoryPoint,
+    SvrgTimingModel,
+    SvrgTrainer,
+    SvrgVariant,
+    measure_svrg_timing,
+)
+from repro.experiments.common import format_table
+
+#: Epoch fractions swept by the paper (N, N/2, N/4).
+EPOCH_FRACTIONS: Tuple[float, ...] = (1.0, 0.5, 0.25)
+
+#: NDA counts of Figure 15b and the rank configurations providing them.
+NDA_SCALING: Tuple[Tuple[int, Tuple[int, int]], ...] = (
+    (4, (2, 2)), (8, (2, 4)), (16, (2, 8)),
+)
+
+
+#: "learning rate = best-tuned" (Table II): tuned for the synthetic dataset.
+BEST_TUNED_LR = 0.05
+
+
+def _trainer(num_ndas: int, measure: bool, dataset_kwargs: Optional[Dict] = None,
+             measure_cycles: int = 4000,
+             learning_rate: float = BEST_TUNED_LR) -> SvrgTrainer:
+    dataset = make_dataset(**(dataset_kwargs or {}))
+    if measure:
+        channels, ranks = next(cfg for n, cfg in NDA_SCALING if n == num_ndas)
+        timing = measure_svrg_timing(channels, ranks, cycles=measure_cycles)
+    else:
+        timing = SvrgTimingModel.analytic(num_ndas)
+    return SvrgTrainer(dataset, SvrgConfig(learning_rate=learning_rate), timing)
+
+
+def run_svrg_convergence(num_ndas: int = 8,
+                         outer_iterations: int = 12,
+                         epoch_fractions: Sequence[float] = EPOCH_FRACTIONS,
+                         measure: bool = False,
+                         dataset_kwargs: Optional[Dict] = None,
+                         ) -> Dict[str, List[SvrgHistoryPoint]]:
+    """Figure 15a: named loss trajectories.
+
+    Keys follow the paper's legend: ``HO_epoch_N``, ``ACC_epoch_N/4``,
+    ``DelayedUpdate`` and so on.
+    """
+    trainer = _trainer(num_ndas, measure, dataset_kwargs)
+    histories: Dict[str, List[SvrgHistoryPoint]] = {}
+    for fraction in epoch_fractions:
+        label = {1.0: "N", 0.5: "N/2", 0.25: "N/4"}.get(fraction, f"{fraction:g}N")
+        histories[f"HO_epoch_{label}"] = trainer.train(
+            SvrgVariant.HOST_ONLY, epoch_fraction=fraction,
+            outer_iterations=outer_iterations)
+        histories[f"ACC_epoch_{label}"] = trainer.train(
+            SvrgVariant.ACCELERATED, epoch_fraction=fraction,
+            outer_iterations=outer_iterations)
+    histories["DelayedUpdate"] = trainer.train(
+        SvrgVariant.DELAYED_UPDATE, epoch_fraction=min(epoch_fractions),
+        outer_iterations=outer_iterations)
+    return histories
+
+
+def run_svrg_scaling(nda_counts: Sequence[int] = (4, 8, 16),
+                     outer_iterations: int = 10,
+                     measure: bool = False,
+                     dataset_kwargs: Optional[Dict] = None,
+                     ) -> List[Dict[str, object]]:
+    """Figure 15b: ACC_Best and DelayedUpdate speedup over host-only per NDA count.
+
+    Following the paper, performance is the wall-clock time until the
+    training loss reaches a fixed distance from the optimum.  The quality
+    target is whatever gap the host-only run achieves in
+    ``outer_iterations`` epochs; the accelerated and delayed-update variants
+    then train until they reach that same gap.
+    """
+    rows: List[Dict[str, object]] = []
+    for num_ndas in nda_counts:
+        trainer = _trainer(num_ndas, measure, dataset_kwargs)
+        max_outer = outer_iterations * 4
+        # The quality target is the gap host-only SVRG reaches at its default
+        # (epoch N) setting; the host-only baseline itself is then best-tuned
+        # over epoch fractions, as in the paper ("lr = best-tuned").
+        reference = trainer.train(SvrgVariant.HOST_ONLY,
+                                  outer_iterations=max(2, outer_iterations // 2),
+                                  epoch_fraction=1.0)
+        threshold = reference[-1].loss_gap * 1.01
+        host_times: List[float] = [reference[-1].wall_clock_seconds]
+        for fraction in EPOCH_FRACTIONS[1:]:
+            history = trainer.train_until(SvrgVariant.HOST_ONLY, threshold,
+                                          epoch_fraction=fraction,
+                                          max_outer_iterations=max_outer)
+            t = SvrgTrainer.time_to_converge(history, threshold)
+            if t is not None:
+                host_times.append(t)
+        host_time = min(host_times)
+
+        acc_times: Dict[str, Optional[float]] = {}
+        for fraction in EPOCH_FRACTIONS:
+            history = trainer.train_until(SvrgVariant.ACCELERATED, threshold,
+                                          epoch_fraction=fraction,
+                                          max_outer_iterations=max_outer)
+            acc_times[f"ACC_{fraction:g}"] = SvrgTrainer.time_to_converge(
+                history, threshold)
+        reached = [t for t in acc_times.values() if t is not None]
+        acc_time = min(reached) if reached else None
+
+        # Delayed update is best-tuned over the same epoch fractions; the
+        # exchange cadence itself is set by the NDA summarization time
+        # (Section IV), so the fraction mostly controls snapshot frequency.
+        delayed_times: List[float] = []
+        for fraction in EPOCH_FRACTIONS:
+            history = trainer.train_until(
+                SvrgVariant.DELAYED_UPDATE, threshold,
+                epoch_fraction=fraction,
+                max_outer_iterations=max_outer)
+            t = SvrgTrainer.time_to_converge(history, threshold)
+            if t is not None:
+                delayed_times.append(t)
+        delayed_time = min(delayed_times) if delayed_times else None
+
+        rows.append({
+            "num_ndas": num_ndas,
+            "threshold": threshold,
+            "host_only_seconds": host_time,
+            "acc_best_seconds": acc_time,
+            "delayed_update_seconds": delayed_time,
+            "acc_best_speedup": (host_time / acc_time
+                                 if host_time and acc_time else None),
+            "delayed_update_speedup": (host_time / delayed_time
+                                       if host_time and delayed_time else None),
+        })
+    return rows
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    rows = run_svrg_scaling()
+    print(format_table(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

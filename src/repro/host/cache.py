@@ -1,0 +1,215 @@
+"""Set-associative cache hierarchy (L1/L2/LLC) with MSHRs.
+
+The paper's host has a three-level hierarchy (Table II): 32 KiB 8-way L1,
+256 KiB 4-way L2, 8 MiB 16-way shared LLC with 48 MSHRs and a stride
+prefetcher.  The hierarchy here is a functional + occupancy model: it tracks
+tag state (LRU), classifies hits/misses, produces memory-side traffic
+(fills and dirty writebacks) and limits outstanding misses via MSHRs.  It can
+be placed in front of the DRAM model for trace-driven studies; the fast
+experiment path models post-LLC traffic directly (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.host.prefetcher import StridePrefetcher
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a cache-hierarchy access."""
+
+    hit_level: Optional[str]              # "L1", "L2", "LLC" or None (memory)
+    memory_reads: List[int] = field(default_factory=list)
+    memory_writebacks: List[int] = field(default_factory=list)
+    mshr_blocked: bool = False
+
+    @property
+    def is_memory_miss(self) -> bool:
+        return self.hit_level is None and not self.mshr_blocked
+
+
+class Cache:
+    """One level of set-associative, write-back, write-allocate cache."""
+
+    def __init__(self, name: str, size_bytes: int, assoc: int,
+                 line_bytes: int = 64, mshrs: int = 12) -> None:
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ValueError(f"{name}: size must be a multiple of assoc * line size")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        self.mshrs = mshrs
+        # Each set is an OrderedDict tag -> dirty flag; order is LRU->MRU.
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self._outstanding: set = set()
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.mshr_rejects = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _index(self, addr: int) -> Tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def lookup(self, addr: int) -> bool:
+        """Whether the line is present (does not update LRU)."""
+        set_idx, tag = self._index(addr)
+        return tag in self._sets[set_idx]
+
+    def access(self, addr: int, is_write: bool) -> bool:
+        """Access the cache; returns True on hit.  Updates LRU and dirty bits."""
+        set_idx, tag = self._index(addr)
+        cache_set = self._sets[set_idx]
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            if is_write:
+                cache_set[tag] = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, addr: int, dirty: bool = False) -> Optional[int]:
+        """Install a line; returns the writeback address of an evicted dirty line."""
+        set_idx, tag = self._index(addr)
+        cache_set = self._sets[set_idx]
+        victim_addr: Optional[int] = None
+        if tag not in cache_set and len(cache_set) >= self.assoc:
+            victim_tag, victim_dirty = cache_set.popitem(last=False)
+            if victim_dirty:
+                self.writebacks += 1
+                victim_addr = (victim_tag * self.num_sets + set_idx) * self.line_bytes
+        cache_set[tag] = dirty or cache_set.get(tag, False)
+        cache_set.move_to_end(tag)
+        return victim_addr
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop a line if present (cache bypassing / fence flush support)."""
+        set_idx, tag = self._index(addr)
+        return self._sets[set_idx].pop(tag, None) is not None
+
+    # -- MSHR tracking ---------------------------------------------------- #
+
+    def mshr_available(self) -> bool:
+        return len(self._outstanding) < self.mshrs
+
+    def allocate_mshr(self, addr: int) -> bool:
+        line = addr // self.line_bytes
+        if line in self._outstanding:
+            return True  # merged with an in-flight miss
+        if not self.mshr_available():
+            self.mshr_rejects += 1
+            return False
+        self._outstanding.add(line)
+        return True
+
+    def release_mshr(self, addr: int) -> None:
+        self._outstanding.discard(addr // self.line_bytes)
+
+    @property
+    def outstanding_misses(self) -> int:
+        return len(self._outstanding)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CacheHierarchy:
+    """Three-level hierarchy with an LLC stride prefetcher."""
+
+    def __init__(self, l1_kib: int = 32, l1_assoc: int = 8,
+                 l2_kib: int = 256, l2_assoc: int = 4,
+                 llc_mib: int = 8, llc_assoc: int = 16,
+                 line_bytes: int = 64, llc_mshrs: int = 48,
+                 prefetch: bool = True) -> None:
+        self.l1 = Cache("L1", l1_kib * 1024, l1_assoc, line_bytes, mshrs=12)
+        self.l2 = Cache("L2", l2_kib * 1024, l2_assoc, line_bytes, mshrs=12)
+        self.llc = Cache("LLC", llc_mib * 1024 * 1024, llc_assoc, line_bytes,
+                         mshrs=llc_mshrs)
+        self.line_bytes = line_bytes
+        self.prefetcher = StridePrefetcher() if prefetch else None
+        self.accesses = 0
+
+    def access(self, addr: int, is_write: bool, stream_id: int = 0,
+               bypass: bool = False) -> AccessResult:
+        """Perform one demand access and report the resulting memory traffic.
+
+        ``bypass`` models the cache-bypassing loads/stores used for
+        host↔NDA data exchange (Section IV): the access goes straight to
+        memory and any stale copies are invalidated.
+        """
+        self.accesses += 1
+        addr = (addr // self.line_bytes) * self.line_bytes
+        if bypass:
+            for level in (self.l1, self.l2, self.llc):
+                level.invalidate(addr)
+            result = AccessResult(hit_level=None)
+            if is_write:
+                result.memory_writebacks.append(addr)
+            else:
+                result.memory_reads.append(addr)
+            return result
+
+        if self.l1.access(addr, is_write):
+            return AccessResult(hit_level="L1")
+        if self.l2.access(addr, is_write):
+            self._fill(self.l1, addr, is_write)
+            return AccessResult(hit_level="L2")
+        if self.llc.access(addr, is_write):
+            self._fill(self.l2, addr, False)
+            self._fill(self.l1, addr, is_write)
+            result = AccessResult(hit_level="LLC")
+            self._prefetch(addr, stream_id, result)
+            return result
+
+        # Memory miss.
+        if not self.llc.allocate_mshr(addr):
+            return AccessResult(hit_level=None, mshr_blocked=True)
+        result = AccessResult(hit_level=None)
+        result.memory_reads.append(addr)
+        for wb in (self._fill(self.llc, addr, False),
+                   self._fill(self.l2, addr, False),
+                   self._fill(self.l1, addr, is_write)):
+            if wb is not None:
+                result.memory_writebacks.append(wb)
+        self._prefetch(addr, stream_id, result)
+        return result
+
+    def _prefetch(self, addr: int, stream_id: int, result: AccessResult) -> None:
+        """Train the LLC stride prefetcher and issue its candidate fetches."""
+        if self.prefetcher is None:
+            return
+        for pf_addr in self.prefetcher.observe(stream_id, addr):
+            pf_line = (pf_addr // self.line_bytes) * self.line_bytes
+            if not self.llc.lookup(pf_line) and self.llc.mshr_available():
+                self.llc.allocate_mshr(pf_line)
+                wb = self._fill(self.llc, pf_line, False)
+                result.memory_reads.append(pf_line)
+                if wb is not None:
+                    result.memory_writebacks.append(wb)
+
+    @staticmethod
+    def _fill(cache: Cache, addr: int, dirty: bool) -> Optional[int]:
+        return cache.fill(addr, dirty)
+
+    def complete_fill(self, addr: int) -> None:
+        """Signal that the memory read for ``addr`` returned (frees the MSHR)."""
+        self.llc.release_mshr(addr)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "l1_hit_rate": self.l1.hit_rate(),
+            "l2_hit_rate": self.l2.hit_rate(),
+            "llc_hit_rate": self.llc.hit_rate(),
+            "llc_writebacks": self.llc.writebacks,
+            "accesses": self.accesses,
+        }

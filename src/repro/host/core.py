@@ -1,0 +1,174 @@
+"""Limited-outstanding-miss out-of-order core model.
+
+The model captures the two first-order ways an OoO core interacts with main
+memory:
+
+* **Memory-level parallelism** — up to ``profile.mlp`` misses may be in
+  flight; the core keeps retiring instructions underneath them.
+* **ROB-limited tolerance** — once the oldest outstanding miss is more than
+  ``rob_entries`` instructions old, the reorder buffer has filled and
+  retirement stalls until that miss returns.
+
+Instruction throughput when not memory-bound is ``fetch_width``-limited and
+scaled by the profile's ``base_cpi``.  The miss stream itself comes from an
+:class:`~repro.host.traffic.AddressStreamGenerator`.  IPC (the paper's host
+metric) is ``instructions_retired / cpu_cycles``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import HostConfig
+from repro.host.profiles import BenchmarkProfile
+from repro.host.traffic import AddressStreamGenerator
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass
+class _OutstandingMiss:
+    phys: int
+    issued_at_instruction: float
+    is_blocking: bool = False
+
+
+class CoreModel:
+    """One host core running one benchmark profile."""
+
+    def __init__(self, core_id: int, profile: BenchmarkProfile,
+                 traffic: AddressStreamGenerator, host_config: HostConfig,
+                 rng: DeterministicRng) -> None:
+        self.core_id = core_id
+        self.profile = profile
+        self.traffic = traffic
+        self.host_config = host_config
+        self.rng = rng
+
+        self.instructions_retired = 0.0
+        self.cpu_cycles = 0.0
+        self.stall_cycles = 0.0
+        self._cycle_budget = 0.0
+        self._instructions_to_next_miss = self._draw_miss_gap()
+        self._outstanding: List[_OutstandingMiss] = []
+        self._pending_requests: List[Tuple[int, bool]] = []
+        self.reads_issued = 0
+        self.writes_issued = 0
+        self.misses_completed = 0
+
+    # ------------------------------------------------------------------ #
+    # Miss-stream plumbing
+    # ------------------------------------------------------------------ #
+
+    def _draw_miss_gap(self) -> float:
+        """Instructions until the next LLC miss (exponential around 1000/MPKI)."""
+        mean = self.profile.instructions_per_miss()
+        if mean == float("inf"):
+            return float("inf")
+        return max(1.0, self.rng.expovariate(1.0 / mean))
+
+    def _issue_miss(self) -> None:
+        phys, is_write = self.traffic.next_access()
+        self._pending_requests.append((phys, is_write))
+        if is_write:
+            self.writes_issued += 1
+            # Posted writebacks do not occupy the core's miss window.
+        else:
+            self.reads_issued += 1
+            self._outstanding.append(
+                _OutstandingMiss(phys, self.instructions_retired)
+            )
+        self._instructions_to_next_miss = self._draw_miss_gap()
+
+    def notify_completion(self, phys: int) -> None:
+        """Called by the system when a demand read for this core returns."""
+        for i, miss in enumerate(self._outstanding):
+            if miss.phys == phys:
+                del self._outstanding[i]
+                self.misses_completed += 1
+                return
+        # Completion for a request we no longer track (e.g. after reset).
+
+    # ------------------------------------------------------------------ #
+    # Stall conditions
+    # ------------------------------------------------------------------ #
+
+    def _rob_blocked(self) -> bool:
+        if not self._outstanding:
+            return False
+        oldest = self._outstanding[0]
+        age = self.instructions_retired - oldest.issued_at_instruction
+        return age >= self.host_config.rob_entries
+
+    def _mlp_blocked(self) -> bool:
+        return len(self._outstanding) >= self.profile.mlp
+
+    @property
+    def stalled(self) -> bool:
+        return self._rob_blocked()
+
+    # ------------------------------------------------------------------ #
+    # Cycle advance
+    # ------------------------------------------------------------------ #
+
+    def tick(self, cpu_cycles: float) -> List[Tuple[int, bool]]:
+        """Advance the core by ``cpu_cycles`` CPU cycles.
+
+        Returns the (physical address, is_write) memory transactions the core
+        generated during this interval; the caller is responsible for sending
+        them to the memory controllers (and may apply back-pressure by simply
+        re-presenting the core's requests next cycle — see the system model).
+        """
+        self.cpu_cycles += cpu_cycles
+        self._cycle_budget += cpu_cycles
+        max_ipc = min(float(self.host_config.fetch_width),
+                      1.0 / max(self.profile.base_cpi, 1e-6))
+
+        while self._cycle_budget >= 1.0:
+            self._cycle_budget -= 1.0
+            if self._rob_blocked():
+                self.stall_cycles += 1.0
+                continue
+            retire = max_ipc
+            if self._mlp_blocked():
+                # The core can still retire underneath outstanding misses but
+                # cannot expose new ones; model the issue-bandwidth loss.
+                retire *= 0.5
+            # Stop retirement at the next miss point.
+            if (self._instructions_to_next_miss <= retire
+                    and not self._mlp_blocked()):
+                self.instructions_retired += self._instructions_to_next_miss
+                self._issue_miss()
+            else:
+                self.instructions_retired += retire
+                if self._instructions_to_next_miss != float("inf"):
+                    self._instructions_to_next_miss -= retire
+
+        issued = self._pending_requests
+        self._pending_requests = []
+        return issued
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ipc(self) -> float:
+        if self.cpu_cycles <= 0:
+            return 0.0
+        return self.instructions_retired / self.cpu_cycles
+
+    @property
+    def outstanding_misses(self) -> int:
+        return len(self._outstanding)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "ipc": self.ipc,
+            "instructions": self.instructions_retired,
+            "cpu_cycles": self.cpu_cycles,
+            "stall_cycles": self.stall_cycles,
+            "reads": self.reads_issued,
+            "writes": self.writes_issued,
+            "outstanding": float(len(self._outstanding)),
+        }

@@ -1,0 +1,60 @@
+"""Stride prefetcher (the paper's LLC uses one, Table II)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class _StrideEntry:
+    last_addr: int
+    stride: int
+    confidence: int
+
+
+class StridePrefetcher:
+    """A per-PC (here: per-stream-id) stride prefetcher.
+
+    Tracks the stride between successive accesses of each stream; once the
+    same stride repeats ``threshold`` times, it emits prefetch candidates
+    ``degree`` strides ahead.
+    """
+
+    def __init__(self, table_entries: int = 64, threshold: int = 2,
+                 degree: int = 2) -> None:
+        if table_entries <= 0 or threshold <= 0 or degree <= 0:
+            raise ValueError("prefetcher parameters must be positive")
+        self.table_entries = table_entries
+        self.threshold = threshold
+        self.degree = degree
+        self._table: Dict[int, _StrideEntry] = {}
+        self.issued_prefetches = 0
+        self.trained_streams = 0
+
+    def observe(self, stream_id: int, addr: int) -> List[int]:
+        """Record an access and return prefetch candidate addresses."""
+        entry = self._table.get(stream_id)
+        if entry is None:
+            if len(self._table) >= self.table_entries:
+                self._table.pop(next(iter(self._table)))
+            self._table[stream_id] = _StrideEntry(addr, 0, 0)
+            return []
+        stride = addr - entry.last_addr
+        if stride != 0 and stride == entry.stride:
+            entry.confidence = min(entry.confidence + 1, self.threshold + 2)
+        else:
+            if entry.confidence > 0:
+                entry.confidence -= 1
+            entry.stride = stride
+        entry.last_addr = addr
+        if entry.confidence >= self.threshold and entry.stride != 0:
+            if entry.confidence == self.threshold:
+                self.trained_streams += 1
+            prefetches = [addr + entry.stride * (i + 1) for i in range(self.degree)]
+            self.issued_prefetches += len(prefetches)
+            return [p for p in prefetches if p >= 0]
+        return []
+
+    def reset(self) -> None:
+        self._table.clear()

@@ -1,0 +1,12 @@
+"""Host-side memory controller: FR-FCFS scheduling over DDR4 channels."""
+
+from repro.memctrl.request import MemoryRequest, RequestQueue
+from repro.memctrl.frfcfs import FrFcfsScheduler
+from repro.memctrl.controller import ChannelController
+
+__all__ = [
+    "MemoryRequest",
+    "RequestQueue",
+    "FrFcfsScheduler",
+    "ChannelController",
+]

@@ -1,0 +1,230 @@
+"""Per-channel host memory controller.
+
+Implements the paper's host memory controller configuration (Table II):
+FR-FCFS scheduling, 32-entry read and write queues, open-page row policy and
+write draining with high/low watermarks.  The controller issues at most one
+DRAM command per cycle over the channel's command/address bus and exposes the
+queue state the NDA-side next-rank predictor inspects (Section III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import SchedulerConfig
+from repro.dram.commands import Command, CommandType, DramAddress, RequestSource
+from repro.dram.device import DramSystem
+from repro.memctrl.frfcfs import FrFcfsScheduler
+from repro.memctrl.request import MemoryRequest, RequestQueue
+from repro.utils.stats import Counter, WindowedStat
+
+
+@dataclass
+class _PendingCompletion:
+    cycle: int
+    request: MemoryRequest
+
+
+class ChannelController:
+    """FR-FCFS memory controller for one channel."""
+
+    def __init__(self, channel: int, dram: DramSystem,
+                 config: Optional[SchedulerConfig] = None) -> None:
+        self.channel = channel
+        self.dram = dram
+        self.config = config or SchedulerConfig()
+        self.read_queue = RequestQueue(self.config.read_queue_entries)
+        self.write_queue = RequestQueue(self.config.write_queue_entries)
+        self.scheduler = FrFcfsScheduler(dram)
+        self.counters = Counter()
+        self.read_latency = WindowedStat()
+        self._completions: List[_PendingCompletion] = []
+        self._draining_writes = False
+        self._last_issue_was_write = False
+        #: (cycle, rank) of the most recent command issued on this channel;
+        #: the concurrent-access scheduler uses it to gate NDA issue.
+        self.last_issue_cycle: int = -1
+        self.last_issue_rank: int = -1
+
+    # ------------------------------------------------------------------ #
+    # Enqueue interface (used by the host model and the runtime)
+    # ------------------------------------------------------------------ #
+
+    def can_accept(self, is_write: bool) -> bool:
+        queue = self.write_queue if is_write else self.read_queue
+        return not queue.full
+
+    def enqueue(self, request: MemoryRequest, now: int) -> bool:
+        """Add a request; returns False (request rejected) when the queue is full."""
+        if request.addr.channel != self.channel:
+            raise ValueError(
+                f"request for channel {request.addr.channel} sent to controller "
+                f"{self.channel}"
+            )
+        queue = self.write_queue if request.is_write else self.read_queue
+        if queue.full:
+            self.counters.add("queue_full_rejects")
+            return False
+        request.arrival_cycle = now
+        if request.is_read:
+            # Read forwarding from a queued write to the same line.
+            forward = self.write_queue.find_write_to(request.addr)
+            if forward is not None:
+                self.counters.add("read_forwards")
+                request.complete(now)
+                return True
+        queue.push(request)
+        self.counters.add("write_enqueued" if request.is_write else "read_enqueued")
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Queries used by the NDA controllers (next-rank prediction)
+    # ------------------------------------------------------------------ #
+
+    def oldest_pending_read_rank(self) -> Optional[int]:
+        """Rank targeted by the oldest queued read, if any (Section III-B)."""
+        oldest = self.read_queue.oldest()
+        if oldest is None:
+            return None
+        return oldest.addr.rank
+
+    def pending_requests_for_rank(self, rank: int) -> int:
+        return (sum(1 for r in self.read_queue if r.addr.rank == rank)
+                + sum(1 for r in self.write_queue if r.addr.rank == rank))
+
+    @property
+    def queued_reads(self) -> int:
+        return len(self.read_queue)
+
+    @property
+    def queued_writes(self) -> int:
+        return len(self.write_queue)
+
+    # ------------------------------------------------------------------ #
+    # Cycle advance
+    # ------------------------------------------------------------------ #
+
+    def tick(self, now: int) -> List[MemoryRequest]:
+        """Advance one DRAM cycle; returns requests that completed this cycle."""
+        completed = self._collect_completions(now)
+        if self._issue_refresh_if_due(now):
+            return completed
+        self._update_drain_mode()
+        request_cmd = self._pick(now)
+        if request_cmd is not None:
+            request, cmd = request_cmd
+            self._issue_for_request(request, cmd, now)
+        return completed
+
+    # -- internals -------------------------------------------------------- #
+
+    def _collect_completions(self, now: int) -> List[MemoryRequest]:
+        done = [p.request for p in self._completions if p.cycle <= now]
+        if done:
+            self._completions = [p for p in self._completions if p.cycle > now]
+            for request in done:
+                request.complete(now)
+                if request.is_read:
+                    self.read_latency.add(request.completed_cycle - request.arrival_cycle)
+        return done
+
+    def _issue_refresh_if_due(self, now: int) -> bool:
+        """Handle refresh for any rank of this channel that is due."""
+        if not self.config.refresh_enabled:
+            return False
+        for rank in range(self.dram.org.ranks_per_channel):
+            if not self.dram.refresh_due(self.channel, rank, now):
+                continue
+            # All banks must be precharged before REF.
+            for bank in self.dram.banks_of_rank(self.channel, rank):
+                if bank.is_open():
+                    addr = DramAddress(self.channel, rank, bank.bank_group,
+                                       bank.bank, bank.open_row or 0, 0)
+                    cmd = Command(CommandType.PRE, addr, RequestSource.HOST)
+                    if self.dram.can_issue(cmd, now):
+                        self.dram.issue(cmd, now)
+                        self._note_issue(now, rank)
+                        self.counters.add("refresh_precharges")
+                        return True
+                    return False  # wait for the precharge to become legal
+            addr = DramAddress(self.channel, rank, 0, 0, 0, 0)
+            cmd = Command(CommandType.REF, addr, RequestSource.HOST)
+            if self.dram.can_issue(cmd, now):
+                self.dram.issue(cmd, now)
+                self._note_issue(now, rank)
+                self.counters.add("refreshes")
+                return True
+            return False
+        return False
+
+    def _update_drain_mode(self) -> None:
+        high = self.config.write_drain_high_watermark
+        low = self.config.write_drain_low_watermark
+        if not self._draining_writes:
+            if (self.write_queue.occupancy >= high
+                    or (not self.read_queue and self.write_queue)):
+                self._draining_writes = True
+                self.counters.add("drain_entries")
+        else:
+            if self.write_queue.occupancy <= low or not self.write_queue:
+                self._draining_writes = False
+
+    def _pick(self, now: int) -> Optional[Tuple[MemoryRequest, Command]]:
+        primary, secondary = (
+            (self.write_queue, self.read_queue) if self._draining_writes
+            else (self.read_queue, self.write_queue)
+        )
+        choice = self.scheduler.select(primary, now)
+        if choice is not None:
+            return choice
+        # Serve the other queue opportunistically so the channel is not idle.
+        return self.scheduler.select(secondary, now)
+
+    def _issue_for_request(self, request: MemoryRequest, cmd: Command,
+                           now: int) -> None:
+        if not request.outcome_recorded:
+            self.dram.record_access_outcome(request.addr, request.is_write,
+                                            is_nda=False)
+            request.outcome_recorded = True
+        self.dram.issue(cmd, now)
+        self._note_issue(now, cmd.addr.rank)
+        self.counters.add(f"cmd_{cmd.kind.name.lower()}")
+        if cmd.kind is CommandType.RD:
+            request.issued_cycle = now
+            self.read_queue.remove(request)
+            self._completions.append(
+                _PendingCompletion(now + self.dram.read_latency(), request)
+            )
+            self._last_issue_was_write = False
+        elif cmd.kind is CommandType.WR:
+            request.issued_cycle = now
+            self.write_queue.remove(request)
+            # Writes are posted: the transaction is complete once the data
+            # has been driven onto the bus.
+            self._completions.append(
+                _PendingCompletion(now + self.dram.write_latency(), request)
+            )
+            if not self._last_issue_was_write:
+                self.counters.add("read_write_turnarounds")
+            self._last_issue_was_write = True
+
+    def _note_issue(self, now: int, rank: int) -> None:
+        self.last_issue_cycle = now
+        self.last_issue_rank = rank
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.read_queue) + len(self.write_queue) + len(self._completions)
+
+    def busy(self) -> bool:
+        return self.outstanding > 0
+
+    def stats(self) -> Dict[str, float]:
+        data = dict(self.counters.as_dict())
+        data["avg_read_latency"] = self.read_latency.mean
+        return data

@@ -1,0 +1,47 @@
+"""FR-FCFS request selection (Rixner et al., used by the paper's host MC).
+
+First-Ready, First-Come-First-Served: among queued requests, prefer one whose
+*next required DRAM command* is issuable this cycle and whose access is a
+row-buffer hit; fall back to the oldest request whose next command is
+issuable; otherwise pick nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.dram.commands import Command, CommandType, RequestSource
+from repro.dram.device import DramSystem
+from repro.memctrl.request import MemoryRequest
+
+
+class FrFcfsScheduler:
+    """Selects the next request to serve and the command to issue for it."""
+
+    def __init__(self, dram: DramSystem) -> None:
+        self.dram = dram
+
+    def next_command_for(self, request: MemoryRequest,
+                         now: int) -> Optional[Command]:
+        """The next command required by ``request`` if issuable now, else None."""
+        kind = self.dram.required_command(request.addr, request.is_write)
+        cmd = Command(kind, request.addr, RequestSource.HOST,
+                      request_id=request.request_id)
+        if self.dram.can_issue(cmd, now):
+            return cmd
+        return None
+
+    def select(self, requests: Iterable[MemoryRequest],
+               now: int) -> Optional[Tuple[MemoryRequest, Command]]:
+        """Pick (request, command) per FR-FCFS, or None if nothing can issue."""
+        fallback: Optional[Tuple[MemoryRequest, Command]] = None
+        for request in requests:  # iteration order == arrival order
+            is_hit = self.dram.row_hit_possible(request.addr)
+            cmd = self.next_command_for(request, now)
+            if cmd is None:
+                continue
+            if is_hit and cmd.kind in (CommandType.RD, CommandType.WR):
+                return request, cmd
+            if fallback is None:
+                fallback = (request, cmd)
+        return fallback

@@ -1,0 +1,98 @@
+"""Memory request and transaction-queue types."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from repro.dram.commands import DramAddress
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class MemoryRequest:
+    """One host memory transaction (a cache-line read or write).
+
+    ``on_complete`` is invoked with the completion cycle when the data
+    transfer finishes (reads) or the write has been accepted by the DRAM
+    (writes); the host core model uses it to unblock the issuing core.
+    """
+
+    addr: DramAddress
+    is_write: bool
+    phys: int = 0
+    core_id: int = -1
+    arrival_cycle: int = 0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    on_complete: Optional[Callable[[int], None]] = None
+
+    outcome_recorded: bool = False
+    issued_cycle: Optional[int] = None
+    completed_cycle: Optional[int] = None
+
+    @property
+    def is_read(self) -> bool:
+        return not self.is_write
+
+    def complete(self, cycle: int) -> None:
+        self.completed_cycle = cycle
+        if self.on_complete is not None:
+            self.on_complete(cycle)
+
+    def latency(self) -> Optional[int]:
+        if self.completed_cycle is None:
+            return None
+        return self.completed_cycle - self.arrival_cycle
+
+
+class RequestQueue:
+    """A bounded FIFO transaction queue preserving arrival order."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self._entries: List[MemoryRequest] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[MemoryRequest]:
+        return iter(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def occupancy(self) -> float:
+        return len(self._entries) / self.capacity
+
+    def push(self, request: MemoryRequest) -> bool:
+        """Append a request; returns False (and drops nothing) when full."""
+        if self.full:
+            return False
+        self._entries.append(request)
+        return True
+
+    def remove(self, request: MemoryRequest) -> None:
+        self._entries.remove(request)
+
+    def oldest(self) -> Optional[MemoryRequest]:
+        return self._entries[0] if self._entries else None
+
+    def find_same_bank(self, addr: DramAddress) -> List[MemoryRequest]:
+        """Requests targeting the same bank as ``addr`` (row-policy decisions)."""
+        return [r for r in self._entries if r.addr.same_bank(addr)]
+
+    def find_write_to(self, addr: DramAddress) -> Optional[MemoryRequest]:
+        """A queued write to the same cache line (read forwarding), if any."""
+        for r in self._entries:
+            if (r.is_write and r.addr == addr):
+                return r
+        return None

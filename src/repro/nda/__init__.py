@@ -1,0 +1,41 @@
+"""Near-data accelerator hardware model.
+
+One processing element (PE) per DRAM chip sits on the logic die of each
+3DS-style chip stack; a per-rank NDA memory controller gives the PEs access
+to their local rank without using the host channel (paper Figures 1 and 7).
+This package models the NDA ISA (Table I), the PE execution flow (Figure 9),
+the per-rank NDA memory controller with its write buffer, the write-throttle
+policies of Section III-B and the replicated-FSM state tracking of
+Section III-D.
+"""
+
+from repro.nda.isa import NdaOpcode, NdaInstruction, OPCODE_TRAITS, OpcodeTraits
+from repro.nda.pe import ProcessingElement
+from repro.nda.write_buffer import NdaWriteBuffer
+from repro.nda.throttle import (
+    WriteThrottlePolicy,
+    IssueIfIdlePolicy,
+    StochasticIssuePolicy,
+    NextRankPredictionPolicy,
+)
+from repro.nda.fsm import NdaFsmState, ReplicatedFsm
+from repro.nda.controller import NdaRankController
+from repro.nda.launch import NdaPacket, NdaHostController
+
+__all__ = [
+    "NdaOpcode",
+    "NdaInstruction",
+    "OPCODE_TRAITS",
+    "OpcodeTraits",
+    "ProcessingElement",
+    "NdaWriteBuffer",
+    "WriteThrottlePolicy",
+    "IssueIfIdlePolicy",
+    "StochasticIssuePolicy",
+    "NextRankPredictionPolicy",
+    "NdaFsmState",
+    "ReplicatedFsm",
+    "NdaRankController",
+    "NdaPacket",
+    "NdaHostController",
+]

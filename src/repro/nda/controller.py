@@ -1,0 +1,359 @@
+"""Per-rank NDA memory controller.
+
+Each rank's NDA controller executes coarse-grain NDA instructions by
+streaming their operands through the rank's banks (PE execution flow of
+Figure 9): per 1 KiB-per-chip batch it reads each input operand's row,
+stages the result cache lines in the write buffer, and drains the buffer
+opportunistically.  The controller issues DRAM commands *locally* (they use
+rank-internal bandwidth, not the channel), always defers to host traffic on
+its rank, never issues a row command against a bank with pending host
+requests, and applies the configured write-throttle policy to drains
+(Sections III-B and V).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.config import NdaConfig
+from repro.dram.commands import Command, CommandType, DramAddress, RequestSource
+from repro.dram.device import DramSystem
+from repro.nda.fsm import ReplicatedFsm
+from repro.nda.isa import NdaInstruction, NdaOpcode
+from repro.nda.pe import ProcessingElement
+from repro.nda.throttle import IssueIfIdlePolicy, WriteThrottlePolicy
+from repro.nda.write_buffer import NdaWriteBuffer
+
+
+@dataclass
+class RankWorkItem:
+    """An NDA instruction bound to concrete banks/rows of one rank.
+
+    ``operand_banks``/``operand_base_rows`` give, for every streamed input
+    operand, the flat bank index and the starting row; ``output_bank`` and
+    ``output_base_row`` locate the result vector (``None`` for reductions).
+    ``on_complete`` is invoked with the completion cycle.
+    """
+
+    instruction: NdaInstruction
+    operand_banks: List[int]
+    operand_base_rows: List[int]
+    output_bank: Optional[int] = None
+    output_base_row: Optional[int] = None
+    on_complete: Optional[Callable[[int], None]] = None
+    launched_cycle: int = 0
+    completed_cycle: Optional[int] = None
+
+
+class _ExecutionState:
+    """Progress of the work item currently executing on a rank."""
+
+    def __init__(self, work: RankWorkItem, columns_per_row: int) -> None:
+        self.work = work
+        self.columns_per_row = columns_per_row
+        instruction = work.instruction
+        self.total_read_columns = instruction.read_cache_blocks
+        self.total_write_columns = instruction.write_cache_blocks
+        self.reads_issued = 0
+        self.writes_staged = 0
+        self.writes_drained = 0
+        # Index of the last read / drained write whose row-buffer outcome has
+        # been classified (each access is classified once, on first attempt).
+        self.read_attempted_idx = -1
+        self.write_attempted_idx = -1
+        # Read phase bookkeeping: operands are streamed one row (batch) at a
+        # time, operand after operand within a batch.
+        self.num_operands = max(1, len(work.operand_banks))
+        per_operand = (self.total_read_columns + self.num_operands - 1) // self.num_operands
+        self.columns_per_operand = max(1, per_operand)
+
+    # -- reads ------------------------------------------------------------ #
+
+    @property
+    def reads_done(self) -> bool:
+        return self.reads_issued >= self.total_read_columns
+
+    def next_read(self) -> Tuple[int, int, int]:
+        """(flat bank, row, column) of the next read access."""
+        # Column index within the whole instruction, mapped to operand and
+        # then to (row, column) within the operand's row sequence.
+        idx = self.reads_issued
+        batch_cols = self.columns_per_row
+        batch = idx // (self.num_operands * batch_cols)
+        within = idx % (self.num_operands * batch_cols)
+        operand = within // batch_cols
+        column = within % batch_cols
+        operand = min(operand, self.num_operands - 1)
+        bank = self.work.operand_banks[operand]
+        row = self.work.operand_base_rows[operand] + batch
+        return bank, row, column
+
+    def advance_read(self) -> None:
+        self.reads_issued += 1
+
+    # -- writes ------------------------------------------------------------ #
+
+    @property
+    def writes_all_staged(self) -> bool:
+        return self.writes_staged >= self.total_write_columns
+
+    @property
+    def writes_done(self) -> bool:
+        return self.writes_drained >= self.total_write_columns
+
+    def next_write(self) -> Tuple[int, int, int]:
+        idx = self.writes_staged
+        column = idx % self.columns_per_row
+        row_offset = idx // self.columns_per_row
+        bank = self.work.output_bank if self.work.output_bank is not None else 0
+        base_row = self.work.output_base_row or 0
+        return bank, base_row + row_offset, column
+
+    def advance_write_staged(self) -> None:
+        self.writes_staged += 1
+
+    def advance_write_drained(self) -> None:
+        self.writes_drained += 1
+
+    @property
+    def complete(self) -> bool:
+        return self.reads_done and self.writes_done
+
+    def write_stage_allowed(self) -> bool:
+        """Results may only be staged for data that has been read (pipelined)."""
+        if self.total_write_columns == 0:
+            return False
+        read_progress = self.reads_issued / max(1, self.total_read_columns)
+        write_progress = self.writes_staged / max(1, self.total_write_columns)
+        return write_progress < read_progress or self.reads_done
+
+
+class NdaRankController:
+    """NDA memory controller and PE group of one rank."""
+
+    def __init__(self, channel: int, rank: int, dram: DramSystem,
+                 config: Optional[NdaConfig] = None,
+                 allowed_banks: Optional[List[int]] = None,
+                 throttle: Optional[WriteThrottlePolicy] = None,
+                 host_pending_to_bank: Optional[Callable[[int, int, int], bool]] = None,
+                 ) -> None:
+        self.channel = channel
+        self.rank = rank
+        self.dram = dram
+        self.config = config or NdaConfig()
+        self.allowed_banks = allowed_banks or list(range(dram.org.banks_per_rank))
+        self.throttle = throttle or IssueIfIdlePolicy()
+        self._host_pending_to_bank = host_pending_to_bank
+        self.write_buffer = NdaWriteBuffer(self.config.write_buffer_entries)
+        self.fsm = ReplicatedFsm(channel, rank)
+        self.pes = [ProcessingElement(chip, self.config)
+                    for chip in range(dram.org.chips_per_rank)]
+        self._queue: Deque[RankWorkItem] = deque()
+        self._active: Optional[_ExecutionState] = None
+        # Statistics
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.commands_issued = 0
+        self.cycles_blocked_by_host = 0
+        self.cycles_blocked_by_throttle = 0
+        self.instructions_completed = 0
+
+    # ------------------------------------------------------------------ #
+    # Work submission
+    # ------------------------------------------------------------------ #
+
+    def enqueue(self, work: RankWorkItem, now: int = 0) -> None:
+        work.launched_cycle = now
+        self._queue.append(work)
+
+    @property
+    def pending_instructions(self) -> int:
+        return len(self._queue) + (1 if self._active is not None else 0)
+
+    @property
+    def busy(self) -> bool:
+        return self._active is not None or bool(self._queue)
+
+    def set_throttle(self, policy: WriteThrottlePolicy) -> None:
+        self.throttle = policy
+
+    # ------------------------------------------------------------------ #
+    # Cycle advance: called by the system when the rank may issue an NDA
+    # command (the host did not use the rank this cycle).
+    # ------------------------------------------------------------------ #
+
+    def try_issue(self, now: int) -> bool:
+        """Attempt to issue one NDA DRAM command; returns True on issue."""
+        self._refill(now)
+        state = self._active
+        if state is None:
+            return False
+
+        # Drain has priority when the buffer asks for it or reads are done.
+        if not self.write_buffer.empty and (self.write_buffer.draining
+                                            or state.reads_done):
+            if self._try_drain_write(now, state):
+                return True
+            # A blocked drain should not starve remaining reads forever.
+        if not state.reads_done:
+            if self._try_read(now, state):
+                return True
+        # Stage produced results into the write buffer (no DRAM command) and
+        # retry the drain path if reads cannot make progress.
+        self._stage_writes(state)
+        if not self.write_buffer.empty and state.reads_done:
+            return self._try_drain_write(now, state)
+        return False
+
+    def post_cycle(self, now: int) -> None:
+        """End-of-cycle bookkeeping: staging, completion detection."""
+        state = self._active
+        if state is None:
+            return
+        self._stage_writes(state)
+        if state.reads_done and self.write_buffer.empty and state.writes_done:
+            self._complete_active(now)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _refill(self, now: int) -> None:
+        if self._active is not None or not self._queue:
+            return
+        work = self._queue.popleft()
+        self._active = _ExecutionState(work, self.dram.org.columns_per_row)
+        self.fsm.apply(
+            "launch",
+            instruction_id=work.instruction.instruction_id,
+            reads=self._active.total_read_columns,
+            writes=self._active.total_write_columns,
+        )
+        for pe in self.pes:
+            if not pe.busy:
+                pe.start(work.instruction)
+
+    def _addr(self, flat_bank: int, row: int, column: int) -> DramAddress:
+        banks_per_group = self.dram.org.banks_per_group
+        row &= self.dram.org.rows_per_bank - 1
+        column %= self.dram.org.columns_per_row
+        return DramAddress(
+            channel=self.channel,
+            rank=self.rank,
+            bank_group=flat_bank // banks_per_group,
+            bank=flat_bank % banks_per_group,
+            row=row,
+            column=column,
+        )
+
+    def _host_wants_bank(self, addr: DramAddress) -> bool:
+        if self._host_pending_to_bank is None:
+            return False
+        flat = addr.bank_group * self.dram.org.banks_per_group + addr.bank
+        return self._host_pending_to_bank(self.channel, self.rank, flat)
+
+    def _issue_toward(self, addr: DramAddress, is_write: bool, now: int,
+                      classify: bool = False) -> bool:
+        """Issue the next command (PRE/ACT/column) needed for an access.
+
+        Returns True when the *column* command issued (the access finished);
+        row commands return False so the caller knows the access is still
+        pending, but they do consume this cycle's issue slot.  ``classify``
+        records the row-buffer outcome of the access (hit/miss/conflict) the
+        first time the access is attempted.
+        """
+        kind = self.dram.required_command(addr, is_write)
+        cmd = Command(kind, addr, RequestSource.NDA)
+        if classify:
+            self.dram.record_access_outcome(addr, is_write, is_nda=True)
+        if kind.is_row and self._host_wants_bank(addr):
+            # Host row commands take priority on contended banks.
+            self.cycles_blocked_by_host += 1
+            return False
+        if not self.dram.can_issue(cmd, now):
+            return False
+        self.dram.issue(cmd, now)
+        self.commands_issued += 1
+        return kind.is_column
+
+    def _try_read(self, now: int, state: _ExecutionState) -> bool:
+        bank, row, column = state.next_read()
+        addr = self._addr(bank, row, column)
+        classify = state.reads_issued > state.read_attempted_idx
+        state.read_attempted_idx = state.reads_issued
+        issued_column = self._issue_toward(addr, is_write=False, now=now,
+                                           classify=classify)
+        if issued_column:
+            state.advance_read()
+            self.bytes_read += self.dram.org.cacheline_bytes
+            self.fsm.apply("read_issued")
+            return True
+        return False
+
+    def _stage_writes(self, state: _ExecutionState) -> None:
+        while (not state.writes_all_staged and state.write_stage_allowed()
+               and not self.write_buffer.full):
+            bank, row, column = state.next_write()
+            if self.write_buffer.push(self._addr(bank, row, column)):
+                state.advance_write_staged()
+                self.fsm.apply("write_buffered")
+            else:  # pragma: no cover - full buffer already checked
+                break
+        if state.reads_done and not self.write_buffer.empty:
+            if not self.write_buffer.draining:
+                self.write_buffer.force_drain()
+                self.fsm.apply("drain_start")
+
+    def _try_drain_write(self, now: int, state: _ExecutionState) -> bool:
+        addr = self.write_buffer.peek()
+        if addr is None:
+            return False
+        if not self.throttle.allow_write(self.channel, self.rank, now):
+            self.cycles_blocked_by_throttle += 1
+            return False
+        classify = state.writes_drained > state.write_attempted_idx
+        state.write_attempted_idx = state.writes_drained
+        issued_column = self._issue_toward(addr, is_write=True, now=now,
+                                           classify=classify)
+        if issued_column:
+            self.write_buffer.pop()
+            state.advance_write_drained()
+            self.bytes_written += self.dram.org.cacheline_bytes
+            self.fsm.apply("write_drained")
+            return True
+        return False
+
+    def _complete_active(self, now: int) -> None:
+        state = self._active
+        assert state is not None
+        work = state.work
+        work.completed_cycle = now
+        self._active = None
+        self.instructions_completed += 1
+        self.fsm.apply("complete")
+        for pe in self.pes:
+            if pe.busy:
+                pe.finish()
+        if work.on_complete is not None:
+            work.on_complete(now)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "commands": self.commands_issued,
+            "instructions_completed": self.instructions_completed,
+            "blocked_by_host": self.cycles_blocked_by_host,
+            "blocked_by_throttle": self.cycles_blocked_by_throttle,
+            "write_buffer_occupancy": len(self.write_buffer),
+        }

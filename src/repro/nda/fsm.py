@@ -1,0 +1,144 @@
+"""Replicated NDA finite-state machines (paper Section III-D).
+
+When the host directly controls the DRAM devices (a non-packetized DDR4
+interface), both the host memory controller and the per-rank NDA memory
+controllers must agree on bank and timing state.  Chopim achieves this
+without any NDA-to-host signaling by replicating the NDA controller FSM on
+the host side: because every NDA access is a deterministic function of the
+launched NDA operation and of the host's own traffic, the two copies evolve
+identically once synchronized at launch.
+
+The :class:`ReplicatedFsm` here holds two :class:`NdaFsmState` copies — the
+"device side" and the "host side" — applies every event to both through the
+same transition function, and can verify they never diverge (the property the
+paper relies on, checked by our tests every cycle in debug mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class NdaFsmState:
+    """The architectural state mirrored between the NDA and host controllers.
+
+    The paper reports this as a 40-byte microcode store plus 20 bytes of
+    state registers per rank; the fields here correspond to those registers.
+    """
+
+    current_instruction: Optional[int] = None   # instruction id, None when idle
+    reads_remaining: int = 0
+    writes_remaining: int = 0
+    write_buffer_occupancy: int = 0
+    draining: bool = False
+    instructions_completed: int = 0
+
+    @property
+    def idle(self) -> bool:
+        return self.current_instruction is None
+
+    def as_tuple(self) -> Tuple:
+        return (self.current_instruction, self.reads_remaining,
+                self.writes_remaining, self.write_buffer_occupancy,
+                self.draining, self.instructions_completed)
+
+
+def _transition(state: NdaFsmState, event: str, **kwargs) -> NdaFsmState:
+    """The deterministic FSM transition function (shared by both copies)."""
+    if event == "launch":
+        return replace(
+            state,
+            current_instruction=kwargs["instruction_id"],
+            reads_remaining=kwargs["reads"],
+            writes_remaining=kwargs["writes"],
+            draining=False,
+        )
+    if event == "read_issued":
+        return replace(state, reads_remaining=max(0, state.reads_remaining - 1))
+    if event == "write_buffered":
+        return replace(state,
+                       write_buffer_occupancy=state.write_buffer_occupancy + 1)
+    if event == "write_drained":
+        occ = max(0, state.write_buffer_occupancy - 1)
+        return replace(
+            state,
+            write_buffer_occupancy=occ,
+            writes_remaining=max(0, state.writes_remaining - 1),
+            draining=state.draining and occ > 0,
+        )
+    if event == "drain_start":
+        return replace(state, draining=True)
+    if event == "drain_end":
+        return replace(state, draining=False)
+    if event == "complete":
+        return replace(
+            state,
+            current_instruction=None,
+            reads_remaining=0,
+            writes_remaining=0,
+            draining=False,
+            instructions_completed=state.instructions_completed + 1,
+        )
+    raise ValueError(f"unknown FSM event {event!r}")
+
+
+class FsmDivergenceError(Exception):
+    """Raised when the host-side and NDA-side FSM copies disagree."""
+
+
+class ReplicatedFsm:
+    """Two synchronized copies of one rank's NDA controller FSM."""
+
+    def __init__(self, channel: int, rank: int, check_every_event: bool = True) -> None:
+        self.channel = channel
+        self.rank = rank
+        self.check_every_event = check_every_event
+        self.device_state = NdaFsmState()
+        self.host_state = NdaFsmState()
+        self.events_applied = 0
+        self._log: List[str] = []
+
+    # ------------------------------------------------------------------ #
+
+    def apply(self, event: str, **kwargs) -> NdaFsmState:
+        """Apply an event to both copies (as the hardware would) and verify."""
+        self.device_state = _transition(self.device_state, event, **kwargs)
+        self.host_state = _transition(self.host_state, event, **kwargs)
+        self.events_applied += 1
+        self._log.append(event)
+        if self.check_every_event:
+            self.verify()
+        return self.device_state
+
+    def apply_device_only(self, event: str, **kwargs) -> None:
+        """Apply an event to the device copy only (used to *test* divergence
+        detection; real hardware never does this)."""
+        self.device_state = _transition(self.device_state, event, **kwargs)
+        self.events_applied += 1
+
+    def verify(self) -> None:
+        """Raise :class:`FsmDivergenceError` if the two copies differ."""
+        if self.device_state.as_tuple() != self.host_state.as_tuple():
+            raise FsmDivergenceError(
+                f"FSM divergence on ch{self.channel} rk{self.rank}: "
+                f"device={self.device_state} host={self.host_state}"
+            )
+
+    @property
+    def in_sync(self) -> bool:
+        return self.device_state.as_tuple() == self.host_state.as_tuple()
+
+    @property
+    def state(self) -> NdaFsmState:
+        """The (verified) shared state."""
+        return self.device_state
+
+    def recent_events(self, count: int = 16) -> List[str]:
+        return self._log[-count:]
+
+    @staticmethod
+    def storage_overhead_bytes() -> Tuple[int, int]:
+        """(microcode store, state registers) bytes per rank, from the paper."""
+        return (40, 20)

@@ -1,0 +1,20 @@
+"""OS memory-management model: buddy allocation, frame coloring, translation.
+
+Chopim relies on the OS for two things (Section III-A): coarse-grain
+allocation at system-row granularity (like huge pages) and physical-frame
+coloring so that all operands of an NDA instruction are rank-aligned.  This
+package models both on top of a buddy allocator, plus the host-based virtual
+address translation used when launching NDA operations (Section V).
+"""
+
+from repro.osmodel.buddy import BuddyAllocator, OutOfMemoryError
+from repro.osmodel.coloring import ColoredFrameAllocator
+from repro.osmodel.vm import PageTable, VirtualMemory
+
+__all__ = [
+    "BuddyAllocator",
+    "OutOfMemoryError",
+    "ColoredFrameAllocator",
+    "PageTable",
+    "VirtualMemory",
+]

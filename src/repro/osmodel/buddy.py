@@ -1,0 +1,133 @@
+"""Binary buddy allocator over a physical address range.
+
+The paper notes that coarse-grain (system-row / 2 MiB) allocation "is simple
+with the common buddy allocator if allocation granularity is also a system
+row".  This is that allocator: power-of-two block sizes, splitting on demand
+and coalescing buddies on free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+
+class OutOfMemoryError(Exception):
+    """Raised when an allocation cannot be satisfied."""
+
+
+def _round_up_pow2(value: int) -> int:
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()
+
+
+class BuddyAllocator:
+    """Buddy allocator over ``[base, base + size_bytes)``.
+
+    ``min_block`` is the smallest allocatable block (the page size); all
+    allocations are rounded up to a power-of-two multiple of it.
+    """
+
+    def __init__(self, base: int, size_bytes: int, min_block: int = 4096) -> None:
+        if size_bytes <= 0 or min_block <= 0:
+            raise ValueError("size_bytes and min_block must be positive")
+        if min_block & (min_block - 1):
+            raise ValueError("min_block must be a power of two")
+        if size_bytes % min_block:
+            raise ValueError("size_bytes must be a multiple of min_block")
+        if base % min_block:
+            raise ValueError("base must be aligned to min_block")
+        self.base = base
+        self.size_bytes = size_bytes
+        self.min_block = min_block
+        self.max_order = (size_bytes // min_block).bit_length() - 1
+        # free_lists[order] holds block offsets (relative to base) of free
+        # blocks of size min_block * 2**order.
+        self._free: List[Set[int]] = [set() for _ in range(self.max_order + 1)]
+        self._allocated: Dict[int, int] = {}  # offset -> order
+        offset = 0
+        remaining = size_bytes
+        while remaining >= min_block:
+            order = min(self.max_order, (remaining // min_block).bit_length() - 1)
+            block = min_block << order
+            self._free[order].add(offset)
+            offset += block
+            remaining -= block
+
+    # ------------------------------------------------------------------ #
+
+    def _order_for(self, size: int) -> int:
+        blocks = _round_up_pow2(max(1, (size + self.min_block - 1) // self.min_block))
+        order = blocks.bit_length() - 1
+        if order > self.max_order:
+            raise OutOfMemoryError(f"request of {size} bytes exceeds pool size")
+        return order
+
+    def allocate(self, size: int, alignment: Optional[int] = None) -> int:
+        """Allocate at least ``size`` bytes; returns the physical base address.
+
+        Buddy blocks are naturally aligned to their own size, which satisfies
+        any ``alignment`` up to the block size; larger alignments raise.
+        """
+        order = self._order_for(size)
+        block_size = self.min_block << order
+        if alignment is not None and alignment > block_size:
+            order = self._order_for(alignment)
+            block_size = self.min_block << order
+        offset = self._take_block(order)
+        self._allocated[offset] = order
+        return self.base + offset
+
+    def _take_block(self, order: int) -> int:
+        for o in range(order, self.max_order + 1):
+            if self._free[o]:
+                offset = min(self._free[o])
+                self._free[o].remove(offset)
+                # Split down to the requested order.
+                while o > order:
+                    o -= 1
+                    buddy = offset + (self.min_block << o)
+                    self._free[o].add(buddy)
+                return offset
+        raise OutOfMemoryError(
+            f"no free block of order {order} ({self.min_block << order} bytes)"
+        )
+
+    def free(self, addr: int) -> None:
+        offset = addr - self.base
+        if offset not in self._allocated:
+            raise ValueError(f"address {addr:#x} was not allocated by this pool")
+        order = self._allocated.pop(offset)
+        # Coalesce with the buddy while possible.
+        while order < self.max_order:
+            buddy = offset ^ (self.min_block << order)
+            if buddy in self._free[order]:
+                self._free[order].remove(buddy)
+                offset = min(offset, buddy)
+                order += 1
+            else:
+                break
+        self._free[order].add(offset)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self.min_block << order for order in self._allocated.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(len(blocks) * (self.min_block << order)
+                   for order, blocks in enumerate(self._free))
+
+    def fragmentation(self) -> float:
+        """1 - (largest free block / total free bytes); 0 when unfragmented."""
+        free_total = self.free_bytes
+        if free_total == 0:
+            return 0.0
+        largest = 0
+        for order in range(self.max_order, -1, -1):
+            if self._free[order]:
+                largest = self.min_block << order
+                break
+        return 1.0 - largest / free_total

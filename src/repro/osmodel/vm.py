@@ -1,0 +1,142 @@
+"""Virtual memory model: page tables and host-based translation for NDAs.
+
+NDA operations in Chopim are constrained to physical regions that are
+contiguous in the virtual address space; translation is performed by the host
+when an NDA command is launched, and the NDAs themselves only perform bounds
+checks (paper Section II, "Address Translation").  This module provides the
+page-table model the runtime uses for that translation, supporting both 4 KiB
+base pages and 2 MiB huge pages (the coarse-allocation granularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class TranslationError(Exception):
+    """Raised when a virtual address has no mapping or crosses a hole."""
+
+
+@dataclass(frozen=True)
+class PageMapping:
+    """One virtual-to-physical page mapping."""
+
+    virtual_base: int
+    physical_base: int
+    size_bytes: int
+
+    def contains(self, vaddr: int) -> bool:
+        return self.virtual_base <= vaddr < self.virtual_base + self.size_bytes
+
+    def translate(self, vaddr: int) -> int:
+        if not self.contains(vaddr):
+            raise TranslationError(f"vaddr {vaddr:#x} outside mapping")
+        return self.physical_base + (vaddr - self.virtual_base)
+
+
+class PageTable:
+    """A sorted collection of page mappings for one address space."""
+
+    def __init__(self, page_bytes: int = 4096) -> None:
+        if page_bytes <= 0 or page_bytes & (page_bytes - 1):
+            raise ValueError("page_bytes must be a positive power of two")
+        self.page_bytes = page_bytes
+        self._mappings: List[PageMapping] = []
+
+    def map(self, virtual_base: int, physical_base: int, size_bytes: int) -> None:
+        if virtual_base % self.page_bytes or size_bytes % self.page_bytes:
+            raise ValueError("mappings must be page-aligned and page-sized")
+        new = PageMapping(virtual_base, physical_base, size_bytes)
+        for existing in self._mappings:
+            if (new.virtual_base < existing.virtual_base + existing.size_bytes
+                    and existing.virtual_base < new.virtual_base + new.size_bytes):
+                raise ValueError("overlapping virtual mapping")
+        self._mappings.append(new)
+        self._mappings.sort(key=lambda m: m.virtual_base)
+
+    def unmap(self, virtual_base: int) -> None:
+        for i, m in enumerate(self._mappings):
+            if m.virtual_base == virtual_base:
+                del self._mappings[i]
+                return
+        raise ValueError(f"no mapping at {virtual_base:#x}")
+
+    def translate(self, vaddr: int) -> int:
+        for m in self._mappings:
+            if m.contains(vaddr):
+                return m.translate(vaddr)
+        raise TranslationError(f"no mapping for vaddr {vaddr:#x}")
+
+    def translate_range(self, vaddr: int, size: int) -> List[Tuple[int, int]]:
+        """Translate a virtual range into (physical base, length) extents."""
+        extents: List[Tuple[int, int]] = []
+        remaining = size
+        cursor = vaddr
+        while remaining > 0:
+            mapping = None
+            for m in self._mappings:
+                if m.contains(cursor):
+                    mapping = m
+                    break
+            if mapping is None:
+                raise TranslationError(f"range crosses unmapped vaddr {cursor:#x}")
+            available = mapping.virtual_base + mapping.size_bytes - cursor
+            take = min(available, remaining)
+            extents.append((mapping.translate(cursor), take))
+            cursor += take
+            remaining -= take
+        return extents
+
+    @property
+    def mapped_bytes(self) -> int:
+        return sum(m.size_bytes for m in self._mappings)
+
+    def mappings(self) -> List[PageMapping]:
+        return list(self._mappings)
+
+
+class VirtualMemory:
+    """A tiny process address-space model built on :class:`PageTable`.
+
+    The runtime uses it to obtain virtually-contiguous views over the
+    physically-colored frames the OS hands out, and to translate operand
+    origins to physical addresses at NDA-launch time.
+    """
+
+    def __init__(self, page_bytes: int = 4096,
+                 virtual_base: int = 0x1000_0000) -> None:
+        self.page_table = PageTable(page_bytes)
+        self.page_bytes = page_bytes
+        self._next_virtual = virtual_base
+
+    def map_frames(self, frames: List[int], frame_bytes: int) -> int:
+        """Map a list of physical frames contiguously; returns the virtual base."""
+        if not frames:
+            raise ValueError("no frames to map")
+        if frame_bytes % self.page_bytes:
+            raise ValueError("frame size must be a multiple of the page size")
+        base = self._next_virtual
+        vaddr = base
+        for frame in frames:
+            self.page_table.map(vaddr, frame, frame_bytes)
+            vaddr += frame_bytes
+        self._next_virtual = vaddr
+        return base
+
+    def translate(self, vaddr: int) -> int:
+        return self.page_table.translate(vaddr)
+
+    def translate_range(self, vaddr: int, size: int) -> List[Tuple[int, int]]:
+        return self.page_table.translate_range(vaddr, size)
+
+    def is_physically_contiguous(self, vaddr: int, size: int) -> bool:
+        extents = self.translate_range(vaddr, size)
+        if len(extents) <= 1:
+            return True
+        cursor = extents[0][0] + extents[0][1]
+        for base, length in extents[1:]:
+            if base != cursor:
+                return False
+            cursor = base + length
+        return True

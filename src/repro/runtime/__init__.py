@@ -1,0 +1,23 @@
+"""Chopim runtime: memory allocation, the NDA array API and async streams.
+
+The runtime is the software layer of Section V: it allocates NDA operands in
+colored, system-row-aligned shared regions so that coarse-grain NDA
+instructions find all their operands rank-aligned, translates operand origins
+to physical addresses at launch time, splits API calls into per-rank NDA
+operations, and supports blocking, asynchronous and macro (``parallel_for``)
+launches.
+"""
+
+from repro.runtime.allocator import SharedRegion, RuntimeAllocator
+from repro.runtime.api import ChopimRuntime, NdaMatrix, NdaVector
+from repro.runtime.stream import MacroOperation, NdaStream
+
+__all__ = [
+    "SharedRegion",
+    "RuntimeAllocator",
+    "ChopimRuntime",
+    "NdaVector",
+    "NdaMatrix",
+    "MacroOperation",
+    "NdaStream",
+]

@@ -1,0 +1,120 @@
+"""Runtime memory allocation: colored shared regions for NDA operands.
+
+A *shared region* is a set of system-row-aligned frames of one color mapped
+contiguously into the application's virtual address space.  All operands of
+one NDA instruction must come from regions of the same color; the runtime
+inserts copies otherwise (Section V).  In the paper's reference system there
+are 8 colors and each color corresponds to a 4 GiB region; here the counts
+follow the configured geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.addressing.bank_partition import BankPartitionMapping
+from repro.addressing.mapping import AddressMapping
+from repro.osmodel.coloring import ColoredFrameAllocator
+from repro.osmodel.vm import VirtualMemory
+
+
+@dataclass
+class SharedRegion:
+    """A colored, virtually contiguous region for NDA-visible data."""
+
+    region_id: int
+    color: Tuple[int, int]
+    virtual_base: int
+    size_bytes: int
+    frames: List[int]
+    frame_bytes: int
+    _cursor: int = 0
+
+    @property
+    def bytes_free(self) -> int:
+        return self.size_bytes - self._cursor
+
+    def reserve(self, size: int, alignment: int) -> int:
+        """Reserve ``size`` bytes inside the region; returns the virtual address."""
+        aligned = (self._cursor + alignment - 1) // alignment * alignment
+        if aligned + size > self.size_bytes:
+            raise MemoryError(
+                f"shared region {self.region_id} exhausted "
+                f"({size} bytes requested, {self.size_bytes - aligned} available)"
+            )
+        self._cursor = aligned + size
+        return self.virtual_base + aligned
+
+
+class RuntimeAllocator:
+    """Creates shared (colored) and private regions for the runtime."""
+
+    def __init__(self, mapping: AddressMapping, heap_base: int, heap_bytes: int,
+                 frame_bytes: int) -> None:
+        self.mapping = mapping
+        self.frame_bytes = frame_bytes
+        self.vm = VirtualMemory(page_bytes=4096)
+        self.frame_allocator = ColoredFrameAllocator(
+            mapping, heap_base, heap_bytes, frame_bytes
+        )
+        self._regions: List[SharedRegion] = []
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def for_mapping(cls, mapping: AddressMapping, frame_bytes: int,
+                    heap_fraction: float = 0.25) -> "RuntimeAllocator":
+        """Place the NDA heap at the top of the NDA-visible address space.
+
+        With bank partitioning the heap is the dedicated shared region
+        (reserved banks); otherwise it is carved from the top of the physical
+        address space.
+        """
+        if isinstance(mapping, BankPartitionMapping):
+            base = mapping.shared_base()
+            size = mapping.shared_capacity_bytes
+        else:
+            size = int(mapping.capacity_bytes * heap_fraction)
+            size = (size // frame_bytes) * frame_bytes
+            base = mapping.capacity_bytes - size
+        base = (base // frame_bytes) * frame_bytes
+        size = (size // frame_bytes) * frame_bytes
+        return cls(mapping, base, size, frame_bytes)
+
+    # ------------------------------------------------------------------ #
+
+    def available_colors(self) -> List[Tuple[int, int]]:
+        return self.frame_allocator.colors()
+
+    def create_region(self, size_bytes: int,
+                      color: Optional[Tuple[int, int]] = None) -> SharedRegion:
+        """Create a shared region of at least ``size_bytes`` of one color."""
+        frames = self.frame_allocator.allocate_bytes(size_bytes, color)
+        actual_color = self.frame_allocator.color_of(frames[0])
+        virtual_base = self.vm.map_frames(frames, self.frame_bytes)
+        region = SharedRegion(
+            region_id=len(self._regions),
+            color=actual_color,
+            virtual_base=virtual_base,
+            size_bytes=len(frames) * self.frame_bytes,
+            frames=frames,
+            frame_bytes=self.frame_bytes,
+        )
+        self._regions.append(region)
+        return region
+
+    def regions(self) -> List[SharedRegion]:
+        return list(self._regions)
+
+    def translate(self, vaddr: int) -> int:
+        """Host-based translation of an operand origin (Section V)."""
+        return self.vm.translate(vaddr)
+
+    def physical_extents(self, vaddr: int, size: int) -> List[Tuple[int, int]]:
+        return self.vm.translate_range(vaddr, size)
+
+    def same_color(self, regions: List[SharedRegion]) -> bool:
+        if not regions:
+            return True
+        return all(r.color == regions[0].color for r in regions)

@@ -1,0 +1,302 @@
+"""The user-facing NDA array API (paper Figure 8).
+
+:class:`ChopimRuntime` exposes NDA vectors and matrices backed by real numpy
+storage (so results are functionally correct) plus physical placement in
+colored shared regions of the simulated memory system (so launches have
+faithful timing).  The Table I operations are provided as methods; each call
+
+1. validates operand colors (inserting copies when operands live in regions
+   of different colors, as the paper's runtime does),
+2. computes the functional result with numpy,
+3. submits the corresponding NDA operation(s) to the simulated host-side NDA
+   controller, and
+4. optionally advances the simulator until the operation completes
+   (blocking launch) or returns immediately (asynchronous launch).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.config import SystemConfig, default_config
+from repro.core.modes import AccessMode
+from repro.core.system import ChopimSystem
+from repro.nda.isa import NdaOpcode
+from repro.nda.launch import NdaOperation
+from repro.runtime.allocator import RuntimeAllocator, SharedRegion
+from repro.runtime.stream import MacroOperation, NdaStream
+
+_array_ids = itertools.count()
+
+
+class ColorMismatchError(Exception):
+    """Raised when operands of one NDA operation live in different colors
+    and automatic copying has been disabled."""
+
+
+@dataclass
+class NdaArray:
+    """Base class for NDA-resident arrays."""
+
+    data: np.ndarray
+    region: Optional[SharedRegion]
+    virtual_address: int
+    private: bool = False
+    array_id: int = field(default_factory=lambda: next(_array_ids))
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def color(self) -> Optional[Tuple[int, int]]:
+        return self.region.color if self.region is not None else None
+
+    def numpy(self) -> np.ndarray:
+        """The functional contents of the array."""
+        return self.data
+
+
+@dataclass
+class NdaVector(NdaArray):
+    """A dense vector resident in NDA-shared memory."""
+
+    @property
+    def length(self) -> int:
+        return int(self.data.shape[0])
+
+
+@dataclass
+class NdaMatrix(NdaArray):
+    """A dense row-major matrix resident in NDA-shared memory."""
+
+    @property
+    def rows(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def cols(self) -> int:
+        return int(self.data.shape[1])
+
+
+class ChopimRuntime:
+    """Memory management plus NDA operation launch for one application."""
+
+    def __init__(self, system: Optional[ChopimSystem] = None,
+                 config: Optional[SystemConfig] = None,
+                 mode: AccessMode = AccessMode.BANK_PARTITIONED,
+                 mix: Optional[str] = "mix1",
+                 blocking: bool = True,
+                 auto_copy_on_color_mismatch: bool = True,
+                 dtype: np.dtype = np.float32) -> None:
+        if system is None:
+            system = ChopimSystem(config=config, mode=mode, mix=mix)
+        self.system = system
+        self.blocking = blocking
+        self.auto_copy = auto_copy_on_color_mismatch
+        self.dtype = np.dtype(dtype)
+        frame_bytes = self.system.config.org.system_row_bytes
+        self.allocator = RuntimeAllocator.for_mapping(self.system.mapping, frame_bytes)
+        self._default_region: Optional[SharedRegion] = None
+        self.copies_inserted = 0
+        self.operations_submitted = 0
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+
+    def _region_for(self, size: int, region: Optional[SharedRegion]) -> SharedRegion:
+        if region is not None:
+            return region
+        # Reservations are aligned to the system-row (frame) granularity, so
+        # budget a full frame of slack on top of the requested size.
+        needed = size + self.allocator.frame_bytes
+        if (self._default_region is None
+                or self._default_region.bytes_free < needed):
+            request = max(needed * 2, 8 * self.allocator.frame_bytes)
+            self._default_region = self.allocator.create_region(request)
+        return self._default_region
+
+    def shared_region(self, size_bytes: int,
+                      color: Optional[Tuple[int, int]] = None) -> SharedRegion:
+        """Explicitly create a shared region (one color)."""
+        return self.allocator.create_region(size_bytes, color)
+
+    def vector(self, length: int, region: Optional[SharedRegion] = None,
+               private: bool = False, init: Optional[np.ndarray] = None) -> NdaVector:
+        """Allocate a shared (or PE-private) vector of ``length`` elements."""
+        data = np.zeros(length, dtype=self.dtype) if init is None else \
+            np.asarray(init, dtype=self.dtype).copy()
+        size = data.nbytes
+        if private:
+            # Private allocations hold one copy per NDA and never leave the
+            # rank; they do not consume shared-region space.
+            return NdaVector(data=data, region=None, virtual_address=0, private=True)
+        target = self._region_for(size, region)
+        vaddr = target.reserve(size, alignment=self.allocator.frame_bytes)
+        return NdaVector(data=data, region=target, virtual_address=vaddr)
+
+    def matrix(self, rows: int, cols: int, region: Optional[SharedRegion] = None,
+               init: Optional[np.ndarray] = None) -> NdaMatrix:
+        """Allocate a shared row-major matrix."""
+        data = np.zeros((rows, cols), dtype=self.dtype) if init is None else \
+            np.asarray(init, dtype=self.dtype).reshape(rows, cols).copy()
+        target = self._region_for(data.nbytes, region)
+        vaddr = target.reserve(data.nbytes, alignment=self.allocator.frame_bytes)
+        return NdaMatrix(data=data, region=target, virtual_address=vaddr)
+
+    # ------------------------------------------------------------------ #
+    # Launch plumbing
+    # ------------------------------------------------------------------ #
+
+    def _check_colors(self, arrays: Sequence[NdaArray]) -> None:
+        colors = {a.color for a in arrays if a.region is not None}
+        if len(colors) <= 1:
+            return
+        if not self.auto_copy:
+            raise ColorMismatchError(
+                f"operands span colors {sorted(colors)}; allocate them from the "
+                "same shared region or enable auto_copy_on_color_mismatch"
+            )
+        # Model the copy the runtime would insert: one COPY operation per
+        # mismatched operand (data itself is already consistent in numpy).
+        self.copies_inserted += len(colors) - 1
+        for _ in range(len(colors) - 1):
+            self._submit(NdaOpcode.COPY, total_elements=arrays[0].data.size,
+                         blocking=False)
+
+    def _submit(self, opcode: NdaOpcode, total_elements: int,
+                blocking: Optional[bool] = None, async_launch: bool = False,
+                matrix_columns: int = 0, cache_blocks: Optional[int] = None,
+                ) -> NdaOperation:
+        operation = self.system.nda_host.submit_kernel(
+            opcode,
+            total_elements=max(1, int(total_elements)),
+            cache_blocks=cache_blocks,
+            async_launch=async_launch,
+            matrix_columns=matrix_columns,
+        )
+        self.operations_submitted += 1
+        should_block = self.blocking if blocking is None else blocking
+        if should_block and not async_launch:
+            self.run_until(lambda: operation.completed_cycle is not None)
+        return operation
+
+    def run_until(self, predicate: Callable[[], bool],
+                  max_cycles: int = 2_000_000) -> int:
+        """Advance the simulator until ``predicate()`` holds; returns cycles."""
+        start = self.system.now
+        while not predicate():
+            if self.system.now - start >= max_cycles:
+                raise TimeoutError(
+                    f"condition not reached within {max_cycles} cycles"
+                )
+            self.system.step()
+        return self.system.now - start
+
+    def run_until_idle(self, max_cycles: int = 2_000_000) -> int:
+        return self.run_until(lambda: self.system.nda_host.idle, max_cycles)
+
+    def stream(self, name: str = "stream0") -> NdaStream:
+        return NdaStream(self, name)
+
+    # ------------------------------------------------------------------ #
+    # Table I operations
+    # ------------------------------------------------------------------ #
+
+    def copy(self, dst: NdaVector, src: NdaVector, **launch) -> NdaOperation:
+        """dst = src."""
+        self._check_colors([dst, src])
+        dst.data[:] = src.data
+        return self._submit(NdaOpcode.COPY, src.length, **launch)
+
+    def scal(self, x: NdaVector, alpha: float, **launch) -> NdaOperation:
+        """x = alpha * x."""
+        x.data *= self.dtype.type(alpha)
+        return self._submit(NdaOpcode.SCAL, x.length, **launch)
+
+    def axpy(self, y: NdaVector, alpha: float, x: Union[NdaVector, np.ndarray],
+             **launch) -> NdaOperation:
+        """y = alpha * x + y (Table I writes it as y = a*y + x; same traffic)."""
+        x_data = x.data if isinstance(x, NdaArray) else np.asarray(x, dtype=self.dtype)
+        if isinstance(x, NdaArray):
+            self._check_colors([y, x])
+        y.data += self.dtype.type(alpha) * x_data
+        return self._submit(NdaOpcode.AXPY, y.length, **launch)
+
+    def axpby(self, z: NdaVector, alpha: float, x: NdaVector, beta: float,
+              y: NdaVector, **launch) -> NdaOperation:
+        """z = alpha * x + beta * y."""
+        self._check_colors([z, x, y])
+        z.data[:] = self.dtype.type(alpha) * x.data + self.dtype.type(beta) * y.data
+        return self._submit(NdaOpcode.AXPBY, z.length, **launch)
+
+    def axpbypcz(self, w: NdaVector, alpha: float, x: NdaVector, beta: float,
+                 y: NdaVector, gamma: float, z: NdaVector, **launch) -> NdaOperation:
+        """w = alpha * x + beta * y + gamma * z."""
+        self._check_colors([w, x, y, z])
+        w.data[:] = (self.dtype.type(alpha) * x.data
+                     + self.dtype.type(beta) * y.data
+                     + self.dtype.type(gamma) * z.data)
+        return self._submit(NdaOpcode.AXPBYPCZ, w.length, **launch)
+
+    def xmy(self, z: NdaVector, x: NdaVector, y: NdaVector, **launch) -> NdaOperation:
+        """z = x (element-wise multiply) y."""
+        self._check_colors([z, x, y])
+        z.data[:] = x.data * y.data
+        return self._submit(NdaOpcode.XMY, x.length, **launch)
+
+    def dot(self, x: NdaVector, y: NdaVector, **launch) -> float:
+        """Return x . y (scalar reductions are returned through the host)."""
+        self._check_colors([x, y])
+        self._submit(NdaOpcode.DOT, x.length, **launch)
+        return float(np.dot(x.data.astype(np.float64), y.data.astype(np.float64)))
+
+    def nrm2(self, x: NdaVector, **launch) -> float:
+        """Return ||x||_2."""
+        self._submit(NdaOpcode.NRM2, x.length, **launch)
+        return float(np.linalg.norm(x.data.astype(np.float64)))
+
+    def gemv(self, y: NdaVector, a: NdaMatrix, x: NdaVector, **launch) -> NdaOperation:
+        """y = A x."""
+        self._check_colors([y, a, x])
+        y.data[:] = (a.data.astype(np.float64) @ x.data.astype(np.float64)).astype(self.dtype)
+        return self._submit(NdaOpcode.GEMV, a.rows, matrix_columns=a.cols, **launch)
+
+    # ------------------------------------------------------------------ #
+    # Host-side helpers used by the case-study code (Figure 8)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def host_sigmoid(dst: NdaVector, src: NdaVector) -> None:
+        """dst = sigmoid(src), computed on the host."""
+        dst.data[:] = 1.0 / (1.0 + np.exp(-src.data.astype(np.float64)))
+
+    @staticmethod
+    def host_reduce(dst: NdaVector, private: NdaVector) -> None:
+        """Global reduction of PE-private copies into a shared vector."""
+        dst.data[:] = private.data
+
+    # ------------------------------------------------------------------ #
+    # Macro operations (parallel_for of Figure 8)
+    # ------------------------------------------------------------------ #
+
+    def macro(self, name: str = "macro") -> MacroOperation:
+        return MacroOperation(name)
+
+    def axpy_macro(self, macro: MacroOperation, y: NdaVector, alpha: float,
+                   x_row: np.ndarray) -> NdaOperation:
+        """One asynchronous AXPY inside a macro operation (Figure 8's loop)."""
+        y.data += self.dtype.type(alpha) * np.asarray(x_row, dtype=self.dtype)
+        operation = self._submit(NdaOpcode.AXPY, y.length, blocking=False,
+                                 async_launch=True)
+        macro.add(operation)
+        return operation
+
+    def macro_wait(self, macro: MacroOperation, max_cycles: int = 2_000_000) -> int:
+        """Barrier at the end of a macro operation."""
+        return self.run_until(lambda: macro.done, max_cycles=max_cycles)

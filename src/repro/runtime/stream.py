@@ -1,0 +1,79 @@
+"""Asynchronous and macro NDA operation launches (Section V).
+
+Short NDA operations (for example the per-sample AXPY in the average-gradient
+kernel of Figure 8) suffer load imbalance when launched blocking: every rank
+must finish before the next launch.  Chopim's runtime therefore supports
+asynchronous launches grouped into *macro operations* — analogous to CUDA
+streams or OpenMP ``parallel for`` with ``nowait`` — that only synchronize
+once at the end of the group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.nda.launch import NdaOperation
+
+
+@dataclass
+class MacroOperation:
+    """A group of asynchronously launched NDA operations with one barrier."""
+
+    name: str
+    operations: List[NdaOperation] = field(default_factory=list)
+
+    def add(self, operation: NdaOperation) -> None:
+        self.operations.append(operation)
+
+    @property
+    def launched(self) -> int:
+        return len(self.operations)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for op in self.operations if op.completed_cycle is not None)
+
+    @property
+    def done(self) -> bool:
+        return self.completed == len(self.operations)
+
+    def completion_cycle(self) -> Optional[int]:
+        if not self.done or not self.operations:
+            return None
+        return max(op.completed_cycle or 0 for op in self.operations)
+
+
+class NdaStream:
+    """An ordered stream of NDA operations with async semantics.
+
+    Operations appended to the stream are launched without blocking the
+    caller; :meth:`synchronize` advances the simulator until every operation
+    in the stream has completed.
+    """
+
+    def __init__(self, runtime: "object", name: str = "stream0") -> None:
+        # ``runtime`` is a ChopimRuntime; typed loosely to avoid an import cycle.
+        self._runtime = runtime
+        self.name = name
+        self._operations: List[NdaOperation] = []
+
+    def append(self, operation: NdaOperation) -> NdaOperation:
+        self._operations.append(operation)
+        return operation
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for op in self._operations if op.completed_cycle is None)
+
+    @property
+    def done(self) -> bool:
+        return self.pending == 0
+
+    def synchronize(self, max_cycles: int = 2_000_000) -> int:
+        """Advance the simulator until the stream drains; returns cycles spent."""
+        return self._runtime.run_until(lambda: self.done, max_cycles=max_cycles)
+
+    def clear_completed(self) -> None:
+        self._operations = [op for op in self._operations
+                            if op.completed_cycle is None]

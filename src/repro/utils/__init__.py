@@ -1,0 +1,15 @@
+"""Shared utilities: deterministic RNG, histograms, counters and rate meters."""
+
+from repro.utils.rng import DeterministicRng
+from repro.utils.histogram import BucketHistogram, IDLE_BUCKETS
+from repro.utils.stats import Counter, MovingAverage, RateMeter, WindowedStat
+
+__all__ = [
+    "DeterministicRng",
+    "BucketHistogram",
+    "IDLE_BUCKETS",
+    "Counter",
+    "MovingAverage",
+    "RateMeter",
+    "WindowedStat",
+]

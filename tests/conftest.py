@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite.
+
+The ``small_org`` fixture shrinks the DRAM geometry (fewer rows) so that
+exhaustive address-mapping property tests stay fast while preserving every
+structural property (bank counts, row size, hashing) of the full system.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    DramOrgConfig,
+    DramTimingConfig,
+    SystemConfig,
+    default_config,
+    scaled_config,
+)
+
+
+@pytest.fixture
+def timing() -> DramTimingConfig:
+    return DramTimingConfig()
+
+
+@pytest.fixture
+def org() -> DramOrgConfig:
+    return DramOrgConfig()
+
+
+@pytest.fixture
+def small_org() -> DramOrgConfig:
+    """A reduced-capacity organization (256 rows/bank) for exhaustive tests."""
+    return DramOrgConfig(rows_per_bank=256)
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    return default_config()
+
+
+@pytest.fixture
+def small_system_config() -> SystemConfig:
+    """A full system config with the reduced DRAM capacity."""
+    cfg = default_config()
+    return dataclasses.replace(cfg, org=DramOrgConfig(rows_per_bank=256))

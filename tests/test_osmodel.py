@@ -1,0 +1,182 @@
+"""Tests for the OS model: buddy allocator, frame coloring, virtual memory."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing.mapping import skylake_mapping
+from repro.config import DramOrgConfig
+from repro.osmodel.buddy import BuddyAllocator, OutOfMemoryError
+from repro.osmodel.coloring import ColoredFrameAllocator
+from repro.osmodel.vm import PageTable, TranslationError, VirtualMemory
+
+MIB = 1 << 20
+
+
+class TestBuddyAllocator:
+    def test_allocate_and_free_roundtrip(self):
+        pool = BuddyAllocator(0, 16 * MIB, min_block=4096)
+        a = pool.allocate(8192)
+        b = pool.allocate(4096)
+        assert a % 8192 == 0
+        assert a != b
+        pool.free(a)
+        pool.free(b)
+        assert pool.allocated_bytes == 0
+        assert pool.free_bytes == 16 * MIB
+
+    def test_blocks_are_naturally_aligned(self):
+        pool = BuddyAllocator(0, 16 * MIB, min_block=4096)
+        addr = pool.allocate(2 * MIB)
+        assert addr % (2 * MIB) == 0
+
+    def test_out_of_memory(self):
+        pool = BuddyAllocator(0, 1 * MIB, min_block=4096)
+        with pytest.raises(OutOfMemoryError):
+            pool.allocate(2 * MIB)
+
+    def test_exhaustion_and_coalescing(self):
+        pool = BuddyAllocator(0, 1 * MIB, min_block=4096)
+        blocks = [pool.allocate(4096) for _ in range(256)]
+        with pytest.raises(OutOfMemoryError):
+            pool.allocate(4096)
+        for b in blocks:
+            pool.free(b)
+        # Everything coalesced back into one max-order block.
+        assert pool.fragmentation() == 0.0
+        assert pool.allocate(1 * MIB) == 0
+
+    def test_double_free_rejected(self):
+        pool = BuddyAllocator(0, 1 * MIB, min_block=4096)
+        a = pool.allocate(4096)
+        pool.free(a)
+        with pytest.raises(ValueError):
+            pool.free(a)
+
+    def test_misaligned_construction_rejected(self):
+        with pytest.raises(ValueError):
+            BuddyAllocator(100, 1 * MIB, min_block=4096)
+        with pytest.raises(ValueError):
+            BuddyAllocator(0, 1 * MIB, min_block=1000)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=64 * 1024),
+                    min_size=1, max_size=30))
+    def test_allocations_never_overlap(self, sizes):
+        pool = BuddyAllocator(0, 32 * MIB, min_block=4096)
+        spans = []
+        for size in sizes:
+            addr = pool.allocate(size)
+            rounded = 4096
+            while rounded < size:
+                rounded *= 2
+            for other_start, other_end in spans:
+                assert addr >= other_end or addr + rounded <= other_start
+            spans.append((addr, addr + rounded))
+
+
+class TestColoredFrameAllocator:
+    @pytest.fixture
+    def allocator(self):
+        org = DramOrgConfig()
+        mapping = skylake_mapping(org)
+        return ColoredFrameAllocator(mapping, 0, 256 * MIB, frame_bytes=2 * MIB)
+
+    def test_colors_partition_all_frames(self, allocator):
+        total = sum(allocator.free_frames(c) for c in allocator.colors())
+        assert total == 128  # 256 MiB / 2 MiB
+
+    def test_allocate_same_color(self, allocator):
+        frames = allocator.allocate_frames(4)
+        colors = {allocator.color_of(f) for f in frames}
+        assert len(colors) == 1
+        assert allocator.verify_color_invariant()
+
+    def test_allocate_specific_color(self, allocator):
+        color = allocator.colors()[0]
+        frames = allocator.allocate_frames(2, color)
+        assert all(allocator.color_of(f) == color for f in frames)
+
+    def test_allocate_bytes_rounds_up(self, allocator):
+        frames = allocator.allocate_bytes(3 * MIB)
+        assert len(frames) == 2
+
+    def test_exhausting_one_color(self, allocator):
+        color = allocator.colors()[0]
+        available = allocator.free_frames(color)
+        allocator.allocate_frames(available, color)
+        with pytest.raises(OutOfMemoryError):
+            allocator.allocate_frames(1, color)
+
+    def test_free_frame_returns_to_pool(self, allocator):
+        color = allocator.colors()[0]
+        before = allocator.free_frames(color)
+        frame = allocator.allocate_frames(1, color)[0]
+        assert allocator.free_frames(color) == before - 1
+        allocator.free_frame(frame)
+        assert allocator.free_frames(color) == before
+
+    def test_invalid_construction(self):
+        org = DramOrgConfig()
+        mapping = skylake_mapping(org)
+        with pytest.raises(ValueError):
+            ColoredFrameAllocator(mapping, 0, 3 * MIB, frame_bytes=2 * MIB)
+        with pytest.raises(ValueError):
+            ColoredFrameAllocator(mapping, 0, 4 * MIB, frame_bytes=3 * MIB)
+
+
+class TestVirtualMemory:
+    def test_map_and_translate(self):
+        pt = PageTable(4096)
+        pt.map(0x10000, 0x400000, 8192)
+        assert pt.translate(0x10000) == 0x400000
+        assert pt.translate(0x11FFF) == 0x401FFF
+        with pytest.raises(TranslationError):
+            pt.translate(0x12000)
+
+    def test_overlapping_mapping_rejected(self):
+        pt = PageTable(4096)
+        pt.map(0x10000, 0x400000, 8192)
+        with pytest.raises(ValueError):
+            pt.map(0x11000, 0x800000, 4096)
+
+    def test_unaligned_mapping_rejected(self):
+        pt = PageTable(4096)
+        with pytest.raises(ValueError):
+            pt.map(0x100, 0x400000, 4096)
+
+    def test_translate_range_across_mappings(self):
+        pt = PageTable(4096)
+        pt.map(0x10000, 0x400000, 4096)
+        pt.map(0x11000, 0x800000, 4096)
+        extents = pt.translate_range(0x10800, 4096)
+        assert extents == [(0x400800, 2048), (0x800000, 2048)]
+
+    def test_translate_range_detects_hole(self):
+        pt = PageTable(4096)
+        pt.map(0x10000, 0x400000, 4096)
+        with pytest.raises(TranslationError):
+            pt.translate_range(0x10800, 8192)
+
+    def test_unmap(self):
+        pt = PageTable(4096)
+        pt.map(0x10000, 0x400000, 4096)
+        pt.unmap(0x10000)
+        with pytest.raises(TranslationError):
+            pt.translate(0x10000)
+        with pytest.raises(ValueError):
+            pt.unmap(0x999000)
+
+    def test_virtual_memory_contiguity_check(self):
+        scattered = VirtualMemory()
+        base = scattered.map_frames([0x400000, 0x800000], frame_bytes=2 * MIB)
+        assert not scattered.is_physically_contiguous(base, 4 * MIB)
+        adjacent = VirtualMemory()
+        base2 = adjacent.map_frames([0x400000, 0x400000 + 2 * MIB], frame_bytes=2 * MIB)
+        assert adjacent.is_physically_contiguous(base2, 4 * MIB)
+
+    def test_map_frames_sequential_virtual_layout(self):
+        vm = VirtualMemory()
+        base_a = vm.map_frames([0x0], frame_bytes=2 * MIB)
+        base_b = vm.map_frames([0x200000], frame_bytes=2 * MIB)
+        assert base_b == base_a + 2 * MIB
+        assert vm.translate(base_b) == 0x200000
