@@ -1,0 +1,134 @@
+"""Engine benchmark: cycles/sec for both engines, plus the fig14 sweep.
+
+Measures
+
+* **largest point** — simulated DRAM cycles per wall-clock second for the
+  cycle-by-cycle and event-driven engines on fig14's largest configuration
+  point (2 channels x 4 ranks, Chopim scheme, DOT workload, mix1);
+* **fig14 sweep** — wall-clock for regenerating the full Figure 14 sweep
+  three ways: the legacy path (cycle engine, one point at a time, no cache),
+  the new path (event engine through the parallel sweep runner, cold cache),
+  and a cached regeneration (warm cache replay).
+
+Results are written to ``BENCH_engine.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--cycles N] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.config import scaled_config
+from repro.core.modes import AccessMode
+from repro.core.system import ChopimSystem
+from repro.experiments.common import DEFAULT_CYCLES, DEFAULT_ELEMENTS_PER_RANK, DEFAULT_WARMUP
+from repro.experiments.fig14_scaling import _point, sweep_params
+from repro.experiments.sweep import run_sweep
+from repro.nda.isa import NdaOpcode
+
+#: fig14's largest configuration point.
+LARGEST_POINT = {
+    "channels": 2,
+    "ranks_per_channel": 4,
+    "scheme": "chopim",
+    "mode": AccessMode.BANK_PARTITIONED,
+    "workload": NdaOpcode.DOT,
+    "mix": "mix1",
+}
+
+
+def bench_largest_point(cycles: int, warmup: int) -> dict:
+    """Cycles/sec for both engines on the largest fig14 point."""
+    out = {"cycles": cycles, "warmup": warmup, "point": {
+        k: getattr(v, "value", v) for k, v in LARGEST_POINT.items()}}
+    for engine in ("cycle", "event"):
+        system = ChopimSystem(
+            config=scaled_config(LARGEST_POINT["channels"],
+                                 LARGEST_POINT["ranks_per_channel"]),
+            mode=LARGEST_POINT["mode"], mix=LARGEST_POINT["mix"],
+            throttle="next_rank", engine=engine)
+        system.set_nda_workload(LARGEST_POINT["workload"],
+                                elements_per_rank=DEFAULT_ELEMENTS_PER_RANK)
+        start = time.perf_counter()
+        system.run(cycles=cycles, warmup=warmup)
+        elapsed = time.perf_counter() - start
+        total = cycles + warmup
+        out[engine] = {
+            "seconds": elapsed,
+            "cycles_per_second": total / elapsed,
+            "cycles_processed": system.engine.cycles_processed,
+            "cycles_skipped": system.engine.cycles_skipped,
+        }
+    out["event_vs_cycle_speedup"] = (out["event"]["cycles_per_second"]
+                                     / out["cycle"]["cycles_per_second"])
+    return out
+
+
+def bench_fig14_sweep(cycles: int, warmup: int) -> dict:
+    """Wall-clock for the fig14 sweep: legacy serial vs the sweep runner."""
+    common = dict(cycles=cycles, warmup=warmup,
+                  elements_per_rank=DEFAULT_ELEMENTS_PER_RANK)
+    legacy_params = sweep_params(engine="cycle", **common)
+    new_params = sweep_params(engine="event", **common)
+
+    start = time.perf_counter()
+    legacy_rows = [_point(**params) for params in legacy_params]
+    legacy_seconds = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-cache-") as cache:
+        start = time.perf_counter()
+        cold_rows = run_sweep(_point, new_params, cache_dir=cache)
+        cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm_rows = run_sweep(_point, new_params, cache_dir=cache)
+        warm_seconds = time.perf_counter() - start
+
+    assert len(legacy_rows) == len(cold_rows) == len(warm_rows)
+    return {
+        "points": len(legacy_rows),
+        "cycles_per_point": cycles + warmup,
+        "workers": os.cpu_count() or 1,
+        "legacy_serial_cycle_engine_seconds": legacy_seconds,
+        "sweep_runner_event_engine_seconds": cold_seconds,
+        "sweep_runner_cached_regeneration_seconds": warm_seconds,
+        "speedup_cold": legacy_seconds / cold_seconds,
+        "speedup_cached_regeneration": legacy_seconds / max(warm_seconds, 1e-9),
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cycles", type=int, default=DEFAULT_CYCLES,
+                        help="measured cycles per point")
+    parser.add_argument("--warmup", type=int, default=DEFAULT_WARMUP,
+                        help="warmup cycles per point")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_engine.json")
+    args = parser.parse_args(argv)
+
+    result = {
+        "benchmark": "event engine vs cycle engine, fig14 scaling sweep",
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count() or 1,
+        "largest_point": bench_largest_point(args.cycles, args.warmup),
+        "fig14_sweep": bench_fig14_sweep(args.cycles, args.warmup),
+    }
+    args.output.write_text(json.dumps(result, indent=2) + "\n",
+                           encoding="utf-8")
+    print(json.dumps(result, indent=2))
+    print(f"\nwritten to {args.output}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

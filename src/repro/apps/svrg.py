@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,7 +38,6 @@ from repro.apps.workloads import svrg_kernel_sequence
 from repro.config import SystemConfig, scaled_config
 from repro.core.modes import AccessMode
 from repro.core.system import ChopimSystem
-from repro.nda.isa import NdaOpcode
 
 
 class SvrgVariant(enum.Enum):

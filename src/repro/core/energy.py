@@ -8,7 +8,7 @@ per PE over the simulated wall-clock time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
 from repro.config import DramOrgConfig, EnergyConfig

@@ -8,7 +8,7 @@ the tests share one implementation.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from repro.dram.device import DramSystem
 from repro.memctrl.controller import ChannelController
@@ -54,6 +54,17 @@ class ConcurrentAccessScheduler:
             return False
         self.nda_issue_opportunities += 1
         return True
+
+    def nda_issue_horizon(self, channel: int, rank: int, now: int) -> int:
+        """Earliest cycle >= ``now`` at which :meth:`nda_may_issue` can be True.
+
+        The event-engine counterpart of the per-cycle gate: derived from the
+        rank's host-busy timing state, it is exact until the next host
+        command issues to the rank (which is itself an engine-processed
+        event).  Same-cycle host issues are handled by the per-cycle gate
+        when the cycle is actually processed.
+        """
+        return self.dram.next_host_free_cycle(channel, rank, now)
 
     def host_pending_to_bank(self, channel: int, rank: int, flat_bank: int) -> bool:
         """Whether the host has a queued request to the given bank.

@@ -42,6 +42,23 @@ class RankIdleTracker:
             self.idle_cycles += 1
             self._idle_run += 1
 
+    def observe_run(self, host_busy: bool, cycles: int) -> None:
+        """Observe ``cycles`` consecutive cycles with the same busy state.
+
+        Bit-identical to calling :meth:`observe` ``cycles`` times; the event
+        engine uses it to account for fast-forwarded windows in one step.
+        """
+        if cycles <= 0:
+            return
+        if host_busy:
+            self.busy_cycles += cycles
+            if self._idle_run:
+                self.histogram.add(self._idle_run)
+                self._idle_run = 0
+        else:
+            self.idle_cycles += cycles
+            self._idle_run += cycles
+
     def finalize(self) -> None:
         if self._idle_run:
             self.histogram.add(self._idle_run)
@@ -117,6 +134,27 @@ class SimulationStats:
         self.cycles_observed += 1
         for key, tracker in self.rank_trackers.items():
             tracker.observe(rank_busy.get(key, False))
+
+    def observe_span(self, cycles: int,
+                     runs_by_rank: Dict[Tuple[int, int], List[Tuple[bool, int]]],
+                     ) -> None:
+        """Observe a multi-cycle window in one call.
+
+        ``runs_by_rank`` maps each rank to its (busy, cycle_count) runs over
+        the window (see ``TimingEngine.host_busy_runs``).  Equivalent to
+        ``cycles`` individual :meth:`observe_cycle` calls when the runs
+        describe the same per-cycle busy states.
+        """
+        if cycles <= 0:
+            return
+        self.cycles_observed += cycles
+        for key, tracker in self.rank_trackers.items():
+            runs = runs_by_rank.get(key)
+            if runs is None:
+                tracker.observe_run(False, cycles)
+                continue
+            for busy, count in runs:
+                tracker.observe_run(busy, count)
 
     # ------------------------------------------------------------------ #
 

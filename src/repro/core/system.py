@@ -3,7 +3,11 @@
 :class:`ChopimSystem` assembles the DDR4 device model, per-channel host
 memory controllers, the multi-programmed host cores, the per-rank NDA
 controllers, the host-side NDA controller and the statistics/energy models,
-and advances them together cycle by cycle in the DRAM command-clock domain.
+and advances them together in the DRAM command-clock domain.  The main loop
+is driven by a simulation engine (see :mod:`repro.engine`): the default
+event-driven engine fast-forwards over provably idle cycles, while
+``engine="cycle"`` processes every cycle (the bit-exact regression
+baseline; see ARCHITECTURE.md for the contract).
 
 Typical usage::
 
@@ -29,8 +33,14 @@ from repro.core.energy import EnergyModel
 from repro.core.modes import AccessMode, split_ranks_for_partitioning
 from repro.core.scheduler import ConcurrentAccessScheduler
 from repro.core.stats import SimulationResult, SimulationStats
-from repro.dram.commands import DramAddress
 from repro.dram.device import DramSystem
+from repro.engine.components import (
+    ChannelComponent,
+    HostComponent,
+    NdaComponent,
+    StatsComponent,
+)
+from repro.engine.core import SimulationEngine, make_engine
 from repro.host.core import CoreModel
 from repro.host.mixes import mix_profiles
 from repro.host.profiles import BenchmarkProfile
@@ -38,7 +48,7 @@ from repro.host.traffic import AddressStreamGenerator
 from repro.memctrl.controller import ChannelController
 from repro.memctrl.request import MemoryRequest
 from repro.nda.controller import NdaRankController
-from repro.nda.isa import NdaInstruction, NdaOpcode
+from repro.nda.isa import NdaOpcode
 from repro.nda.launch import NdaHostController, NdaOperation
 from repro.nda.throttle import make_policy
 from repro.utils.rng import DeterministicRng
@@ -83,7 +93,8 @@ class ChopimSystem:
                  throttle: str = "next_rank",
                  stochastic_probability: float = 0.25,
                  launch_packets_use_channel: bool = True,
-                 collect_energy: bool = True) -> None:
+                 collect_energy: bool = True,
+                 engine: str = "event") -> None:
         self.config = config or default_config()
         self.config.validate()
         self.mode = mode
@@ -122,6 +133,21 @@ class ChopimSystem:
         self._nda_sequence_index = 0
         self._nda_sequence_continuous = True
         self.now = 0
+        self._measure_start = 0
+
+        # ---- simulation engine -------------------------------------------
+        # Components run in this order every processed cycle, mirroring the
+        # legacy step() body; the event engine additionally fast-forwards
+        # over cycles on which no component can act.
+        self.engine_kind = engine
+        self._host_component = HostComponent(self)
+        self._stats_component = StatsComponent(self)
+        components = [ChannelComponent(self, ch)
+                      for ch in sorted(self.channel_controllers)]
+        components.append(self._host_component)
+        components.append(NdaComponent(self))
+        components.append(self._stats_component)
+        self.engine: SimulationEngine = make_engine(engine, components)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -297,75 +323,70 @@ class ChopimSystem:
         return MemoryRequest(addr=addr, is_write=is_write, phys=phys,
                              core_id=core.core_id, on_complete=on_complete)
 
-    def _host_cycle(self, now: int) -> None:
-        cpu_per_dram = self.config.host.cycles_per_dram_cycle
-        for core, backlog in zip(self.cores, self._core_backlog):
-            # Back-pressure: retry requests the controller rejected earlier.
-            while backlog:
-                request = backlog[0]
-                if self.channel_controllers[request.addr.channel].enqueue(request, now):
-                    backlog.popleft()
-                else:
-                    break
-            for phys, is_write in core.tick(cpu_per_dram):
-                request = self._make_host_request(core, phys, is_write)
-                controller = self.channel_controllers[request.addr.channel]
-                if backlog or not controller.enqueue(request, now):
-                    backlog.append(request)
-
-    def _nda_cycle(self, now: int) -> None:
-        if self.nda_host is None:
-            return
-        self._maybe_relaunch_workload()
-        self.nda_host.tick(now)
-        for (ch, rk), controller in self.rank_controllers.items():
-            if self.scheduler.nda_may_issue(ch, rk, now):
-                controller.try_issue(now)
-            controller.post_cycle(now)
+    def _relaunch_pending(self) -> bool:
+        """Whether :meth:`_maybe_relaunch_workload` would launch right now."""
+        if self.nda_host is None or not self.nda_host.idle:
+            return False
+        spec = self._nda_workload
+        if spec is not None:
+            return spec.continuous or spec.launches == 0
+        sequence = self._nda_sequence
+        if not sequence:
+            return False
+        return (self._nda_sequence_continuous
+                or self._nda_sequence_index < len(sequence))
 
     def step(self) -> None:
         """Advance the whole system by one DRAM cycle."""
         now = self.now
         self.scheduler.begin_cycle(now)
-        for ch, controller in self.channel_controllers.items():
-            controller.tick(now)
-            if controller.last_issue_cycle == now:
-                self.scheduler.note_host_issue(ch, controller.last_issue_rank, now)
-        if self.mode.has_host_traffic:
-            self._host_cycle(now)
-        self._nda_cycle(now)
-        rank_busy = {
-            (ch, rk): self.dram.rank_host_busy(ch, rk, now)
-            for ch in range(self.config.org.channels)
-            for rk in range(self.config.org.ranks_per_channel)
-        }
-        self.stats.observe_cycle(rank_busy)
+        self.engine.process_cycle(now)
         self.now = now + 1
 
     def run(self, cycles: int, warmup: int = 0) -> SimulationResult:
-        """Run for ``warmup + cycles`` DRAM cycles and summarize the last ``cycles``."""
-        for _ in range(max(0, warmup)):
-            self.step()
+        """Run for ``warmup + cycles`` DRAM cycles and summarize the last ``cycles``.
+
+        The configured engine drives the loop: ``engine="cycle"`` processes
+        every DRAM cycle (the regression baseline), ``engine="event"``
+        fast-forwards over provably idle cycles with identical results.
+        """
+        self.now = self.engine.run_until(self.now, self.now + max(0, warmup))
         self._reset_measurement()
-        for _ in range(cycles):
-            self.step()
+        self.now = self.engine.run_until(self.now, self.now + cycles)
         return self._result(cycles)
 
     def _reset_measurement(self) -> None:
+        """Reset *all* measurement state at the warmup boundary.
+
+        Warmup activity must not leak into the measured window: DRAM event
+        counts (host/NDA columns, row hits/conflicts), per-bank counters,
+        per-channel counters and read-latency accumulators, per-core
+        retirement counters, NDA byte/instruction counters and PE operation
+        counts are all zeroed.  Protocol, timing and queue state carry over.
+        """
         self.stats = SimulationStats(self.config, list(self.rank_controllers.keys()))
+        self._stats_component.reset(self.now)
+        self.dram.reset_counts()
         for core in self.cores:
-            core.instructions_retired = 0.0
-            core.cpu_cycles = 0.0
-            core.stall_cycles = 0.0
+            core.reset_measurement()
+        for controller in self.channel_controllers.values():
+            controller.reset_measurement()
         for controller in self.rank_controllers.values():
-            controller.bytes_read = 0
-            controller.bytes_written = 0
+            controller.reset_measurement()
+        if self.nda_host is not None:
+            self.nda_host.reset_measurement()
+        self.scheduler.nda_issue_opportunities = 0
+        self.scheduler.nda_blocked_cycles = 0
+        self._measure_start = self.now
 
     # ------------------------------------------------------------------ #
     # Results
     # ------------------------------------------------------------------ #
 
     def _result(self, cycles: int) -> SimulationResult:
+        # Bring the lazily-accumulated idle statistics up to date before
+        # reading any utilization or breakdown metric.
+        self._stats_component.flush_trackers(self.now)
         per_core_ipc = [core.ipc for core in self.cores]
         nda_bytes = sum(c.total_bytes for c in self.rank_controllers.values())
         counts = self.dram.counts
@@ -373,15 +394,18 @@ class ChopimSystem:
         host_total = host_hits + counts.host_row_conflicts + 1e-9
         nda_hits = counts.nda_row_hits
         nda_total = nda_hits + counts.nda_row_conflicts + 1e-9
-        avg_latency = 0.0
-        latencies = [mc.read_latency.mean for mc in self.channel_controllers.values()
-                     if mc.read_latency.count]
-        if latencies:
-            avg_latency = sum(latencies) / len(latencies)
+        # Sample-count-weighted mean over channels: an unweighted mean of
+        # per-channel means would skew toward lightly-loaded channels.
+        latency_total = sum(mc.read_latency.total
+                            for mc in self.channel_controllers.values())
+        latency_count = sum(mc.read_latency.count
+                            for mc in self.channel_controllers.values())
+        avg_latency = latency_total / latency_count if latency_count else 0.0
         energy: Dict[str, float] = {}
         if self.collect_energy:
             pes = [pe for rc in self.rank_controllers.values() for pe in rc.pes]
-            energy = self.energy_model.compute(counts, pes, self.now).as_dict()
+            measured = self.now - self._measure_start
+            energy = self.energy_model.compute(counts, pes, measured).as_dict()
         return SimulationResult(
             cycles=cycles,
             mode=self.mode.value,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 
@@ -95,6 +95,18 @@ class Bank:
                 self.nda_reads += 1
             else:
                 self.reads += 1
+
+    def reset_counters(self) -> None:
+        """Zero the access statistics; row-buffer state is preserved."""
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+        self.activates = 0
+        self.precharges = 0
+        self.reads = 0
+        self.writes = 0
+        self.nda_reads = 0
+        self.nda_writes = 0
 
     @property
     def total_accesses(self) -> int:

@@ -8,12 +8,12 @@ and energy models consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.config import DramOrgConfig, DramTimingConfig
 from repro.dram.bank import Bank, BankState
-from repro.dram.commands import Command, CommandType, DramAddress, RequestSource
+from repro.dram.commands import Command, CommandType, DramAddress
 from repro.dram.timing import TimingEngine
 from repro.utils.stats import Counter
 
@@ -53,6 +53,16 @@ class DramSystem:
         self.timing_config = timing
         self.timing = TimingEngine(org, timing)
         self.counts = DramEventCounts()
+        #: Monotonic per-rank issue counters; any command issued to a rank
+        #: bumps its version.  Cached scheduling hints derived from a rank's
+        #: bank/timing state are tagged with the version they were computed
+        #: under and discarded when it changes (see the NDA rank
+        #: controller's event interface).
+        self.rank_issue_version: Dict[Tuple[int, int], int] = {
+            (ch, rk): 0
+            for ch in range(org.channels)
+            for rk in range(org.ranks_per_channel)
+        }
         self._banks: Dict[Tuple[int, int, int, int], Bank] = {}
         for ch in range(org.channels):
             for rk in range(org.ranks_per_channel):
@@ -119,6 +129,7 @@ class DramSystem:
         """Issue ``cmd``: update bank state, timing state and event counts."""
         if not self.can_issue(cmd, now):
             raise ValueError(f"illegal command at cycle {now}: {cmd}")
+        self.rank_issue_version[(cmd.addr.channel, cmd.addr.rank)] += 1
         bank = self.bank(cmd.addr)
         is_nda = cmd.is_nda
 
@@ -184,6 +195,23 @@ class DramSystem:
 
     def rank_host_busy(self, channel: int, rank: int, now: int) -> bool:
         return self.timing.rank_host_busy(channel, rank, now)
+
+    def next_host_free_cycle(self, channel: int, rank: int, now: int) -> int:
+        return self.timing.next_host_free_cycle(channel, rank, now)
+
+    def host_busy_runs(self, channel: int, rank: int, start: int,
+                       stop: int) -> List[Tuple[bool, int]]:
+        return self.timing.host_busy_runs(channel, rank, start, stop)
+
+    def reset_counts(self) -> None:
+        """Zero all measurement counters (warmup boundary).
+
+        Timing and bank protocol state are untouched; only the event counts
+        feeding the statistics and energy models are cleared.
+        """
+        self.counts = DramEventCounts()
+        for bank in self._banks.values():
+            bank.reset_counters()
 
     def read_latency(self) -> int:
         return self.timing.read_latency()

@@ -20,7 +20,7 @@ channel-level constraints, which NDA commands do not use.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.config import DramOrgConfig, DramTimingConfig
 from repro.dram.commands import Command, CommandType
@@ -93,6 +93,14 @@ class TimingEngine:
         self._channels: List[_ChannelTiming] = [
             _ChannelTiming() for _ in range(org.channels)
         ]
+        #: Invoked as ``busy_observer(channel, rank, now)`` immediately
+        #: before a command mutates the rank's host-busy state (busy_until /
+        #: data-burst windows).  The windowed idle statistics use it to
+        #: flush lazily-accumulated observations while the pre-mutation
+        #: state — which exactly describes the elapsed window — is still
+        #: available.  NDA column commands never mutate host-busy state and
+        #: skip the callback.
+        self.busy_observer: Optional[Callable[[int, int, int], None]] = None
         for ch in range(org.channels):
             for rk in range(org.ranks_per_channel):
                 self._ranks[(ch, rk)] = _RankTiming(org.bank_groups, timing.tREFI)
@@ -206,6 +214,13 @@ class TimingEngine:
         t = self.timing
         bank = self._bank(cmd)
         rank = self._rank(cmd)
+        if self.busy_observer is not None and not (
+                cmd.is_nda and (cmd.kind is CommandType.RD
+                                or cmd.kind is CommandType.WR)):
+            # Row commands, refresh and host column commands all extend the
+            # rank's host-busy windows; let the idle statistics catch up on
+            # the unmutated window first.
+            self.busy_observer(cmd.addr.channel, cmd.addr.rank, now)
 
         if cmd.kind is CommandType.ACT:
             bank.rd_allowed = max(bank.rd_allowed, now + t.tRCD)
@@ -292,6 +307,51 @@ class TimingEngine:
         if state.busy_until > now:
             return True
         return state.data_busy_from <= now < state.data_busy_until
+
+    def next_host_free_cycle(self, channel: int, rank: int, now: int) -> int:
+        """Earliest cycle >= ``now`` at which the rank is host-free.
+
+        Valid until the next host command issues to the rank; the event
+        engine uses it to find the next NDA issue opportunity without
+        stepping through host-busy cycles one by one.
+        """
+        state = self._ranks[(channel, rank)]
+        cycle = now
+        while True:
+            if cycle < state.busy_until:
+                cycle = state.busy_until
+                continue
+            if state.data_busy_from <= cycle < state.data_busy_until:
+                cycle = state.data_busy_until
+                continue
+            return cycle
+
+    def host_busy_runs(self, channel: int, rank: int, start: int,
+                       stop: int) -> List[Tuple[bool, int]]:
+        """Partition ``[start, stop)`` into (host_busy, cycle_count) runs.
+
+        Exact under the engine's fast-forward contract: no command issues to
+        the rank inside the window, so busy-ness over the window is fully
+        determined by the current timing state.  Feeding the runs to the
+        idle-period statistics is bit-identical to observing each cycle.
+        """
+        state = self._ranks[(channel, rank)]
+        breakpoints = {start, stop}
+        for edge in (state.busy_until, state.data_busy_from,
+                     state.data_busy_until):
+            if start < edge < stop:
+                breakpoints.add(edge)
+        points = sorted(breakpoints)
+        runs: List[Tuple[bool, int]] = []
+        for a, b in zip(points, points[1:]):
+            busy = (a < state.busy_until
+                    or state.data_busy_from <= a < state.data_busy_until)
+            runs.append((busy, b - a))
+        return runs
+
+    def next_refresh_due_cycle(self, channel: int, rank: int) -> int:
+        """Absolute cycle at which the rank's next refresh becomes due."""
+        return self._ranks[(channel, rank)].refresh_due
 
     def read_latency(self) -> int:
         """Cycles from RD issue until the last data beat is received."""

@@ -1,0 +1,33 @@
+"""Event-driven simulation engine with idle-cycle fast-forwarding.
+
+The engine decomposes a cycle-accurate simulation into :class:`Component`
+objects that expose two operations: ``next_event_cycle(now)`` (the earliest
+cycle at which the component could act) and ``on_wake(now)`` (process one
+cycle).  The :class:`EventEngine` advances directly to the earliest wake-up
+across all components, catching lazily-advanced components (host cores,
+windowed statistics) up in closed form over the skipped span; the
+:class:`CycleEngine` processes every cycle and is kept as the bit-exact
+regression baseline.
+
+See ``ARCHITECTURE.md`` for the wake/fast-forward contract.
+"""
+
+from repro.engine.core import (
+    INFINITY,
+    Component,
+    CycleEngine,
+    EventEngine,
+    SimulationEngine,
+    make_engine,
+)
+from repro.engine.queue import EventQueue
+
+__all__ = [
+    "Component",
+    "CycleEngine",
+    "EventEngine",
+    "EventQueue",
+    "INFINITY",
+    "SimulationEngine",
+    "make_engine",
+]

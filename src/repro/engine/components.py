@@ -1,0 +1,268 @@
+"""Engine components adapting the Chopim subsystems to the event protocol.
+
+Each adapter wraps one slice of the legacy ``ChopimSystem.step`` body and
+adds the wake-up computation the :class:`~repro.engine.core.EventEngine`
+needs.  When driven by the :class:`~repro.engine.core.CycleEngine` the
+adapters process every cycle unconditionally, reproducing the original loop
+verbatim; when driven by the event engine they additionally skip the
+per-cycle work of sub-components whose wake-up lies in the future (the wake
+caches below), which is what makes processed cycles cheap even when *some*
+component acts every cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.engine.queue import INFINITY
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.system import ChopimSystem
+
+
+class ChannelComponent:
+    """One host memory controller (plus its refresh duties)."""
+
+    def __init__(self, system: "ChopimSystem", channel: int) -> None:
+        self.system = system
+        self.channel = channel
+        self.controller = system.channel_controllers[channel]
+        self._wake = 0
+        self._wake_stamp = -1
+
+    def next_event_cycle(self, now: int) -> int:
+        self._wake = self.controller.next_event_cycle(now)
+        self._wake_stamp = now
+        return self._wake
+
+    def on_wake(self, now: int) -> None:
+        if self._wake_stamp == now and self._wake > now:
+            # Event-engine fast path: the controller provably cannot act
+            # this cycle (no completion due, no refresh due, issue hint in
+            # the future), so its tick would be a no-op.
+            return
+        controller = self.controller
+        controller.tick(now)
+        if controller.last_issue_cycle == now:
+            self.system.scheduler.note_host_issue(
+                self.channel, controller.last_issue_rank, now
+            )
+
+    def advance(self, stop: int) -> None:
+        """Channel state is purely event-driven; nothing accrues per cycle."""
+
+
+class HostComponent:
+    """All host cores plus the per-core back-pressure backlogs.
+
+    Cores retire instructions on *every* cycle, so they are advanced lazily:
+    each core carries a cursor of the next un-ticked cycle, and
+    :meth:`advance` catches it up with the core model's exact batched
+    arithmetic.  A core is ticked "live" (with request enqueue handling)
+    only on cycles where it can emit a memory request; on all other cycles
+    the tick is deferred into the next batch.  Absolute next-request cycles
+    are cached against the core's event counter — between misses and
+    completions a core evolves deterministically, so the cached cycle stays
+    valid no matter how far the cursor advances.
+    """
+
+    def __init__(self, system: "ChopimSystem") -> None:
+        self.system = system
+        count = len(system.cores)
+        self._cursors: List[int] = [0] * count
+        self._wake_cache: List[Tuple[int, int]] = [(-1, 0)] * count
+
+    def _core_wake(self, index: int) -> int:
+        core = self.system.cores[index]
+        version = core.event_count
+        cached_version, cached_wake = self._wake_cache[index]
+        if cached_version == version:
+            return cached_wake
+        cycles = core.next_request_dram_cycles()
+        wake = INFINITY if cycles is None else self._cursors[index] + cycles - 1
+        self._wake_cache[index] = (version, wake)
+        return wake
+
+    def next_event_cycle(self, now: int) -> int:
+        wake = INFINITY
+        for index in range(len(self.system.cores)):
+            if self.system._core_backlog[index]:
+                # Backlogged cores cannot enqueue until a queue frees up,
+                # which only happens on engine-processed cycles; their
+                # generated requests are appended to the backlog during
+                # advance() exactly as the per-cycle loop would.
+                continue
+            candidate = self._core_wake(index)
+            if candidate < wake:
+                wake = candidate
+        return wake if wake > now else now
+
+    def advance(self, stop: int) -> None:
+        for index, core in enumerate(self.system.cores):
+            cursor = self._cursors[index]
+            if cursor >= stop:
+                continue
+            requests = core.tick_dram(stop - cursor)
+            self._cursors[index] = stop
+            if requests:
+                backlog = self.system._core_backlog[index]
+                # The wake contract guarantees requests only appear in a
+                # batch when the backlog is non-empty, in which case the
+                # per-cycle loop would have appended them without an
+                # enqueue attempt (see on_wake below).
+                assert backlog, (
+                    "core generated a request inside a fast-forwarded window"
+                )
+                for phys, is_write in requests:
+                    backlog.append(
+                        self.system._make_host_request(core, phys, is_write)
+                    )
+
+    def on_wake(self, now: int) -> None:
+        system = self.system
+        for index, core in enumerate(system.cores):
+            backlog = system._core_backlog[index]
+            # Back-pressure: retry requests the controller rejected earlier.
+            while backlog:
+                request = backlog[0]
+                if system.channel_controllers[request.addr.channel].enqueue(
+                        request, now):
+                    backlog.popleft()
+                else:
+                    break
+            if self._cursors[index] > now:
+                continue  # already ticked live this cycle
+            if self._core_wake(index) <= now:
+                # This cycle's tick emits at least one request: run it live
+                # so enqueue (or backlog append) happens on the right cycle.
+                self._cursors[index] = now + 1
+                for phys, is_write in core.tick_dram(1):
+                    request = system._make_host_request(core, phys, is_write)
+                    controller = system.channel_controllers[request.addr.channel]
+                    if backlog or not controller.enqueue(request, now):
+                        backlog.append(request)
+            # Otherwise the tick is pure arithmetic; defer it into the next
+            # advance() batch.
+
+
+class NdaComponent:
+    """The host-side NDA controller plus every per-rank NDA controller."""
+
+    def __init__(self, system: "ChopimSystem") -> None:
+        self.system = system
+        self._rank_wakes: Dict[Tuple[int, int], int] = {}
+        self._wake_stamp = -1
+
+    def next_event_cycle(self, now: int) -> int:
+        system = self.system
+        if system.nda_host is None:
+            return INFINITY
+        wake = system.nda_host.next_event_cycle(now)
+        if system._relaunch_pending():
+            wake = now
+        rank_wakes = self._rank_wakes
+        for key, controller in system.rank_controllers.items():
+            rank_wake = controller.next_event_cycle(now)
+            rank_wakes[key] = rank_wake
+            if rank_wake < wake:
+                wake = rank_wake
+        self._wake_stamp = now
+        return wake if wake > now else now
+
+    def on_wake(self, now: int) -> None:
+        system = self.system
+        if system.nda_host is None:
+            return
+        system._maybe_relaunch_workload()
+        system.nda_host.tick(now)
+        gated = self._wake_stamp == now
+        rank_wakes = self._rank_wakes
+        scheduler = system.scheduler
+        for key, controller in system.rank_controllers.items():
+            if (gated and rank_wakes.get(key, 0) > now
+                    and not controller.wake_invalidated):
+                # Event-engine fast path: this rank provably cannot issue,
+                # classify, draw throttle randomness or complete this cycle.
+                # A wake invalidated since it was computed (work delivered
+                # mid-cycle) falls through to normal processing.
+                continue
+            if scheduler.nda_may_issue(key[0], key[1], now):
+                controller.try_issue(now)
+            controller.post_cycle(now)
+            # Local state (staging, refills, classification bookkeeping) may
+            # have changed without a DRAM issue; recompute the wake lazily.
+            controller.invalidate_wake()
+
+    def advance(self, stop: int) -> None:
+        """NDA state is purely event-driven; nothing accrues per cycle."""
+
+
+class StatsComponent:
+    """Windowed simulation statistics (rank busy/idle accounting).
+
+    Fully lazy: per-rank busy/idle runs are reconstructed from the DRAM
+    timing state just before that state mutates (via the timing engine's
+    ``busy_observer`` hook), and the global cycle count advances in O(1) per
+    processed cycle.  This is bit-identical to observing every cycle: a
+    rank's busy predicate over a window is frozen between mutations of its
+    timing state, and ``host_busy_runs`` enumerates exactly the per-cycle
+    values the legacy loop observed.
+    """
+
+    def __init__(self, system: "ChopimSystem") -> None:
+        self.system = system
+        self._cursor = 0
+        self._rank_cursors: Dict[Tuple[int, int], int] = {
+            key: 0 for key in system.stats.rank_trackers
+        }
+        system.dram.timing.busy_observer = self._on_busy_mutation
+
+    def _on_busy_mutation(self, channel: int, rank: int, now: int) -> None:
+        key = (channel, rank)
+        cursor = self._rank_cursors[key]
+        if cursor >= now:
+            return
+        tracker = self.system.stats.rank_trackers.get(key)
+        if tracker is not None:
+            for busy, count in self.system.dram.host_busy_runs(
+                    channel, rank, cursor, now):
+                tracker.observe_run(busy, count)
+        self._rank_cursors[key] = now
+
+    def next_event_cycle(self, now: int) -> int:
+        return INFINITY  # a pure observer never forces a wake-up
+
+    def advance(self, stop: int) -> None:
+        if stop > self._cursor:
+            self.system.stats.cycles_observed += stop - self._cursor
+            self._cursor = stop
+
+    def on_wake(self, now: int) -> None:
+        """Observation is mutation-driven; nothing to do per cycle."""
+
+    def flush_trackers(self, stop: int) -> None:
+        """Bring every rank tracker up to ``stop`` (pre-result / pre-reset)."""
+        stats = self.system.stats
+        for key, cursor in self._rank_cursors.items():
+            if cursor >= stop:
+                continue
+            tracker = stats.rank_trackers.get(key)
+            if tracker is not None:
+                for busy, count in self.system.dram.host_busy_runs(
+                        key[0], key[1], cursor, stop):
+                    tracker.observe_run(busy, count)
+            self._rank_cursors[key] = stop
+
+    def reset(self, cycle: int) -> None:
+        """Re-anchor all observation cursors (measurement reset)."""
+        self._cursor = cycle
+        for key in self._rank_cursors:
+            self._rank_cursors[key] = cycle
+
+
+__all__ = [
+    "ChannelComponent",
+    "HostComponent",
+    "NdaComponent",
+    "StatsComponent",
+]

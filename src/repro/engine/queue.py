@@ -1,0 +1,73 @@
+"""A small event queue ordering component wake-ups by cycle.
+
+Implemented as a binary heap with lazy invalidation: re-scheduling an item
+simply pushes a new entry, and stale entries are discarded on pop.  With the
+handful of components a :class:`~repro.core.system.ChopimSystem` registers
+this is comparable to a linear scan, but the queue keeps the engine loop
+independent of the component count (sharded multi-system setups register
+many more components).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Wake-up value meaning "this component needs no wake-up".
+INFINITY = 1 << 62
+
+
+class EventQueue:
+    """Priority queue of (cycle, component) wake-ups."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._scheduled: Dict[int, int] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._scheduled)
+
+    def schedule(self, cycle: int, item: Any) -> None:
+        """Schedule (or re-schedule) ``item`` to wake at ``cycle``.
+
+        ``INFINITY`` cancels any outstanding wake-up for the item.
+        """
+        key = id(item)
+        if cycle >= INFINITY:
+            self._scheduled.pop(key, None)
+            return
+        current = self._scheduled.get(key)
+        if current == cycle:
+            return
+        self._scheduled[key] = cycle
+        heapq.heappush(self._heap, (cycle, next(self._counter), item))
+
+    def earliest_cycle(self) -> int:
+        """The earliest scheduled wake-up cycle (``INFINITY`` when empty)."""
+        self._discard_stale()
+        if not self._heap:
+            return INFINITY
+        return self._heap[0][0]
+
+    def pop_due(self, now: int) -> Optional[Any]:
+        """Pop one item scheduled at or before ``now`` (None when there is none)."""
+        self._discard_stale()
+        if not self._heap or self._heap[0][0] > now:
+            return None
+        _, _, item = heapq.heappop(self._heap)
+        self._scheduled.pop(id(item), None)
+        return item
+
+    def _discard_stale(self) -> None:
+        heap = self._heap
+        while heap:
+            cycle, _, item = heap[0]
+            if self._scheduled.get(id(item)) == cycle:
+                return
+            heapq.heappop(heap)
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._scheduled.clear()

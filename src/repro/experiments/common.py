@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.config import SystemConfig, scaled_config
 from repro.core.modes import AccessMode
@@ -31,11 +31,18 @@ def build_system(mode: AccessMode, mix: Optional[str],
                  throttle: str = "next_rank",
                  stochastic_probability: float = 0.25,
                  config: Optional[SystemConfig] = None,
-                 cores: Optional[int] = None) -> ChopimSystem:
-    """Construct a system for one experiment point."""
+                 cores: Optional[int] = None,
+                 engine: str = "event") -> ChopimSystem:
+    """Construct a system for one experiment point.
+
+    ``engine`` selects the simulation driver: the event-driven engine
+    (default) fast-forwards over idle cycles; ``"cycle"`` is the
+    cycle-by-cycle regression baseline with identical results.
+    """
     cfg = config or scaled_config(channels, ranks_per_channel, cores=cores)
     return ChopimSystem(config=cfg, mode=mode, mix=mix, throttle=throttle,
-                        stochastic_probability=stochastic_probability)
+                        stochastic_probability=stochastic_probability,
+                        engine=engine)
 
 
 def run_point(system: ChopimSystem, cycles: int = DEFAULT_CYCLES,

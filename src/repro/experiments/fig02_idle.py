@@ -13,32 +13,38 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.modes import AccessMode
 from repro.experiments.common import DEFAULT_CYCLES, DEFAULT_WARMUP, build_system, format_table
+from repro.experiments.sweep import run_sweep
 from repro.host.mixes import mix_names
 from repro.utils.histogram import IDLE_BUCKET_LABELS
 
 
+def _point(mix: str, cycles: int, warmup: int) -> Dict[str, object]:
+    """One sweep point: a host-only run of one mix, reduced to its figure row."""
+    cores = 8 if mix == "mix0" else None
+    system = build_system(AccessMode.HOST_ONLY, mix, cores=cores)
+    result = system.run(cycles=cycles, warmup=warmup)
+    # Average the per-rank breakdowns (the paper plots one bar per mix).
+    buckets = {"Busy": 0.0, **{label: 0.0 for label in IDLE_BUCKET_LABELS}}
+    per_rank = result.rank_idle_breakdown
+    for breakdown in per_rank.values():
+        for key in buckets:
+            buckets[key] += breakdown.get(key, 0.0)
+    count = max(1, len(per_rank))
+    row: Dict[str, object] = {"mix": mix}
+    row.update({key: value / count for key, value in buckets.items()})
+    row["short_idle_fraction"] = short_idle_fraction(row)
+    return row
+
+
 def run_idle_histogram(mixes: Optional[Sequence[str]] = None,
                        cycles: int = DEFAULT_CYCLES,
-                       warmup: int = DEFAULT_WARMUP) -> List[Dict[str, object]]:
+                       warmup: int = DEFAULT_WARMUP,
+                       processes: Optional[int] = None,
+                       cache_dir: Optional[str] = None) -> List[Dict[str, object]]:
     """One row per mix: busy fraction plus per-bucket idle fractions."""
     mixes = list(mixes) if mixes is not None else mix_names()
-    rows: List[Dict[str, object]] = []
-    for mix in mixes:
-        cores = 8 if mix == "mix0" else None
-        system = build_system(AccessMode.HOST_ONLY, mix, cores=cores)
-        result = system.run(cycles=cycles, warmup=warmup)
-        # Average the per-rank breakdowns (the paper plots one bar per mix).
-        buckets = {"Busy": 0.0, **{label: 0.0 for label in IDLE_BUCKET_LABELS}}
-        per_rank = result.rank_idle_breakdown
-        for breakdown in per_rank.values():
-            for key in buckets:
-                buckets[key] += breakdown.get(key, 0.0)
-        count = max(1, len(per_rank))
-        row: Dict[str, object] = {"mix": mix}
-        row.update({key: value / count for key, value in buckets.items()})
-        row["short_idle_fraction"] = short_idle_fraction(row)
-        rows.append(row)
-    return rows
+    params = [{"mix": mix, "cycles": cycles, "warmup": warmup} for mix in mixes]
+    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)
 
 
 def short_idle_fraction(row: Dict[str, object], threshold_label: str = "100-250") -> float:

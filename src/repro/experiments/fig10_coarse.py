@@ -23,6 +23,7 @@ from repro.experiments.common import (
     build_system,
     format_table,
 )
+from repro.experiments.sweep import run_sweep
 from repro.nda.isa import NdaOpcode
 
 #: The paper sweeps powers of four from 1 to 4096 cache blocks.
@@ -34,36 +35,47 @@ FULL_RANK_CONFIGS = ((2, 2), (2, 4), (2, 8))
 QUICK_RANK_CONFIGS = ((2, 2),)
 
 
+def _point(channels: int, ranks: int, cache_blocks: int, mix: str,
+           cycles: int, warmup: int,
+           elements_per_rank: int) -> Dict[str, object]:
+    system = build_system(AccessMode.BANK_PARTITIONED, mix,
+                          channels=channels, ranks_per_channel=ranks)
+    system.set_nda_workload(
+        NdaOpcode.NRM2,
+        elements_per_rank=elements_per_rank,
+        cache_blocks=cache_blocks,
+        async_launch=True,
+    )
+    result = system.run(cycles=cycles, warmup=warmup)
+    return {
+        "channels": channels,
+        "ranks_per_channel": ranks,
+        "cache_blocks": cache_blocks,
+        "host_ipc": result.host_ipc,
+        "nda_bw_utilization": result.nda_bw_utilization,
+        "idealized_bw_utilization": result.idealized_bw_utilization,
+        "launch_packets": result.extra.get("packets", 0.0),
+    }
+
+
 def run_coarse_grain_sweep(granularities: Sequence[int] = QUICK_GRANULARITIES,
                            rank_configs: Sequence[Tuple[int, int]] = QUICK_RANK_CONFIGS,
                            mix: str = "mix1",
                            cycles: int = DEFAULT_CYCLES,
                            warmup: int = DEFAULT_WARMUP,
                            elements_per_rank: int = DEFAULT_ELEMENTS_PER_RANK,
+                           processes: Optional[int] = None,
+                           cache_dir: Optional[str] = None,
                            ) -> List[Dict[str, object]]:
     """One row per (rank config, cache blocks per instruction)."""
-    rows: List[Dict[str, object]] = []
-    for channels, ranks in rank_configs:
-        for cache_blocks in granularities:
-            system = build_system(AccessMode.BANK_PARTITIONED, mix,
-                                  channels=channels, ranks_per_channel=ranks)
-            system.set_nda_workload(
-                NdaOpcode.NRM2,
-                elements_per_rank=elements_per_rank,
-                cache_blocks=cache_blocks,
-                async_launch=True,
-            )
-            result = system.run(cycles=cycles, warmup=warmup)
-            rows.append({
-                "channels": channels,
-                "ranks_per_channel": ranks,
-                "cache_blocks": cache_blocks,
-                "host_ipc": result.host_ipc,
-                "nda_bw_utilization": result.nda_bw_utilization,
-                "idealized_bw_utilization": result.idealized_bw_utilization,
-                "launch_packets": result.extra.get("packets", 0.0),
-            })
-    return rows
+    params = [
+        {"channels": channels, "ranks": ranks, "cache_blocks": cache_blocks,
+         "mix": mix, "cycles": cycles, "warmup": warmup,
+         "elements_per_rank": elements_per_rank}
+        for channels, ranks in rank_configs
+        for cache_blocks in granularities
+    ]
+    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)
 
 
 def coarse_vs_fine_summary(rows: Sequence[Dict[str, object]]) -> Dict[str, float]:

@@ -22,6 +22,7 @@ from repro.experiments.common import (
     build_system,
     format_table,
 )
+from repro.experiments.sweep import run_sweep
 from repro.nda.isa import NdaOpcode
 
 CONFIGURATIONS = (
@@ -31,11 +32,33 @@ CONFIGURATIONS = (
 OPERATIONS = (NdaOpcode.DOT, NdaOpcode.COPY)
 
 
+def _point(mix: str, configuration: str, mode: str, operation: str,
+           throttle: str, cycles: int, warmup: int,
+           elements_per_rank: int) -> Dict[str, object]:
+    cores = 8 if mix == "mix0" else None
+    system = build_system(AccessMode(mode), mix, throttle=throttle, cores=cores)
+    system.set_nda_workload(NdaOpcode(operation),
+                            elements_per_rank=elements_per_rank)
+    result = system.run(cycles=cycles, warmup=warmup)
+    return {
+        "mix": mix,
+        "configuration": configuration,
+        "operation": operation,
+        "host_ipc": result.host_ipc,
+        "nda_bw_utilization": result.nda_bw_utilization,
+        "idealized_bw_utilization": result.idealized_bw_utilization,
+        "nda_row_hit_rate": result.row_hit_rate_nda,
+        "host_row_hit_rate": result.row_hit_rate_host,
+    }
+
+
 def run_bank_partitioning(mixes: Optional[Sequence[str]] = None,
                           cycles: int = DEFAULT_CYCLES,
                           warmup: int = DEFAULT_WARMUP,
                           throttle: str = "issue_if_idle",
                           elements_per_rank: int = DEFAULT_ELEMENTS_PER_RANK,
+                          processes: Optional[int] = None,
+                          cache_dir: Optional[str] = None,
                           ) -> List[Dict[str, object]]:
     """One row per (mix, configuration, operation).
 
@@ -44,25 +67,15 @@ def run_bank_partitioning(mixes: Optional[Sequence[str]] = None,
     subject of Figure 12).
     """
     mixes = list(mixes) if mixes is not None else QUICK_MIXES
-    rows: List[Dict[str, object]] = []
-    for mix in mixes:
-        cores = 8 if mix == "mix0" else None
-        for config_name, mode in CONFIGURATIONS:
-            for opcode in OPERATIONS:
-                system = build_system(mode, mix, throttle=throttle, cores=cores)
-                system.set_nda_workload(opcode, elements_per_rank=elements_per_rank)
-                result = system.run(cycles=cycles, warmup=warmup)
-                rows.append({
-                    "mix": mix,
-                    "configuration": config_name,
-                    "operation": opcode.value,
-                    "host_ipc": result.host_ipc,
-                    "nda_bw_utilization": result.nda_bw_utilization,
-                    "idealized_bw_utilization": result.idealized_bw_utilization,
-                    "nda_row_hit_rate": result.row_hit_rate_nda,
-                    "host_row_hit_rate": result.row_hit_rate_host,
-                })
-    return rows
+    params = [
+        {"mix": mix, "configuration": config_name, "mode": mode.value,
+         "operation": opcode.value, "throttle": throttle, "cycles": cycles,
+         "warmup": warmup, "elements_per_rank": elements_per_rank}
+        for mix in mixes
+        for config_name, mode in CONFIGURATIONS
+        for opcode in OPERATIONS
+    ]
+    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)
 
 
 def partitioning_speedup(rows: Sequence[Dict[str, object]],

@@ -22,6 +22,7 @@ from repro.experiments.common import (
     build_system,
     format_table,
 )
+from repro.experiments.sweep import run_sweep
 from repro.nda.isa import NdaOpcode
 
 #: (label, throttle policy name, stochastic probability)
@@ -33,32 +34,45 @@ POLICIES: Tuple[Tuple[str, str, float], ...] = (
 )
 
 
+def _point(mix: str, label: str, policy: str, probability: float,
+           operation: str, cycles: int, warmup: int,
+           elements_per_rank: int) -> Dict[str, object]:
+    cores = 8 if mix == "mix0" else None
+    system = build_system(AccessMode.BANK_PARTITIONED, mix,
+                          throttle=policy,
+                          stochastic_probability=probability or 0.25,
+                          cores=cores)
+    system.set_nda_workload(NdaOpcode(operation),
+                            elements_per_rank=elements_per_rank)
+    result = system.run(cycles=cycles, warmup=warmup)
+    return {
+        "mix": mix,
+        "policy": label,
+        "host_ipc": result.host_ipc,
+        "nda_bw_utilization": result.nda_bw_utilization,
+        "idealized_bw_utilization": result.idealized_bw_utilization,
+    }
+
+
 def run_write_throttling(mixes: Optional[Sequence[str]] = None,
                          cycles: int = DEFAULT_CYCLES,
                          warmup: int = DEFAULT_WARMUP,
                          elements_per_rank: int = DEFAULT_ELEMENTS_PER_RANK,
                          opcode: NdaOpcode = NdaOpcode.COPY,
+                         processes: Optional[int] = None,
+                         cache_dir: Optional[str] = None,
                          ) -> List[Dict[str, object]]:
     """One row per (mix, throttling policy)."""
     mixes = list(mixes) if mixes is not None else QUICK_MIXES
-    rows: List[Dict[str, object]] = []
-    for mix in mixes:
-        cores = 8 if mix == "mix0" else None
-        for label, policy, probability in POLICIES:
-            system = build_system(AccessMode.BANK_PARTITIONED, mix,
-                                  throttle=policy,
-                                  stochastic_probability=probability or 0.25,
-                                  cores=cores)
-            system.set_nda_workload(opcode, elements_per_rank=elements_per_rank)
-            result = system.run(cycles=cycles, warmup=warmup)
-            rows.append({
-                "mix": mix,
-                "policy": label,
-                "host_ipc": result.host_ipc,
-                "nda_bw_utilization": result.nda_bw_utilization,
-                "idealized_bw_utilization": result.idealized_bw_utilization,
-            })
-    return rows
+    params = [
+        {"mix": mix, "label": label, "policy": policy,
+         "probability": probability, "operation": opcode.value,
+         "cycles": cycles, "warmup": warmup,
+         "elements_per_rank": elements_per_rank}
+        for mix in mixes
+        for label, policy, probability in POLICIES
+    ]
+    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)
 
 
 def tradeoff_summary(rows: Sequence[Dict[str, object]]) -> Dict[str, Dict[str, float]]:

@@ -19,6 +19,7 @@ from repro.experiments.common import (
     build_system,
     format_table,
 )
+from repro.experiments.sweep import run_sweep
 from repro.nda.isa import NdaOpcode, OPCODE_TRAITS
 
 #: Operand sizes in bytes per rank, as named in the paper.
@@ -40,6 +41,42 @@ QUICK_OPERATIONS: Tuple[NdaOpcode, ...] = (
 QUICK_SIZES: Tuple[str, ...] = ("small", "medium")
 
 
+def _point(operation: str, size_name: str, async_launch: bool, mix: str,
+           cycles: int, warmup: int, gemv_rows: int,
+           large_cap_bytes: int) -> Dict[str, object]:
+    element_bytes = 4
+    opcode = NdaOpcode(operation)
+    size_bytes = min(SIZE_CLASSES[size_name], large_cap_bytes) \
+        if size_name == "large" else SIZE_CLASSES[size_name]
+    if opcode is NdaOpcode.GEMV:
+        # GEMV: the number of columns equals the vector size and the
+        # number of rows is fixed at 128 (Section VII).
+        matrix_columns = max(1, size_bytes // element_bytes)
+        elements_per_rank = gemv_rows
+    else:
+        matrix_columns = 0
+        elements_per_rank = max(1, size_bytes // element_bytes)
+    system = build_system(AccessMode.BANK_PARTITIONED, mix,
+                          throttle="next_rank")
+    system.set_nda_workload(
+        opcode,
+        elements_per_rank=elements_per_rank,
+        async_launch=async_launch,
+        matrix_columns=matrix_columns,
+    )
+    result = system.run(cycles=cycles, warmup=warmup)
+    label = f"{size_name}+async" if async_launch else size_name
+    return {
+        "operation": opcode.value,
+        "size": label,
+        "write_intensity": OPCODE_TRAITS[opcode].write_intensity,
+        "host_ipc": result.host_ipc,
+        "nda_bw_utilization": result.nda_bw_utilization,
+        "idealized_bw_utilization": result.idealized_bw_utilization,
+        "nda_instructions": result.nda_instructions_completed,
+    }
+
+
 def run_operation_size_sweep(operations: Sequence[NdaOpcode] = QUICK_OPERATIONS,
                              sizes: Sequence[str] = QUICK_SIZES,
                              include_async_small: bool = True,
@@ -48,6 +85,8 @@ def run_operation_size_sweep(operations: Sequence[NdaOpcode] = QUICK_OPERATIONS,
                              warmup: int = DEFAULT_WARMUP,
                              gemv_rows: int = 128,
                              large_cap_bytes: int = 1 << 20,
+                             processes: Optional[int] = None,
+                             cache_dir: Optional[str] = None,
                              ) -> List[Dict[str, object]]:
     """One row per (operation, size class [, async]).
 
@@ -55,43 +94,18 @@ def run_operation_size_sweep(operations: Sequence[NdaOpcode] = QUICK_OPERATIONS,
     reasonable wall-clock time; pass ``8 * 1024 * 1024`` to match the paper's
     size exactly.
     """
-    element_bytes = 4
-    rows: List[Dict[str, object]] = []
     cases: List[Tuple[str, bool]] = [(size, False) for size in sizes]
     if include_async_small:
         cases.append(("small", True))
-    for opcode in operations:
-        for size_name, async_launch in cases:
-            size_bytes = min(SIZE_CLASSES[size_name], large_cap_bytes) \
-                if size_name == "large" else SIZE_CLASSES[size_name]
-            if opcode is NdaOpcode.GEMV:
-                # GEMV: the number of columns equals the vector size and the
-                # number of rows is fixed at 128 (Section VII).
-                matrix_columns = max(1, size_bytes // element_bytes)
-                elements_per_rank = gemv_rows
-            else:
-                matrix_columns = 0
-                elements_per_rank = max(1, size_bytes // element_bytes)
-            system = build_system(AccessMode.BANK_PARTITIONED, mix,
-                                  throttle="next_rank")
-            system.set_nda_workload(
-                opcode,
-                elements_per_rank=elements_per_rank,
-                async_launch=async_launch,
-                matrix_columns=matrix_columns,
-            )
-            result = system.run(cycles=cycles, warmup=warmup)
-            label = f"{size_name}+async" if async_launch else size_name
-            rows.append({
-                "operation": opcode.value,
-                "size": label,
-                "write_intensity": OPCODE_TRAITS[opcode].write_intensity,
-                "host_ipc": result.host_ipc,
-                "nda_bw_utilization": result.nda_bw_utilization,
-                "idealized_bw_utilization": result.idealized_bw_utilization,
-                "nda_instructions": result.nda_instructions_completed,
-            })
-    return rows
+    params = [
+        {"operation": opcode.value, "size_name": size_name,
+         "async_launch": async_launch, "mix": mix, "cycles": cycles,
+         "warmup": warmup, "gemv_rows": gemv_rows,
+         "large_cap_bytes": large_cap_bytes}
+        for opcode in operations
+        for size_name, async_launch in cases
+    ]
+    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)
 
 
 def write_intensity_correlation(rows: Sequence[Dict[str, object]],

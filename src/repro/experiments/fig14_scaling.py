@@ -22,6 +22,7 @@ from repro.experiments.common import (
     build_system,
     format_table,
 )
+from repro.experiments.sweep import run_sweep
 from repro.nda.isa import NdaOpcode
 
 FULL_RANK_CONFIGS: Tuple[Tuple[int, int], ...] = ((2, 2), (2, 4))
@@ -44,33 +45,57 @@ def _configure_workload(system, workload: str, elements_per_rank: int) -> None:
         )
 
 
+def _point(channels: int, ranks: int, scheme: str, mode: str, workload: str,
+           mix: str, cycles: int, warmup: int, elements_per_rank: int,
+           engine: str = "event") -> Dict[str, object]:
+    system = build_system(AccessMode(mode), mix, channels=channels,
+                          ranks_per_channel=ranks, throttle="next_rank",
+                          engine=engine)
+    _configure_workload(system, workload, elements_per_rank)
+    result = system.run(cycles=cycles, warmup=warmup)
+    return {
+        "channels": channels,
+        "ranks_per_channel": ranks,
+        "scheme": scheme,
+        "workload": workload,
+        "host_ipc": result.host_ipc,
+        "nda_bandwidth_gbs": result.nda_bandwidth_gbs,
+        "nda_bw_utilization": result.nda_bw_utilization,
+    }
+
+
+def sweep_params(rank_configs: Sequence[Tuple[int, int]] = FULL_RANK_CONFIGS,
+                 workloads: Sequence[str] = QUICK_WORKLOADS,
+                 mix: str = "mix1",
+                 cycles: int = DEFAULT_CYCLES,
+                 warmup: int = DEFAULT_WARMUP,
+                 elements_per_rank: int = DEFAULT_ELEMENTS_PER_RANK,
+                 engine: str = "event") -> List[Dict[str, object]]:
+    """The parameter sets of the figure sweep (shared with the benchmark)."""
+    return [
+        {"channels": channels, "ranks": ranks, "scheme": scheme_name,
+         "mode": mode.value, "workload": workload, "mix": mix,
+         "cycles": cycles, "warmup": warmup,
+         "elements_per_rank": elements_per_rank, "engine": engine}
+        for channels, ranks in rank_configs
+        for scheme_name, mode in SCHEMES
+        for workload in workloads
+    ]
+
+
 def run_scalability_comparison(rank_configs: Sequence[Tuple[int, int]] = FULL_RANK_CONFIGS,
                                workloads: Sequence[str] = QUICK_WORKLOADS,
                                mix: str = "mix1",
                                cycles: int = DEFAULT_CYCLES,
                                warmup: int = DEFAULT_WARMUP,
                                elements_per_rank: int = DEFAULT_ELEMENTS_PER_RANK,
+                               processes: Optional[int] = None,
+                               cache_dir: Optional[str] = None,
                                ) -> List[Dict[str, object]]:
     """One row per (rank config, scheme, workload)."""
-    rows: List[Dict[str, object]] = []
-    for channels, ranks in rank_configs:
-        for scheme_name, mode in SCHEMES:
-            for workload in workloads:
-                system = build_system(mode, mix, channels=channels,
-                                      ranks_per_channel=ranks,
-                                      throttle="next_rank")
-                _configure_workload(system, workload, elements_per_rank)
-                result = system.run(cycles=cycles, warmup=warmup)
-                rows.append({
-                    "channels": channels,
-                    "ranks_per_channel": ranks,
-                    "scheme": scheme_name,
-                    "workload": workload,
-                    "host_ipc": result.host_ipc,
-                    "nda_bandwidth_gbs": result.nda_bandwidth_gbs,
-                    "nda_bw_utilization": result.nda_bw_utilization,
-                })
-    return rows
+    params = sweep_params(rank_configs, workloads, mix, cycles, warmup,
+                          elements_per_rank)
+    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)
 
 
 def chopim_advantage(rows: Sequence[Dict[str, object]]) -> Dict[str, float]:

@@ -27,6 +27,7 @@ from repro.apps.svrg import (
     measure_svrg_timing,
 )
 from repro.experiments.common import format_table
+from repro.experiments.sweep import run_sweep
 
 #: Epoch fractions swept by the paper (N, N/2, N/4).
 EPOCH_FRACTIONS: Tuple[float, ...] = (1.0, 0.5, 0.25)
@@ -80,10 +81,71 @@ def run_svrg_convergence(num_ndas: int = 8,
     return histories
 
 
+def _point(num_ndas: int, outer_iterations: int, measure: bool,
+           dataset_kwargs: Optional[Dict] = None) -> Dict[str, object]:
+    """Figure 15b sweep point: speedups at one NDA count."""
+    trainer = _trainer(num_ndas, measure, dataset_kwargs)
+    max_outer = outer_iterations * 4
+    # The quality target is the gap host-only SVRG reaches at its default
+    # (epoch N) setting; the host-only baseline itself is then best-tuned
+    # over epoch fractions, as in the paper ("lr = best-tuned").
+    reference = trainer.train(SvrgVariant.HOST_ONLY,
+                              outer_iterations=max(2, outer_iterations // 2),
+                              epoch_fraction=1.0)
+    threshold = reference[-1].loss_gap * 1.01
+    host_times: List[float] = [reference[-1].wall_clock_seconds]
+    for fraction in EPOCH_FRACTIONS[1:]:
+        history = trainer.train_until(SvrgVariant.HOST_ONLY, threshold,
+                                      epoch_fraction=fraction,
+                                      max_outer_iterations=max_outer)
+        t = SvrgTrainer.time_to_converge(history, threshold)
+        if t is not None:
+            host_times.append(t)
+    host_time = min(host_times)
+
+    acc_times: Dict[str, Optional[float]] = {}
+    for fraction in EPOCH_FRACTIONS:
+        history = trainer.train_until(SvrgVariant.ACCELERATED, threshold,
+                                      epoch_fraction=fraction,
+                                      max_outer_iterations=max_outer)
+        acc_times[f"ACC_{fraction:g}"] = SvrgTrainer.time_to_converge(
+            history, threshold)
+    reached = [t for t in acc_times.values() if t is not None]
+    acc_time = min(reached) if reached else None
+
+    # Delayed update is best-tuned over the same epoch fractions; the
+    # exchange cadence itself is set by the NDA summarization time
+    # (Section IV), so the fraction mostly controls snapshot frequency.
+    delayed_times: List[float] = []
+    for fraction in EPOCH_FRACTIONS:
+        history = trainer.train_until(
+            SvrgVariant.DELAYED_UPDATE, threshold,
+            epoch_fraction=fraction,
+            max_outer_iterations=max_outer)
+        t = SvrgTrainer.time_to_converge(history, threshold)
+        if t is not None:
+            delayed_times.append(t)
+    delayed_time = min(delayed_times) if delayed_times else None
+
+    return {
+        "num_ndas": num_ndas,
+        "threshold": threshold,
+        "host_only_seconds": host_time,
+        "acc_best_seconds": acc_time,
+        "delayed_update_seconds": delayed_time,
+        "acc_best_speedup": (host_time / acc_time
+                             if host_time and acc_time else None),
+        "delayed_update_speedup": (host_time / delayed_time
+                                   if host_time and delayed_time else None),
+    }
+
+
 def run_svrg_scaling(nda_counts: Sequence[int] = (4, 8, 16),
                      outer_iterations: int = 10,
                      measure: bool = False,
                      dataset_kwargs: Optional[Dict] = None,
+                     processes: Optional[int] = None,
+                     cache_dir: Optional[str] = None,
                      ) -> List[Dict[str, object]]:
     """Figure 15b: ACC_Best and DelayedUpdate speedup over host-only per NDA count.
 
@@ -93,63 +155,12 @@ def run_svrg_scaling(nda_counts: Sequence[int] = (4, 8, 16),
     ``outer_iterations`` epochs; the accelerated and delayed-update variants
     then train until they reach that same gap.
     """
-    rows: List[Dict[str, object]] = []
-    for num_ndas in nda_counts:
-        trainer = _trainer(num_ndas, measure, dataset_kwargs)
-        max_outer = outer_iterations * 4
-        # The quality target is the gap host-only SVRG reaches at its default
-        # (epoch N) setting; the host-only baseline itself is then best-tuned
-        # over epoch fractions, as in the paper ("lr = best-tuned").
-        reference = trainer.train(SvrgVariant.HOST_ONLY,
-                                  outer_iterations=max(2, outer_iterations // 2),
-                                  epoch_fraction=1.0)
-        threshold = reference[-1].loss_gap * 1.01
-        host_times: List[float] = [reference[-1].wall_clock_seconds]
-        for fraction in EPOCH_FRACTIONS[1:]:
-            history = trainer.train_until(SvrgVariant.HOST_ONLY, threshold,
-                                          epoch_fraction=fraction,
-                                          max_outer_iterations=max_outer)
-            t = SvrgTrainer.time_to_converge(history, threshold)
-            if t is not None:
-                host_times.append(t)
-        host_time = min(host_times)
-
-        acc_times: Dict[str, Optional[float]] = {}
-        for fraction in EPOCH_FRACTIONS:
-            history = trainer.train_until(SvrgVariant.ACCELERATED, threshold,
-                                          epoch_fraction=fraction,
-                                          max_outer_iterations=max_outer)
-            acc_times[f"ACC_{fraction:g}"] = SvrgTrainer.time_to_converge(
-                history, threshold)
-        reached = [t for t in acc_times.values() if t is not None]
-        acc_time = min(reached) if reached else None
-
-        # Delayed update is best-tuned over the same epoch fractions; the
-        # exchange cadence itself is set by the NDA summarization time
-        # (Section IV), so the fraction mostly controls snapshot frequency.
-        delayed_times: List[float] = []
-        for fraction in EPOCH_FRACTIONS:
-            history = trainer.train_until(
-                SvrgVariant.DELAYED_UPDATE, threshold,
-                epoch_fraction=fraction,
-                max_outer_iterations=max_outer)
-            t = SvrgTrainer.time_to_converge(history, threshold)
-            if t is not None:
-                delayed_times.append(t)
-        delayed_time = min(delayed_times) if delayed_times else None
-
-        rows.append({
-            "num_ndas": num_ndas,
-            "threshold": threshold,
-            "host_only_seconds": host_time,
-            "acc_best_seconds": acc_time,
-            "delayed_update_seconds": delayed_time,
-            "acc_best_speedup": (host_time / acc_time
-                                 if host_time and acc_time else None),
-            "delayed_update_speedup": (host_time / delayed_time
-                                       if host_time and delayed_time else None),
-        })
-    return rows
+    params = [
+        {"num_ndas": num_ndas, "outer_iterations": outer_iterations,
+         "measure": measure, "dataset_kwargs": dataset_kwargs}
+        for num_ndas in nda_counts
+    ]
+    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

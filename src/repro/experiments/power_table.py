@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.apps.workloads import svrg_kernel_sequence
+from repro.config import scaled_config
 from repro.core.energy import EnergyModel
 from repro.core.modes import AccessMode
 from repro.experiments.common import (
@@ -21,40 +22,50 @@ from repro.experiments.common import (
     build_system,
     format_table,
 )
+from repro.experiments.sweep import run_sweep
+
+
+def _point(scenario: str, mix: str, cycles: int,
+           warmup: int) -> Dict[str, object]:
+    if scenario == "theoretical_max":
+        # Closed-form bound: no simulator needed, just the configuration.
+        cfg = scaled_config(2, 2)
+        energy_model = EnergyModel(cfg.org, cfg.energy)
+        maximum = energy_model.theoretical_max_host_power_w()
+        return {
+            "scenario": "theoretical_max_host_only",
+            "host_power_w": maximum,
+            "nda_power_w": 0.0,
+            "total_power_w": maximum,
+        }
+    if scenario == "host_only":
+        system = build_system(AccessMode.HOST_ONLY, mix)
+        result = system.run(cycles=cycles, warmup=warmup)
+        label = f"host_only_{mix}"
+    else:
+        system = build_system(AccessMode.BANK_PARTITIONED, mix)
+        system.set_nda_workload_sequence(svrg_kernel_sequence())
+        result = system.run(cycles=cycles, warmup=warmup)
+        label = f"concurrent_{mix}_avg_gradient"
+    return {
+        "scenario": label,
+        "host_power_w": result.energy.get("host_power_w", 0.0),
+        "nda_power_w": result.energy.get("nda_power_w", 0.0),
+        "total_power_w": result.energy.get("total_power_w", 0.0),
+    }
 
 
 def run_power_analysis(mix: str = "mix1",
                        cycles: int = DEFAULT_CYCLES,
-                       warmup: int = DEFAULT_WARMUP) -> List[Dict[str, object]]:
+                       warmup: int = DEFAULT_WARMUP,
+                       processes: Optional[int] = None,
+                       cache_dir: Optional[str] = None) -> List[Dict[str, object]]:
     """Rows: theoretical max, host-only measured, concurrent measured."""
-    rows: List[Dict[str, object]] = []
-
-    host_only = build_system(AccessMode.HOST_ONLY, mix)
-    host_result = host_only.run(cycles=cycles, warmup=warmup)
-    energy_model = EnergyModel(host_only.config.org, host_only.config.energy)
-    rows.append({
-        "scenario": "theoretical_max_host_only",
-        "host_power_w": energy_model.theoretical_max_host_power_w(),
-        "nda_power_w": 0.0,
-        "total_power_w": energy_model.theoretical_max_host_power_w(),
-    })
-    rows.append({
-        "scenario": f"host_only_{mix}",
-        "host_power_w": host_result.energy.get("host_power_w", 0.0),
-        "nda_power_w": host_result.energy.get("nda_power_w", 0.0),
-        "total_power_w": host_result.energy.get("total_power_w", 0.0),
-    })
-
-    concurrent = build_system(AccessMode.BANK_PARTITIONED, mix)
-    concurrent.set_nda_workload_sequence(svrg_kernel_sequence())
-    concurrent_result = concurrent.run(cycles=cycles, warmup=warmup)
-    rows.append({
-        "scenario": f"concurrent_{mix}_avg_gradient",
-        "host_power_w": concurrent_result.energy.get("host_power_w", 0.0),
-        "nda_power_w": concurrent_result.energy.get("nda_power_w", 0.0),
-        "total_power_w": concurrent_result.energy.get("total_power_w", 0.0),
-    })
-    return rows
+    params = [
+        {"scenario": scenario, "mix": mix, "cycles": cycles, "warmup": warmup}
+        for scenario in ("theoretical_max", "host_only", "concurrent")
+    ]
+    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)
 
 
 def concurrent_below_host_max(rows: List[Dict[str, object]]) -> bool:

@@ -7,7 +7,7 @@ to lowest aggregate memory intensity.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.host.profiles import BenchmarkProfile, profile_by_name
 

@@ -12,7 +12,7 @@ are representative values for each benchmark's well-known behaviour
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 
 @dataclass(frozen=True)

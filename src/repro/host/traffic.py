@@ -10,7 +10,7 @@ target lines touched recently, as an LLC eviction stream would.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, Tuple
 
 from repro.host.profiles import BenchmarkProfile
 from repro.utils.rng import DeterministicRng

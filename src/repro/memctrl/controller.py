@@ -9,13 +9,13 @@ queue state the NDA-side next-rank predictor inspects (Section III-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import SchedulerConfig
 from repro.dram.commands import Command, CommandType, DramAddress, RequestSource
 from repro.dram.device import DramSystem
-from repro.memctrl.frfcfs import FrFcfsScheduler
+from repro.memctrl.frfcfs import NO_EVENT, FrFcfsScheduler
 from repro.memctrl.request import MemoryRequest, RequestQueue
 from repro.utils.stats import Counter, WindowedStat
 
@@ -46,6 +46,13 @@ class ChannelController:
         #: the concurrent-access scheduler uses it to gate NDA issue.
         self.last_issue_cycle: int = -1
         self.last_issue_rank: int = -1
+        #: Lower bound on the next cycle a *queued request* could issue.
+        #: Never late: set to "next cycle" on any enqueue or issue, and to
+        #: the exact scan-derived horizon when a full FR-FCFS scan finds
+        #: nothing issuable.  External DRAM activity (NDA commands, refresh)
+        #: only pushes timing constraints later, so a stale hint can only be
+        #: early — which costs a no-op wake, never a missed event.
+        self._issue_hint: int = 0
 
     # ------------------------------------------------------------------ #
     # Enqueue interface (used by the host model and the runtime)
@@ -76,6 +83,7 @@ class ChannelController:
                 return True
         queue.push(request)
         self.counters.add("write_enqueued" if request.is_write else "read_enqueued")
+        self._issue_hint = now + 1
         return True
 
     # ------------------------------------------------------------------ #
@@ -111,10 +119,14 @@ class ChannelController:
         if self._issue_refresh_if_due(now):
             return completed
         self._update_drain_mode()
-        request_cmd = self._pick(now)
+        request_cmd, horizon = self._pick(now)
         if request_cmd is not None:
             request, cmd = request_cmd
             self._issue_for_request(request, cmd, now)
+        else:
+            # Full scan found nothing issuable: the horizon is an exact
+            # lower bound on the next request-issue opportunity.
+            self._issue_hint = max(now + 1, horizon)
         return completed
 
     # -- internals -------------------------------------------------------- #
@@ -170,16 +182,18 @@ class ChannelController:
             if self.write_queue.occupancy <= low or not self.write_queue:
                 self._draining_writes = False
 
-    def _pick(self, now: int) -> Optional[Tuple[MemoryRequest, Command]]:
+    def _pick(self, now: int,
+              ) -> Tuple[Optional[Tuple[MemoryRequest, Command]], int]:
         primary, secondary = (
             (self.write_queue, self.read_queue) if self._draining_writes
             else (self.read_queue, self.write_queue)
         )
-        choice = self.scheduler.select(primary, now)
+        choice, primary_horizon = self.scheduler.select_or_horizon(primary, now)
         if choice is not None:
-            return choice
+            return choice, NO_EVENT
         # Serve the other queue opportunistically so the channel is not idle.
-        return self.scheduler.select(secondary, now)
+        choice, secondary_horizon = self.scheduler.select_or_horizon(secondary, now)
+        return choice, min(primary_horizon, secondary_horizon)
 
     def _issue_for_request(self, request: MemoryRequest, cmd: Command,
                            now: int) -> None:
@@ -212,6 +226,64 @@ class ChannelController:
     def _note_issue(self, now: int, rank: int) -> None:
         self.last_issue_cycle = now
         self.last_issue_rank = rank
+        # An issue changes queue and DRAM state; be conservative and allow
+        # another action next cycle.
+        self._issue_hint = now + 1
+
+    # ------------------------------------------------------------------ #
+    # Event-engine interface
+    # ------------------------------------------------------------------ #
+
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest cycle >= ``now`` at which ``tick`` could do anything.
+
+        Combines pending completion deliveries (exact), refresh due times
+        (exact) and the queued-request issue hint (never late).  A stale
+        hint (``<= now``, left over from the last issue or enqueue) is
+        refreshed here with a side-effect-free FR-FCFS probe, so cycles on
+        which nothing can issue are skipped instead of ticked.  Cycles
+        strictly before the returned value are provably no-ops for this
+        controller, so the event engine may skip them.
+        """
+        wake = NO_EVENT
+        if self._completions:
+            wake = min(p.cycle for p in self._completions)
+        if self.config.refresh_enabled:
+            timing = self.dram.timing
+            for rank in range(self.dram.org.ranks_per_channel):
+                due = timing.next_refresh_due_cycle(self.channel, rank)
+                if due < wake:
+                    wake = due
+        if self.read_queue or self.write_queue:
+            hint = self._issue_hint
+            if hint <= now < wake:
+                hint = self._probe_issue(now)
+            if hint < wake:
+                wake = hint
+        return wake if wake > now else now
+
+    def _probe_issue(self, now: int) -> int:
+        """Pure scan: ``now`` if any queued request can issue, else the horizon.
+
+        Mirrors the tick's FR-FCFS selection without issuing or counting;
+        used only for wake-up computation.  The refreshed hint stays valid
+        until the next enqueue or issue on this channel (both reset it).
+        """
+        choice, read_horizon = self.scheduler.select_or_horizon(
+            self.read_queue, now)
+        if choice is not None:
+            return now
+        choice, write_horizon = self.scheduler.select_or_horizon(
+            self.write_queue, now)
+        if choice is not None:
+            return now
+        self._issue_hint = max(now + 1, min(read_horizon, write_horizon))
+        return self._issue_hint
+
+    def reset_measurement(self) -> None:
+        """Zero measurement counters at the warmup boundary."""
+        self.counters.reset()
+        self.read_latency = WindowedStat()
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -4,6 +4,11 @@ First-Ready, First-Come-First-Served: among queued requests, prefer one whose
 *next required DRAM command* is issuable this cycle and whose access is a
 row-buffer hit; fall back to the oldest request whose next command is
 issuable; otherwise pick nothing.
+
+Selection can also report a *horizon*: the earliest future cycle at which any
+scanned request could issue, given no further state changes.  The event
+engine uses the horizon to fast-forward over cycles where the controller
+provably cannot act.
 """
 
 from __future__ import annotations
@@ -13,6 +18,9 @@ from typing import Iterable, Optional, Tuple
 from repro.dram.commands import Command, CommandType, RequestSource
 from repro.dram.device import DramSystem
 from repro.memctrl.request import MemoryRequest
+
+#: Sentinel for "no issuable cycle known" horizons.
+NO_EVENT = 1 << 62
 
 
 class FrFcfsScheduler:
@@ -34,14 +42,36 @@ class FrFcfsScheduler:
     def select(self, requests: Iterable[MemoryRequest],
                now: int) -> Optional[Tuple[MemoryRequest, Command]]:
         """Pick (request, command) per FR-FCFS, or None if nothing can issue."""
+        choice, _ = self.select_or_horizon(requests, now)
+        return choice
+
+    def select_or_horizon(self, requests: Iterable[MemoryRequest], now: int,
+                          ) -> Tuple[Optional[Tuple[MemoryRequest, Command]], int]:
+        """FR-FCFS pick plus the earliest future issue cycle.
+
+        Returns ``(choice, horizon)``.  When ``choice`` is not None the
+        horizon is meaningless (the scan may have stopped early at a
+        row-hit); when ``choice`` is None the horizon is the minimum
+        ``earliest_issue`` over every queued request's required command — a
+        lower bound on the next cycle this queue could issue anything,
+        assuming no intervening enqueue or DRAM state change that hastens a
+        request (timing state only ever moves constraints later).
+        """
         fallback: Optional[Tuple[MemoryRequest, Command]] = None
+        horizon = NO_EVENT
         for request in requests:  # iteration order == arrival order
-            is_hit = self.dram.row_hit_possible(request.addr)
-            cmd = self.next_command_for(request, now)
-            if cmd is None:
+            kind = self.dram.required_command(request.addr, request.is_write)
+            cmd = Command(kind, request.addr, RequestSource.HOST,
+                          request_id=request.request_id)
+            earliest = self.dram.earliest_issue(cmd, now)
+            if earliest > now:
+                if earliest < horizon:
+                    horizon = earliest
                 continue
-            if is_hit and cmd.kind in (CommandType.RD, CommandType.WR):
-                return request, cmd
+            if (kind is CommandType.RD or kind is CommandType.WR):
+                # required_command returns a column command only when the
+                # target row is open — a row-buffer hit by construction.
+                return (request, cmd), NO_EVENT
             if fallback is None:
                 fallback = (request, cmd)
-        return fallback
+        return fallback, horizon

@@ -14,17 +14,20 @@ requests, and applies the configured write-throttle policy to drains
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.config import NdaConfig
 from repro.dram.commands import Command, CommandType, DramAddress, RequestSource
 from repro.dram.device import DramSystem
 from repro.nda.fsm import ReplicatedFsm
-from repro.nda.isa import NdaInstruction, NdaOpcode
+from repro.nda.isa import NdaInstruction
 from repro.nda.pe import ProcessingElement
 from repro.nda.throttle import IssueIfIdlePolicy, WriteThrottlePolicy
 from repro.nda.write_buffer import NdaWriteBuffer
+
+#: Sentinel for "no wake-up needed" horizons (matches the engine's INFINITY).
+_NO_EVENT = 1 << 62
 
 
 @dataclass
@@ -60,9 +63,11 @@ class _ExecutionState:
         self.writes_staged = 0
         self.writes_drained = 0
         # Index of the last read / drained write whose row-buffer outcome has
-        # been classified (each access is classified once, on first attempt).
-        self.read_attempted_idx = -1
-        self.write_attempted_idx = -1
+        # been classified.  Each access is classified exactly once, at the
+        # moment its first DRAM command issues (so the hit/miss/conflict
+        # outcome reflects the bank state the access found).
+        self.read_classified_idx = -1
+        self.write_classified_idx = -1
         # Read phase bookkeeping: operands are streamed one row (batch) at a
         # time, operand after operand within a batch.
         self.num_operands = max(1, len(work.operand_banks))
@@ -138,6 +143,7 @@ class NdaRankController:
                  allowed_banks: Optional[List[int]] = None,
                  throttle: Optional[WriteThrottlePolicy] = None,
                  host_pending_to_bank: Optional[Callable[[int, int, int], bool]] = None,
+                 issue_horizon: Optional[Callable[[int, int, int], int]] = None,
                  ) -> None:
         self.channel = channel
         self.rank = rank
@@ -146,12 +152,20 @@ class NdaRankController:
         self.allowed_banks = allowed_banks or list(range(dram.org.banks_per_rank))
         self.throttle = throttle or IssueIfIdlePolicy()
         self._host_pending_to_bank = host_pending_to_bank
+        self._issue_horizon = issue_horizon or dram.next_host_free_cycle
         self.write_buffer = NdaWriteBuffer(self.config.write_buffer_entries)
         self.fsm = ReplicatedFsm(channel, rank)
         self.pes = [ProcessingElement(chip, self.config)
                     for chip in range(dram.org.chips_per_rank)]
         self._queue: Deque[RankWorkItem] = deque()
         self._active: Optional[_ExecutionState] = None
+        # Cached wake-up for the event engine, tagged with the rank's issue
+        # version: any command issued to the rank (ours or the host's) can
+        # change bank state, timing constraints or host-busy windows, so the
+        # cache is discarded when the version moves.  Local state changes
+        # (attempts, staging, refills, new work) invalidate it explicitly.
+        self._wake_cache = 0
+        self._wake_cache_version = -1
         # Statistics
         self.bytes_read = 0
         self.bytes_written = 0
@@ -167,6 +181,7 @@ class NdaRankController:
     def enqueue(self, work: RankWorkItem, now: int = 0) -> None:
         work.launched_cycle = now
         self._queue.append(work)
+        self._wake_cache_version = -1
 
     @property
     def pending_instructions(self) -> int:
@@ -255,37 +270,42 @@ class NdaRankController:
         return self._host_pending_to_bank(self.channel, self.rank, flat)
 
     def _issue_toward(self, addr: DramAddress, is_write: bool, now: int,
-                      classify: bool = False) -> bool:
+                      classify: bool = False) -> Optional[CommandType]:
         """Issue the next command (PRE/ACT/column) needed for an access.
 
-        Returns True when the *column* command issued (the access finished);
-        row commands return False so the caller knows the access is still
-        pending, but they do consume this cycle's issue slot.  ``classify``
-        records the row-buffer outcome of the access (hit/miss/conflict) the
-        first time the access is attempted.
+        Returns the issued command kind, or None when nothing could issue
+        (the access is still pending and did not consume this cycle's issue
+        slot).  ``classify`` records the row-buffer outcome of the access
+        (hit/miss/conflict) just before its first command issues, so the
+        outcome reflects the bank state the access found.
         """
         kind = self.dram.required_command(addr, is_write)
         cmd = Command(kind, addr, RequestSource.NDA)
+        if kind.is_row and self._host_wants_bank(addr):
+            # Host row commands take priority on contended banks.  The block
+            # lifts when the host queue changes, which only happens at
+            # engine-processed cycles — retry at the next opportunity.
+            self.cycles_blocked_by_host += 1
+            return None
+        if self.dram.earliest_issue(cmd, now) > now:
+            return None
         if classify:
             self.dram.record_access_outcome(addr, is_write, is_nda=True)
-        if kind.is_row and self._host_wants_bank(addr):
-            # Host row commands take priority on contended banks.
-            self.cycles_blocked_by_host += 1
-            return False
-        if not self.dram.can_issue(cmd, now):
-            return False
         self.dram.issue(cmd, now)
         self.commands_issued += 1
-        return kind.is_column
+        return kind
 
     def _try_read(self, now: int, state: _ExecutionState) -> bool:
         bank, row, column = state.next_read()
         addr = self._addr(bank, row, column)
-        classify = state.reads_issued > state.read_attempted_idx
-        state.read_attempted_idx = state.reads_issued
-        issued_column = self._issue_toward(addr, is_write=False, now=now,
-                                           classify=classify)
-        if issued_column:
+        classify = state.reads_issued > state.read_classified_idx
+        issued = self._issue_toward(addr, is_write=False, now=now,
+                                    classify=classify)
+        if issued is None:
+            return False
+        if classify:
+            state.read_classified_idx = state.reads_issued
+        if issued.is_column:
             state.advance_read()
             self.bytes_read += self.dram.org.cacheline_bytes
             self.fsm.apply("read_issued")
@@ -313,11 +333,14 @@ class NdaRankController:
         if not self.throttle.allow_write(self.channel, self.rank, now):
             self.cycles_blocked_by_throttle += 1
             return False
-        classify = state.writes_drained > state.write_attempted_idx
-        state.write_attempted_idx = state.writes_drained
-        issued_column = self._issue_toward(addr, is_write=True, now=now,
-                                           classify=classify)
-        if issued_column:
+        classify = state.writes_drained > state.write_classified_idx
+        issued = self._issue_toward(addr, is_write=True, now=now,
+                                    classify=classify)
+        if issued is None:
+            return False
+        if classify:
+            state.write_classified_idx = state.writes_drained
+        if issued.is_column:
             self.write_buffer.pop()
             state.advance_write_drained()
             self.bytes_written += self.dram.org.cacheline_bytes
@@ -338,6 +361,99 @@ class NdaRankController:
                 pe.finish()
         if work.on_complete is not None:
             work.on_complete(now)
+
+    # ------------------------------------------------------------------ #
+    # Event-engine interface
+    # ------------------------------------------------------------------ #
+
+    def invalidate_wake(self) -> None:
+        """Discard the cached wake-up (called after any local processing)."""
+        self._wake_cache_version = -1
+
+    @property
+    def wake_invalidated(self) -> bool:
+        """Whether local state changed since the wake-up was last computed.
+
+        The engine re-checks this before trusting a wake computed earlier in
+        the same cycle: work delivered mid-cycle (a launch-packet completion)
+        must be able to start on its delivery cycle, exactly as in the
+        cycle-by-cycle loop.
+        """
+        return self._wake_cache_version == -1
+
+    def _access_wake(self, addr: DramAddress, is_write: bool, now: int) -> int:
+        """Earliest cycle >= ``now`` the next command for ``addr`` could issue.
+
+        Combines the DRAM timing horizon of the required command with the
+        rank's host-busy windows (the concurrent-access gate).  Exact under
+        the fast-forward contract: both inputs are frozen until the next
+        command issues to the rank, which bumps the rank issue version and
+        invalidates the cached result.
+        """
+        kind = self.dram.required_command(addr, is_write)
+        if kind.is_row and self._host_wants_bank(addr):
+            # Blocked on the host queue: poll at each issue opportunity.
+            return self._issue_horizon(self.channel, self.rank, now)
+        cmd = Command(kind, addr, RequestSource.NDA)
+        earliest = self.dram.earliest_issue(cmd, now)
+        return self._issue_horizon(self.channel, self.rank,
+                                   earliest if earliest > now else now)
+
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest cycle >= ``now`` at which this controller may act.
+
+        The contract (see ``engine/``): for every cycle strictly before the
+        returned value, calling ``try_issue``/``post_cycle`` would neither
+        issue a command, classify an access, consume throttle RNG, nor
+        complete an instruction — so the event engine may skip those cycles.
+        Drains under a non-deterministic throttle pin the wake-up to every
+        host-free cycle so RNG draws land on exactly the same cycles as in
+        the cycle-by-cycle loop.
+        """
+        state = self._active
+        if state is None and not self._queue:
+            return _NO_EVENT
+        version = self.dram.rank_issue_version[(self.channel, self.rank)]
+        if version == self._wake_cache_version and self._wake_cache > now:
+            return self._wake_cache
+        if state is None:
+            # Refill (and the first command of the new work item) happens at
+            # the next issue opportunity.
+            wake = self._issue_horizon(self.channel, self.rank, now)
+        else:
+            wake = _NO_EVENT
+            drain_pending = (not self.write_buffer.empty
+                             and (self.write_buffer.draining or state.reads_done))
+            if drain_pending:
+                if not self.throttle.deterministic:
+                    wake = self._issue_horizon(self.channel, self.rank, now)
+                elif self.throttle.would_allow(self.channel, self.rank, now):
+                    wake = self._access_wake(self.write_buffer.peek(),
+                                             is_write=True, now=now)
+                # else: throttled — the block only lifts when the host queue
+                # changes: either a read to this rank issues (bumping the
+                # rank version) or an enqueue makes the prediction stricter
+                # (which can only delay the drain further).
+            if not state.reads_done:
+                bank, row, column = state.next_read()
+                candidate = self._access_wake(self._addr(bank, row, column),
+                                              is_write=False, now=now)
+                if candidate < wake:
+                    wake = candidate
+        self._wake_cache = wake
+        self._wake_cache_version = version
+        return wake
+
+    def reset_measurement(self) -> None:
+        """Zero measurement counters at the warmup boundary."""
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.commands_issued = 0
+        self.cycles_blocked_by_host = 0
+        self.cycles_blocked_by_throttle = 0
+        self.instructions_completed = 0
+        for pe in self.pes:
+            pe.stats = type(pe.stats)()
 
     # ------------------------------------------------------------------ #
     # Statistics

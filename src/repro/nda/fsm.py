@@ -16,8 +16,13 @@ paper relies on, checked by our tests every cycle in debug mode).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
+
+#: Events retained for post-mortem debugging; bounded so multi-billion-cycle
+#: runs do not grow memory without limit.
+_EVENT_LOG_LIMIT = 64
 
 
 @dataclass(frozen=True)
@@ -98,7 +103,7 @@ class ReplicatedFsm:
         self.device_state = NdaFsmState()
         self.host_state = NdaFsmState()
         self.events_applied = 0
-        self._log: List[str] = []
+        self._log: Deque[str] = deque(maxlen=_EVENT_LOG_LIMIT)
 
     # ------------------------------------------------------------------ #
 
@@ -136,7 +141,8 @@ class ReplicatedFsm:
         return self.device_state
 
     def recent_events(self, count: int = 16) -> List[str]:
-        return self._log[-count:]
+        events = list(self._log)
+        return events[-count:]
 
     @staticmethod
     def storage_overhead_bytes() -> Tuple[int, int]:

@@ -284,6 +284,34 @@ class NdaHostController:
         self.rank_controllers[(packet.channel, packet.rank)].enqueue(packet.work, cycle)
 
     # ------------------------------------------------------------------ #
+    # Event-engine interface
+    # ------------------------------------------------------------------ #
+
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest cycle >= ``now`` at which ``tick`` could do anything.
+
+        Launches are self-paced (next cycle once an operation is queued and
+        nothing blocks); stuck launch packets only unblock when a channel
+        write queue frees an entry, which happens at controller issue
+        cycles — those are engine-processed already, and ``tick`` runs on
+        every processed cycle.
+        """
+        if self._operation_queue and self._active_blocking is None:
+            return now
+        if self._pending_packets:
+            packet = self._pending_packets[0]
+            controller = self.channel_controllers[packet.channel]
+            if not controller.write_queue.full:
+                return now
+        return 1 << 62
+
+    def reset_measurement(self) -> None:
+        """Zero measurement counters at the warmup boundary."""
+        self.operations_launched = 0
+        self.operations_completed = 0
+        self.packets_sent = 0
+
+    # ------------------------------------------------------------------ #
     # Statistics
     # ------------------------------------------------------------------ #
 

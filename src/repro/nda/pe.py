@@ -10,7 +10,7 @@ cycle by cycle.  Functional results are computed by the runtime with numpy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.config import NdaConfig

@@ -31,8 +31,23 @@ class WriteThrottlePolicy:
     """Base class: decides whether an NDA write may issue this cycle."""
 
     name = "base"
+    #: Whether the decision is a pure function of observable state (no RNG
+    #: consumption).  Deterministic policies can be peeked by the event
+    #: engine via :meth:`would_allow` without perturbing the simulation;
+    #: non-deterministic ones force the engine to attempt the write on every
+    #: issue-eligible cycle so the RNG stream matches the cycle-by-cycle
+    #: baseline.
+    deterministic = True
 
     def allow_write(self, channel: int, rank: int, now: int) -> bool:
+        raise NotImplementedError
+
+    def would_allow(self, channel: int, rank: int, now: int) -> bool:
+        """Side-effect-free preview of :meth:`allow_write`.
+
+        Only meaningful for deterministic policies; must not touch counters
+        or RNG state.
+        """
         raise NotImplementedError
 
     def observe_host_issue(self, channel: int, rank: int, is_read: bool,
@@ -51,11 +66,15 @@ class IssueIfIdlePolicy(WriteThrottlePolicy):
     def allow_write(self, channel: int, rank: int, now: int) -> bool:
         return True
 
+    def would_allow(self, channel: int, rank: int, now: int) -> bool:
+        return True
+
 
 class StochasticIssuePolicy(WriteThrottlePolicy):
     """Issue each NDA write with a fixed probability (no signaling needed)."""
 
     name = "stochastic_issue"
+    deterministic = False
 
     def __init__(self, probability: float, rng: DeterministicRng) -> None:
         if not 0.0 < probability <= 1.0:
@@ -95,14 +114,17 @@ class NextRankPredictionPolicy(WriteThrottlePolicy):
 
     def allow_write(self, channel: int, rank: int, now: int) -> bool:
         self.checks += 1
+        if not self.would_allow(channel, rank, now):
+            self.inhibits += 1
+            return False
+        return True
+
+    def would_allow(self, channel: int, rank: int, now: int) -> bool:
         controller = self.host_controllers.get(channel)
         if controller is None:
             return True
         predicted = controller.oldest_pending_read_rank()
-        if predicted is not None and predicted == rank:
-            self.inhibits += 1
-            return False
-        return True
+        return predicted is None or predicted != rank
 
     def inhibit_rate(self) -> float:
         return self.inhibits / self.checks if self.checks else 0.0

@@ -10,10 +10,10 @@ operations require (Section III-A, Figure 3).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.addressing.mapping import AddressMapping
-from repro.osmodel.buddy import BuddyAllocator, OutOfMemoryError
+from repro.osmodel.buddy import OutOfMemoryError
 
 Color = Tuple[int, int]
 

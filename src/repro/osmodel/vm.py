@@ -11,7 +11,7 @@ base pages and 2 MiB huge pages (the coarse-allocation granularity).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 
 class TranslationError(Exception):

@@ -10,8 +10,8 @@ follow the configured geometry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.addressing.bank_partition import BankPartitionMapping
 from repro.addressing.mapping import AddressMapping

@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.config import SystemConfig, default_config
+from repro.config import SystemConfig
 from repro.core.modes import AccessMode
 from repro.core.system import ChopimSystem
 from repro.nda.isa import NdaOpcode

@@ -11,7 +11,7 @@ once at the end of the group.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from repro.nda.launch import NdaOperation
 

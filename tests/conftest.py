@@ -16,7 +16,6 @@ from repro.config import (
     DramTimingConfig,
     SystemConfig,
     default_config,
-    scaled_config,
 )
 
 

@@ -12,7 +12,6 @@ from repro.addressing.layout import (
     rank_of_element,
 )
 from repro.addressing.mapping import (
-    LinearMapping,
     SkylakeMapping,
     linear_mapping,
     partition_friendly_mapping,

@@ -6,7 +6,6 @@ import pytest
 from repro.config import DramOrgConfig, EnergyConfig, default_config, scaled_config
 from repro.core.energy import EnergyBreakdown, EnergyModel
 from repro.core.modes import AccessMode, split_ranks_for_partitioning
-from repro.core.scheduler import ConcurrentAccessScheduler
 from repro.core.stats import RankIdleTracker, SimulationStats
 from repro.core.system import ChopimSystem, NdaKernelSpec
 from repro.dram.device import DramEventCounts

@@ -1,0 +1,165 @@
+"""Equivalence suite: the event engine must be cycle-result-exact.
+
+For every access mode, every throttle policy and a composite kernel
+sequence, ``engine="event"`` must produce a :class:`SimulationResult` whose
+every field — including floating-point metrics, per-rank idle breakdowns and
+the energy table — is *identical* (not approximately equal) to
+``engine="cycle"``.  This is the regression contract of the event-driven
+fast-forwarding engine (see ARCHITECTURE.md).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.modes import AccessMode
+from repro.core.system import ChopimSystem, NdaKernelSpec
+from repro.config import scaled_config
+from repro.nda.isa import NdaOpcode
+
+CYCLES = 1500
+WARMUP = 150
+
+
+def _build(engine, mode, mix=None, throttle="next_rank", config=None,
+           stochastic_probability=0.25):
+    return ChopimSystem(config=config, mode=mode, mix=mix, throttle=throttle,
+                        stochastic_probability=stochastic_probability,
+                        engine=engine)
+
+
+def _assert_equivalent(configure, mode, mix=None, throttle="next_rank",
+                       config=None, cycles=CYCLES, warmup=WARMUP,
+                       stochastic_probability=0.25):
+    results = {}
+    for engine in ("cycle", "event"):
+        system = _build(engine, mode, mix=mix, throttle=throttle,
+                        config=config,
+                        stochastic_probability=stochastic_probability)
+        if configure is not None:
+            configure(system)
+        results[engine] = dataclasses.asdict(
+            system.run(cycles=cycles, warmup=warmup))
+    cycle_result, event_result = results["cycle"], results["event"]
+    mismatched = [key for key in cycle_result
+                  if cycle_result[key] != event_result[key]]
+    assert not mismatched, (
+        f"event engine diverged on {mismatched}: "
+        + "; ".join(f"{k}: {cycle_result[k]!r} != {event_result[k]!r}"
+                    for k in mismatched[:3])
+    )
+
+
+class TestEngineEquivalenceModes:
+    """Every access mode, with its natural workload."""
+
+    def test_host_only(self):
+        _assert_equivalent(None, AccessMode.HOST_ONLY, mix="mix8")
+
+    def test_host_only_memory_intensive(self):
+        _assert_equivalent(None, AccessMode.HOST_ONLY, mix="mix1")
+
+    def test_nda_only(self):
+        def configure(system):
+            system.set_nda_workload(NdaOpcode.DOT, elements_per_rank=1 << 12)
+        _assert_equivalent(configure, AccessMode.NDA_ONLY)
+
+    def test_shared(self):
+        def configure(system):
+            system.set_nda_workload(NdaOpcode.AXPY, elements_per_rank=1 << 12)
+        _assert_equivalent(configure, AccessMode.SHARED, mix="mix5")
+
+    def test_bank_partitioned(self):
+        def configure(system):
+            system.set_nda_workload(NdaOpcode.COPY, elements_per_rank=1 << 12)
+        _assert_equivalent(configure, AccessMode.BANK_PARTITIONED, mix="mix1")
+
+    def test_rank_partitioned(self):
+        def configure(system):
+            system.set_nda_workload(NdaOpcode.DOT, elements_per_rank=1 << 12)
+        _assert_equivalent(configure, AccessMode.RANK_PARTITIONED, mix="mix8")
+
+
+class TestEngineEquivalenceThrottles:
+    """Every write-throttle policy, under the write-heavy COPY workload."""
+
+    @pytest.mark.parametrize("throttle", ["issue_if_idle", "next_rank",
+                                          "stochastic"])
+    def test_policy(self, throttle):
+        def configure(system):
+            system.set_nda_workload(NdaOpcode.COPY, elements_per_rank=1 << 12)
+        _assert_equivalent(configure, AccessMode.BANK_PARTITIONED, mix="mix5",
+                           throttle=throttle)
+
+    def test_stochastic_low_probability(self):
+        def configure(system):
+            system.set_nda_workload(NdaOpcode.COPY, elements_per_rank=1 << 12)
+        _assert_equivalent(configure, AccessMode.BANK_PARTITIONED, mix="mix8",
+                           throttle="stochastic",
+                           stochastic_probability=1.0 / 16.0)
+
+
+class TestEngineEquivalenceComposite:
+    def test_composite_kernel_sequence(self):
+        """A mixed read/write application-like kernel sequence."""
+        def configure(system):
+            system.set_nda_workload_sequence([
+                NdaKernelSpec(NdaOpcode.GEMV, 512, matrix_columns=64),
+                NdaKernelSpec(NdaOpcode.AXPY, 512),
+                NdaKernelSpec(NdaOpcode.DOT, 512),
+                NdaKernelSpec(NdaOpcode.COPY, 256),
+            ])
+        _assert_equivalent(configure, AccessMode.BANK_PARTITIONED, mix="mix5")
+
+    def test_scaled_configuration(self):
+        """The fig14 largest point: 2 channels x 4 ranks."""
+        def configure(system):
+            system.set_nda_workload(NdaOpcode.DOT, elements_per_rank=1 << 13)
+        _assert_equivalent(configure, AccessMode.BANK_PARTITIONED, mix="mix1",
+                           config=scaled_config(2, 4), cycles=1200,
+                           warmup=120)
+
+    def test_async_fine_grain_launches(self):
+        """Fine-grain async launches stress the launch-packet path."""
+        def configure(system):
+            system.set_nda_workload(NdaOpcode.NRM2, elements_per_rank=1 << 12,
+                                    cache_blocks=16, async_launch=True)
+        _assert_equivalent(configure, AccessMode.BANK_PARTITIONED, mix="mix1")
+
+    def test_no_warmup(self):
+        def configure(system):
+            system.set_nda_workload(NdaOpcode.SCAL, elements_per_rank=1 << 11)
+        _assert_equivalent(configure, AccessMode.BANK_PARTITIONED, mix="mix8",
+                           warmup=0)
+
+
+class TestEngineBehaviour:
+    def test_event_engine_skips_cycles_when_idle(self):
+        system = ChopimSystem(mode=AccessMode.HOST_ONLY, mix="mix8",
+                              engine="event")
+        system.run(cycles=1500, warmup=0)
+        assert system.engine.cycles_skipped > 0
+        assert (system.engine.cycles_processed
+                + system.engine.cycles_skipped) == 1500
+
+    def test_cycle_engine_processes_every_cycle(self):
+        system = ChopimSystem(mode=AccessMode.HOST_ONLY, mix="mix8",
+                              engine="cycle")
+        system.run(cycles=500, warmup=0)
+        assert system.engine.cycles_processed == 500
+
+    def test_step_interoperates_with_run(self):
+        """Manual step() driving (runtime API style) must stay coherent."""
+        results = {}
+        for engine in ("cycle", "event"):
+            system = ChopimSystem(mode=AccessMode.NDA_ONLY, engine=engine)
+            system.set_nda_workload(NdaOpcode.DOT, elements_per_rank=1 << 10)
+            for _ in range(200):
+                system.step()
+            results[engine] = dataclasses.asdict(system.run(cycles=800))
+        assert results["cycle"] == results["event"]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            ChopimSystem(mode=AccessMode.HOST_ONLY, mix="mix8",
+                         engine="warp")

@@ -1,0 +1,66 @@
+"""Unit tests for the engine's event queue."""
+
+from repro.engine.queue import INFINITY, EventQueue
+
+
+class _Item:
+    def __init__(self, name):
+        self.name = name
+
+
+class TestEventQueue:
+    def test_earliest_of_scheduled_items(self):
+        queue = EventQueue()
+        a, b = _Item("a"), _Item("b")
+        queue.schedule(10, a)
+        queue.schedule(5, b)
+        assert queue.earliest_cycle() == 5
+        assert len(queue) == 2
+
+    def test_empty_queue_is_infinity(self):
+        queue = EventQueue()
+        assert queue.earliest_cycle() == INFINITY
+        assert queue.pop_due(100) is None
+
+    def test_reschedule_moves_item(self):
+        queue = EventQueue()
+        item = _Item("a")
+        queue.schedule(10, item)
+        queue.schedule(3, item)
+        assert queue.earliest_cycle() == 3
+        queue.schedule(20, item)
+        assert queue.earliest_cycle() == 20  # stale entries are discarded
+        assert len(queue) == 1
+
+    def test_infinity_cancels(self):
+        queue = EventQueue()
+        item = _Item("a")
+        queue.schedule(7, item)
+        queue.schedule(INFINITY, item)
+        assert queue.earliest_cycle() == INFINITY
+        assert len(queue) == 0
+
+    def test_pop_due_respects_cycle(self):
+        queue = EventQueue()
+        a, b = _Item("a"), _Item("b")
+        queue.schedule(5, a)
+        queue.schedule(9, b)
+        assert queue.pop_due(4) is None
+        assert queue.pop_due(5) is a
+        assert queue.pop_due(5) is None  # b not due yet
+        assert queue.pop_due(9) is b
+        assert len(queue) == 0
+
+    def test_fifo_order_for_ties(self):
+        queue = EventQueue()
+        a, b = _Item("a"), _Item("b")
+        queue.schedule(4, a)
+        queue.schedule(4, b)
+        assert queue.pop_due(4) is a
+        assert queue.pop_due(4) is b
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.schedule(2, _Item("a"))
+        queue.clear()
+        assert queue.earliest_cycle() == INFINITY

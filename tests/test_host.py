@@ -5,7 +5,7 @@ import pytest
 from repro.config import HostConfig
 from repro.host.cache import Cache, CacheHierarchy
 from repro.host.core import CoreModel
-from repro.host.mixes import MIXES, mix_aggregate_mpki, mix_core_count, mix_names, mix_profiles
+from repro.host.mixes import mix_aggregate_mpki, mix_core_count, mix_names, mix_profiles
 from repro.host.prefetcher import StridePrefetcher
 from repro.host.profiles import SPEC_PROFILES, make_synthetic_profile, profile_by_name
 from repro.host.traffic import AddressStreamGenerator

@@ -9,9 +9,9 @@ from repro.dram.commands import DramAddress
 from repro.dram.device import DramSystem
 from repro.memctrl.controller import ChannelController
 from repro.nda.controller import NdaRankController, RankWorkItem
-from repro.nda.fsm import FsmDivergenceError, NdaFsmState, ReplicatedFsm
+from repro.nda.fsm import FsmDivergenceError, ReplicatedFsm
 from repro.nda.isa import NdaInstruction, NdaOpcode, OPCODE_TRAITS
-from repro.nda.launch import NdaHostController, NdaOperation
+from repro.nda.launch import NdaHostController
 from repro.nda.pe import ProcessingElement
 from repro.nda.throttle import (
     IssueIfIdlePolicy,

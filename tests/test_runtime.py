@@ -7,7 +7,6 @@ from repro.addressing.bank_partition import BankPartitionMapping
 from repro.addressing.mapping import skylake_mapping
 from repro.config import DramOrgConfig
 from repro.core.modes import AccessMode
-from repro.core.system import ChopimSystem
 from repro.runtime.allocator import RuntimeAllocator
 from repro.runtime.api import ChopimRuntime, ColorMismatchError
 from repro.runtime.stream import MacroOperation

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.utils.histogram import BucketHistogram, IDLE_BUCKET_LABELS, IDLE_BUCKETS
+from repro.utils.histogram import BucketHistogram, IDLE_BUCKETS
 from repro.utils.rng import DeterministicRng
 from repro.utils.stats import (
     Counter,
