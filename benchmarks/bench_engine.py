@@ -12,16 +12,24 @@ Measures
 
 Results are written to ``BENCH_engine.json`` at the repository root.
 
+With ``--profile`` a cProfile pass over the largest point is added and the
+top-20 cumulative-time entries (annotated with the repro layer each function
+belongs to) are recorded per engine into the JSON, so perf PRs can see where
+the next bottleneck lives without re-profiling by hand.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_engine.py [--cycles N] [--output PATH]
+    PYTHONPATH=src python benchmarks/bench_engine.py [--cycles N] [--repeats N]
+        [--profile] [--output PATH]
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import os
+import pstats
 import sys
 import tempfile
 import time
@@ -46,31 +54,95 @@ LARGEST_POINT = {
 }
 
 
-def bench_largest_point(cycles: int, warmup: int) -> dict:
-    """Cycles/sec for both engines on the largest fig14 point."""
-    out = {"cycles": cycles, "warmup": warmup, "point": {
+def _largest_point_system(engine: str) -> ChopimSystem:
+    system = ChopimSystem(
+        config=scaled_config(LARGEST_POINT["channels"],
+                             LARGEST_POINT["ranks_per_channel"]),
+        mode=LARGEST_POINT["mode"], mix=LARGEST_POINT["mix"],
+        throttle="next_rank", engine=engine)
+    system.set_nda_workload(LARGEST_POINT["workload"],
+                            elements_per_rank=DEFAULT_ELEMENTS_PER_RANK)
+    return system
+
+
+def bench_largest_point(cycles: int, warmup: int, repeats: int = 3) -> dict:
+    """Cycles/sec for both engines on the largest fig14 point.
+
+    Each engine runs ``repeats`` times and the fastest run is reported (the
+    standard minimum-noise estimator: external load only ever slows a run
+    down, so the best repeat is the closest to the true cost).
+    """
+    out = {"cycles": cycles, "warmup": warmup, "repeats": repeats, "point": {
         k: getattr(v, "value", v) for k, v in LARGEST_POINT.items()}}
+    total = cycles + warmup
     for engine in ("cycle", "event"):
-        system = ChopimSystem(
-            config=scaled_config(LARGEST_POINT["channels"],
-                                 LARGEST_POINT["ranks_per_channel"]),
-            mode=LARGEST_POINT["mode"], mix=LARGEST_POINT["mix"],
-            throttle="next_rank", engine=engine)
-        system.set_nda_workload(LARGEST_POINT["workload"],
-                                elements_per_rank=DEFAULT_ELEMENTS_PER_RANK)
-        start = time.perf_counter()
-        system.run(cycles=cycles, warmup=warmup)
-        elapsed = time.perf_counter() - start
-        total = cycles + warmup
-        out[engine] = {
-            "seconds": elapsed,
-            "cycles_per_second": total / elapsed,
-            "cycles_processed": system.engine.cycles_processed,
-            "cycles_skipped": system.engine.cycles_skipped,
-        }
+        best = None
+        for _ in range(max(1, repeats)):
+            system = _largest_point_system(engine)
+            start = time.perf_counter()
+            system.run(cycles=cycles, warmup=warmup)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best["seconds"]:
+                best = {
+                    "seconds": elapsed,
+                    "cycles_per_second": total / elapsed,
+                    "cycles_processed": system.engine.cycles_processed,
+                    "cycles_skipped": system.engine.cycles_skipped,
+                }
+        out[engine] = best
     out["event_vs_cycle_speedup"] = (out["event"]["cycles_per_second"]
                                      / out["cycle"]["cycles_per_second"])
     return out
+
+
+#: Repository layers used to attribute profile entries.
+_LAYERS = ("addressing", "dram", "memctrl", "nda", "engine", "host",
+           "osmodel", "core", "apps", "experiments", "runtime", "utils")
+
+
+def _layer_of(filename: str) -> str:
+    """The repro layer a profiled function belongs to (or 'stdlib/other')."""
+    path = filename.replace("\\", "/")
+    marker = "/repro/"
+    if marker in path:
+        tail = path.split(marker, 1)[1]
+        head = tail.split("/", 1)[0]
+        if head in _LAYERS:
+            return head
+        return "core"
+    return "stdlib/other"
+
+
+def profile_largest_point(cycles: int, warmup: int, top: int = 20) -> dict:
+    """cProfile both engines on the largest point; top-N cumtime per layer."""
+    result = {}
+    for engine in ("cycle", "event"):
+        system = _largest_point_system(engine)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        system.run(cycles=cycles, warmup=warmup)
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        rows = []
+        for func, (cc, nc, tt, ct, _callers) in sorted(
+                stats.stats.items(), key=lambda kv: kv[1][3], reverse=True):
+            filename, line, name = func
+            if name in ("<module>", "run", "run_until"):
+                continue  # top-level drivers, not informative
+            rows.append({
+                "function": name,
+                "file": os.path.basename(filename),
+                "line": line,
+                "layer": _layer_of(filename),
+                "ncalls": nc,
+                "tottime": round(tt, 4),
+                "cumtime": round(ct, 4),
+            })
+            if len(rows) >= top:
+                break
+        result[engine] = {"top_cumtime": rows}
+    return result
 
 
 def bench_fig14_sweep(cycles: int, warmup: int) -> dict:
@@ -112,6 +184,12 @@ def main(argv=None) -> None:
                         help="measured cycles per point")
     parser.add_argument("--warmup", type=int, default=DEFAULT_WARMUP,
                         help="warmup cycles per point")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repeats per engine on the largest point "
+                             "(best run reported)")
+    parser.add_argument("--profile", action="store_true",
+                        help="record a cProfile top-20 cumtime table per "
+                             "engine into the JSON")
     parser.add_argument("--output", type=Path,
                         default=Path(__file__).resolve().parent.parent
                         / "BENCH_engine.json")
@@ -121,9 +199,12 @@ def main(argv=None) -> None:
         "benchmark": "event engine vs cycle engine, fig14 scaling sweep",
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count() or 1,
-        "largest_point": bench_largest_point(args.cycles, args.warmup),
+        "largest_point": bench_largest_point(args.cycles, args.warmup,
+                                             args.repeats),
         "fig14_sweep": bench_fig14_sweep(args.cycles, args.warmup),
     }
+    if args.profile:
+        result["profile"] = profile_largest_point(args.cycles, args.warmup)
     args.output.write_text(json.dumps(result, indent=2) + "\n",
                            encoding="utf-8")
     print(json.dumps(result, indent=2))

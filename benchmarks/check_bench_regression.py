@@ -1,0 +1,55 @@
+"""CI gate: fail when engine throughput regresses vs the committed baseline.
+
+Compares the ``cycles_per_second`` of a fresh (smoke-sized) benchmark run
+against the committed ``BENCH_engine.json`` and exits non-zero when either
+engine is more than ``--tolerance`` (default 30%) slower.  CI runners and the
+dev box differ in absolute speed, so the tolerance is deliberately loose —
+the gate exists to catch order-of-magnitude hot-path regressions (an
+accidental O(n) scan, a reintroduced per-probe allocation), not single-digit
+noise.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py --fresh bench_ci.json \
+        [--baseline BENCH_engine.json] [--tolerance 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check(fresh: dict, baseline: dict, tolerance: float) -> int:
+    status = 0
+    for engine in ("cycle", "event"):
+        base = baseline["largest_point"][engine]["cycles_per_second"]
+        new = fresh["largest_point"][engine]["cycles_per_second"]
+        floor = base * (1.0 - tolerance)
+        verdict = "OK" if new >= floor else "REGRESSION"
+        print(f"{engine}: fresh {new:.0f} cycles/s vs baseline {base:.0f} "
+              f"(floor {floor:.0f}) -> {verdict}")
+        if new < floor:
+            status = 1
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="freshly generated benchmark JSON")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_engine.json")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional slowdown before failing")
+    args = parser.parse_args(argv)
+    fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    return check(fresh, baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

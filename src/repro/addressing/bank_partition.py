@@ -106,13 +106,13 @@ class BankPartitionMapping(AddressMapping):
         row_rest = addr.row & ((1 << row_shift) - 1)
         new_flat = row_msb
         new_row = (flat << row_shift) | row_rest
-        return DramAddress(
-            channel=addr.channel,
-            rank=addr.rank,
-            bank_group=new_flat // self.org.banks_per_group,
-            bank=new_flat % self.org.banks_per_group,
-            row=new_row,
-            column=addr.column,
+        return self.stamp_indices(
+            addr.channel,
+            addr.rank,
+            new_flat // self.org.banks_per_group,
+            new_flat % self.org.banks_per_group,
+            new_row,
+            addr.column,
         )
 
     def _host_from_dram(self, addr: DramAddress) -> int:
@@ -152,13 +152,13 @@ class BankPartitionMapping(AddressMapping):
         bank_index = cl % self.reserved_banks_per_rank
         row = cl // self.reserved_banks_per_rank
         flat = self.reserved_banks[bank_index]
-        return DramAddress(
-            channel=channel,
-            rank=rank,
-            bank_group=flat // self.org.banks_per_group,
-            bank=flat % self.org.banks_per_group,
-            row=row,
-            column=column,
+        return self.stamp_indices(
+            channel,
+            rank,
+            flat // self.org.banks_per_group,
+            flat % self.org.banks_per_group,
+            row,
+            column,
         )
 
     def _shared_from_dram(self, addr: DramAddress) -> int:

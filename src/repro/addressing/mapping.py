@@ -35,6 +35,13 @@ def _bits_needed(count: int) -> int:
     return count.bit_length() - 1
 
 
+try:  # int.bit_count needs Python >= 3.10; CI still exercises 3.9.
+    _POPCOUNT = int.bit_count
+except AttributeError:  # pragma: no cover - exercised only on old Pythons
+    def _POPCOUNT(value: int) -> int:
+        return bin(value).count("1")
+
+
 @dataclass(frozen=True)
 class FieldSpec:
     """One DRAM-address field of an XOR-hashed mapping.
@@ -47,32 +54,48 @@ class FieldSpec:
     *partners* are additional physical bits (typically row bits) XORed in to
     permute the field.  Because partners are always row bits (which map to the
     row field untouched), the mapping is invertible.
+
+    Since the mapping is linear over GF(2), each output bit is the parity of
+    ``phys`` under a fixed mask; the masks are precomputed at construction so
+    :meth:`extract` is a handful of ``popcount & 1`` parities instead of
+    nested bit loops.
     """
 
     name: str
     width: int
     home_lsb: int
     partners: Tuple[Tuple[int, ...], ...] = ()
+    #: Per output bit: mask of all contributing physical bits (home XOR
+    #: partners), and partners only.  Derived, not part of identity.
+    bit_masks: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    hash_masks: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        bit_masks = []
+        hash_masks = []
+        for i in range(self.width):
+            hash_mask = 0
+            if i < len(self.partners):
+                for p in self.partners[i]:
+                    hash_mask ^= 1 << p
+            hash_masks.append(hash_mask)
+            bit_masks.append(hash_mask ^ (1 << (self.home_lsb + i)))
+        object.__setattr__(self, "bit_masks", tuple(bit_masks))
+        object.__setattr__(self, "hash_masks", tuple(hash_masks))
 
     def extract(self, phys: int) -> int:
         value = 0
-        for i in range(self.width):
-            bit = _bit(phys, self.home_lsb + i)
-            if i < len(self.partners):
-                for p in self.partners[i]:
-                    bit ^= _bit(phys, p)
-            value |= bit << i
+        for i, mask in enumerate(self.bit_masks):
+            if _POPCOUNT(phys & mask) & 1:
+                value |= 1 << i
         return value
 
     def hash_part(self, phys: int) -> int:
         """Only the partner-XOR contribution (no home bits)."""
         value = 0
-        for i in range(self.width):
-            bit = 0
-            if i < len(self.partners):
-                for p in self.partners[i]:
-                    bit ^= _bit(phys, p)
-            value |= bit << i
+        for i, mask in enumerate(self.hash_masks):
+            if _POPCOUNT(phys & mask) & 1:
+                value |= 1 << i
         return value
 
 
@@ -91,6 +114,24 @@ class AddressMapping:
         self.total_bits = (self.offset_bits + self.column_bits + self.channel_bits
                            + self.rank_bits + self.bank_group_bits + self.bank_bits
                            + self.row_bits)
+        # Geometry for stamping dense rank/bank indices on decoded addresses
+        # (the flat-array keys of the DRAM timing engine and device).
+        self._ranks_per_channel = org.ranks_per_channel
+        self._banks_per_group = org.banks_per_group
+        self._banks_per_rank = org.banks_per_rank
+        # Memoization: mappings are immutable after construction, so frame
+        # colors (derived purely from to_dram) can be cached per frame base.
+        self._frame_color_cache: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._num_colors_cache: Dict[int, int] = {}
+
+    def stamp_indices(self, channel: int, rank: int, bank_group: int, bank: int,
+                      row: int, column: int) -> DramAddress:
+        """Build a :class:`DramAddress` with dense indices pre-stamped."""
+        rank_index = channel * self._ranks_per_channel + rank
+        bank_index = (rank_index * self._banks_per_rank
+                      + bank_group * self._banks_per_group + bank)
+        return DramAddress(channel, rank, bank_group, bank, row, column,
+                           rank_index, bank_index)
 
     # -- interface ------------------------------------------------------- #
 
@@ -125,16 +166,25 @@ class AddressMapping:
         (Section III-A).
         """
         phys = (phys_or_pfn << page_bits) if is_pfn else phys_or_pfn
-        masked = phys & ~((1 << page_bits) - 1)
-        base = self.to_dram(masked % self.capacity_bytes)
-        return (base.channel, base.rank)
+        masked = (phys & ~((1 << page_bits) - 1)) % self.capacity_bytes
+        cached = self._frame_color_cache.get((masked, page_bits))
+        if cached is not None:
+            return cached
+        base = self.to_dram(masked)
+        color = (base.channel, base.rank)
+        self._frame_color_cache[(masked, page_bits)] = color
+        return color
 
     def num_colors(self, page_bits: int = 21) -> int:
-        """Number of distinct frame colors for the given page size."""
+        """Number of distinct frame colors for the given page size (memoized)."""
+        cached = self._num_colors_cache.get(page_bits)
+        if cached is not None:
+            return cached
         seen = set()
         frame = 1 << page_bits
         for pfn in range(min(self.capacity_bytes // frame, 4096)):
             seen.add(self.frame_color(pfn, page_bits, is_pfn=True))
+        self._num_colors_cache[page_bits] = len(seen)
         return len(seen)
 
     def round_trip_ok(self, phys: int) -> bool:
@@ -211,13 +261,14 @@ class XorFieldMapping(AddressMapping):
         col_hi = (phys >> self._col_hi_lsb) & ((1 << col_hi_width) - 1)
         column = (col_hi << self.column_split) | col_lo
         row = (phys >> self.row_lsb) & ((1 << self.row_bits) - 1)
-        return DramAddress(
-            channel=self.fields["channel"].extract(phys),
-            rank=self.fields["rank"].extract(phys),
-            bank_group=self.fields["bank_group"].extract(phys),
-            bank=self.fields["bank"].extract(phys),
-            row=row,
-            column=column,
+        fields = self.fields
+        return self.stamp_indices(
+            fields["channel"].extract(phys),
+            fields["rank"].extract(phys),
+            fields["bank_group"].extract(phys),
+            fields["bank"].extract(phys),
+            row,
+            column,
         )
 
     def from_dram(self, addr: DramAddress) -> int:

@@ -21,6 +21,8 @@ class ConcurrentAccessScheduler:
                  channel_controllers: Dict[int, ChannelController]) -> None:
         self.dram = dram
         self.channel_controllers = channel_controllers
+        self._rank_host_busy = dram.timing.rank_host_busy
+        self._next_host_free = dram.timing.next_host_free_cycle
         self._host_issued_this_cycle: Set[Tuple[int, int]] = set()
         self._cycle = -1
         self.nda_issue_opportunities = 0
@@ -49,7 +51,7 @@ class ConcurrentAccessScheduler:
         if (channel, rank) in self._host_issued_this_cycle:
             self.nda_blocked_cycles += 1
             return False
-        if self.dram.rank_host_busy(channel, rank, now):
+        if self._rank_host_busy(channel, rank, now):
             self.nda_blocked_cycles += 1
             return False
         self.nda_issue_opportunities += 1
@@ -64,7 +66,7 @@ class ConcurrentAccessScheduler:
         event).  Same-cycle host issues are handled by the per-cycle gate
         when the cycle is actually processed.
         """
-        return self.dram.next_host_free_cycle(channel, rank, now)
+        return self._next_host_free(channel, rank, now)
 
     def host_pending_to_bank(self, channel: int, rank: int, flat_bank: int) -> bool:
         """Whether the host has a queued request to the given bank.
@@ -76,10 +78,5 @@ class ConcurrentAccessScheduler:
         if controller is None:
             return False
         banks_per_group = self.dram.org.banks_per_group
-        for queue in (controller.read_queue, controller.write_queue):
-            for request in queue:
-                if (request.addr.rank == rank
-                        and request.addr.bank_group * banks_per_group
-                        + request.addr.bank == flat_bank):
-                    return True
-        return False
+        return controller.pending_to_bank(rank, flat_bank // banks_per_group,
+                                          flat_bank % banks_per_group)

@@ -13,7 +13,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.config import DramOrgConfig, DramTimingConfig
 from repro.dram.bank import Bank, BankState
-from repro.dram.commands import Command, CommandType, DramAddress
+from repro.dram.commands import Command, CommandType, DramAddress, RequestSource
 from repro.dram.timing import TimingEngine
 from repro.utils.stats import Counter
 
@@ -53,36 +53,54 @@ class DramSystem:
         self.timing_config = timing
         self.timing = TimingEngine(org, timing)
         self.counts = DramEventCounts()
-        #: Monotonic per-rank issue counters; any command issued to a rank
-        #: bumps its version.  Cached scheduling hints derived from a rank's
-        #: bank/timing state are tagged with the version they were computed
-        #: under and discarded when it changes (see the NDA rank
+        self._ranks_per_channel = org.ranks_per_channel
+        self._banks_per_group = org.banks_per_group
+        self._banks_per_rank = org.banks_per_rank
+        #: Monotonic per-rank issue counters indexed by dense rank index
+        #: (``channel * ranks_per_channel + rank``); any command issued to a
+        #: rank bumps its version.  Cached scheduling hints derived from a
+        #: rank's bank/timing state are tagged with the version they were
+        #: computed under and discarded when it changes (see the NDA rank
         #: controller's event interface).
-        self.rank_issue_version: Dict[Tuple[int, int], int] = {
-            (ch, rk): 0
+        self.rank_issue_version: List[int] = [0] * (org.channels
+                                                    * org.ranks_per_channel)
+        #: Per-channel issue counters: bumped by every command issued to any
+        #: rank of the channel.  A channel's bank/timing state is a pure
+        #: function of its issue history, so schedulers memoize scan results
+        #: against this (plus their queue versions).
+        self.channel_issue_version: List[int] = [0] * org.channels
+        #: Banks in dense ``bank_index`` order: all banks of one rank are
+        #: contiguous, ranks in ``rank_index`` order.
+        self._banks: List[Bank] = [
+            Bank(ch, rk, bg, bk)
             for ch in range(org.channels)
             for rk in range(org.ranks_per_channel)
-        }
-        self._banks: Dict[Tuple[int, int, int, int], Bank] = {}
-        for ch in range(org.channels):
-            for rk in range(org.ranks_per_channel):
-                for bg in range(org.bank_groups):
-                    for bk in range(org.banks_per_group):
-                        self._banks[(ch, rk, bg, bk)] = Bank(ch, rk, bg, bk)
+            for bg in range(org.bank_groups)
+            for bk in range(org.banks_per_group)
+        ]
 
     # ------------------------------------------------------------------ #
     # Structure queries
     # ------------------------------------------------------------------ #
 
+    def bank_index(self, addr: DramAddress) -> int:
+        """Dense flat index of the addressed bank (stamp or arithmetic)."""
+        index = addr.bank_index
+        if index >= 0:
+            return index
+        return ((addr.channel * self._ranks_per_channel + addr.rank)
+                * self._banks_per_rank
+                + addr.bank_group * self._banks_per_group + addr.bank)
+
     def bank(self, addr: DramAddress) -> Bank:
-        return self._banks[(addr.channel, addr.rank, addr.bank_group, addr.bank)]
+        return self._banks[self.bank_index(addr)]
 
     def banks(self) -> Iterable[Bank]:
-        return self._banks.values()
+        return self._banks
 
     def banks_of_rank(self, channel: int, rank: int) -> List[Bank]:
-        return [b for (ch, rk, _, _), b in self._banks.items()
-                if ch == channel and rk == rank]
+        start = (channel * self._ranks_per_channel + rank) * self._banks_per_rank
+        return self._banks[start:start + self._banks_per_rank]
 
     def global_rank_index(self, channel: int, rank: int) -> int:
         return channel * self.org.ranks_per_channel + rank
@@ -101,35 +119,69 @@ class DramSystem:
         Follows the open-page protocol: a row conflict requires a PRE, a
         closed bank requires an ACT, an open matching row allows RD/WR.
         """
-        bank = self.bank(addr)
+        index = addr.bank_index
+        if index < 0:
+            index = ((addr.channel * self._ranks_per_channel + addr.rank)
+                     * self._banks_per_rank
+                     + addr.bank_group * self._banks_per_group + addr.bank)
+        bank = self._banks[index]
         if bank.state is BankState.CLOSED:
             return CommandType.ACT
         if bank.open_row == addr.row:
             return CommandType.WR if is_write else CommandType.RD
         return CommandType.PRE
 
+    def can_issue_at(self, kind: CommandType, addr: DramAddress,
+                     source: RequestSource, now: int) -> bool:
+        """Protocol-state plus timing legality of ``(kind, addr)`` at ``now``.
+
+        Value-based twin of :meth:`can_issue`; schedulers use it to probe
+        candidate commands without allocating a :class:`Command`.
+        """
+        bank = self.bank(addr)
+        if kind is CommandType.ACT and bank.state is BankState.OPEN:
+            return False
+        if kind is CommandType.RD or kind is CommandType.WR:
+            if not bank.is_open(addr.row):
+                return False
+        if kind is CommandType.REF:
+            if any(b.state is BankState.OPEN
+                   for b in self.banks_of_rank(addr.channel, addr.rank)):
+                return False
+        return self.timing.earliest_issue_at(kind, addr, source, now) <= now
+
     def can_issue(self, cmd: Command, now: int) -> bool:
         """Protocol-state plus timing legality of ``cmd`` at cycle ``now``."""
-        bank = self.bank(cmd.addr)
-        if cmd.kind is CommandType.ACT and bank.state is BankState.OPEN:
-            return False
-        if cmd.kind in (CommandType.RD, CommandType.WR):
-            if not bank.is_open(cmd.addr.row):
-                return False
-        if cmd.kind is CommandType.REF:
-            if any(b.state is BankState.OPEN
-                   for b in self.banks_of_rank(cmd.addr.channel, cmd.addr.rank)):
-                return False
-        return self.timing.can_issue(cmd, now)
+        return self.can_issue_at(cmd.kind, cmd.addr, cmd.source, now)
+
+    def earliest_issue_at(self, kind: CommandType, addr: DramAddress,
+                          source: RequestSource, now: int) -> int:
+        """Timing-only earliest issue cycle of ``(kind, addr)`` (value-based)."""
+        return self.timing.earliest_issue_at(kind, addr, source, now)
 
     def earliest_issue(self, cmd: Command, now: int) -> int:
-        return self.timing.earliest_issue(cmd, now)
+        return self.timing.earliest_issue_at(cmd.kind, cmd.addr, cmd.source, now)
 
     def issue(self, cmd: Command, now: int) -> None:
         """Issue ``cmd``: update bank state, timing state and event counts."""
         if not self.can_issue(cmd, now):
             raise ValueError(f"illegal command at cycle {now}: {cmd}")
-        self.rank_issue_version[(cmd.addr.channel, cmd.addr.rank)] += 1
+        self.issue_trusted(cmd, now)
+
+    def issue_trusted(self, cmd: Command, now: int) -> None:
+        """Issue a command the caller has just proven legal.
+
+        The scheduler hot paths (FR-FCFS pick, NDA issue) probe protocol
+        state and timing immediately before issuing, with no intervening
+        DRAM mutation, so the :meth:`issue` re-validation would repeat the
+        exact same checks.  State effects are identical to :meth:`issue`.
+        """
+        addr = cmd.addr
+        rank_index = addr.rank_index
+        if rank_index < 0:
+            rank_index = addr.channel * self._ranks_per_channel + addr.rank
+        self.rank_issue_version[rank_index] += 1
+        self.channel_issue_version[addr.channel] += 1
         bank = self.bank(cmd.addr)
         is_nda = cmd.is_nda
 
@@ -210,7 +262,7 @@ class DramSystem:
         feeding the statistics and energy models are cleared.
         """
         self.counts = DramEventCounts()
-        for bank in self._banks.values():
+        for bank in self._banks:
             bank.reset_counters()
 
     def read_latency(self) -> int:

@@ -15,15 +15,22 @@ constraints (the DRAM IO circuitry is shared inside the rank), which is the
 source of the read/write-turnaround interference studied in Section III-B.
 Host and NDA commands to *different ranks* only interact through the
 channel-level constraints, which NDA commands do not use.
+
+Hot-path layout: per-bank and per-rank state lives in flat lists indexed by
+the dense ``rank_index``/``bank_index`` stamped on :class:`DramAddress` at
+decode time (with an arithmetic fallback for unstamped addresses), and the
+constraint check is exposed value-based as :meth:`earliest_issue_at` /
+:meth:`can_issue_at` so schedulers can scan candidate ``(kind, addr)`` pairs
+without allocating a :class:`Command` per probe.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.config import DramOrgConfig, DramTimingConfig
-from repro.dram.commands import Command, CommandType
+from repro.dram.commands import Command, CommandType, DramAddress, RequestSource
 
 
 class _RankTiming:
@@ -88,11 +95,39 @@ class TimingEngine:
     def __init__(self, org: DramOrgConfig, timing: DramTimingConfig) -> None:
         self.org = org
         self.timing = timing
-        self._banks: Dict[Tuple[int, int, int, int], _BankTiming] = {}
-        self._ranks: Dict[Tuple[int, int], _RankTiming] = {}
+        # Snapshot of the derived timing sums (plain attributes; the config
+        # recomputes them per property access, which the hot loop can't afford).
+        self._read_to_write = timing.read_to_write
+        self._write_to_precharge = timing.write_to_precharge
+        self._ranks_per_channel = org.ranks_per_channel
+        self._banks_per_group = org.banks_per_group
+        self._banks_per_rank = org.banks_per_rank
+        total_ranks = org.channels * org.ranks_per_channel
+        self._ranks: List[_RankTiming] = [
+            _RankTiming(org.bank_groups, timing.tREFI) for _ in range(total_ranks)
+        ]
+        self._banks: List[_BankTiming] = [
+            _BankTiming() for _ in range(total_ranks * org.banks_per_rank)
+        ]
         self._channels: List[_ChannelTiming] = [
             _ChannelTiming() for _ in range(org.channels)
         ]
+        # Min refresh_due over each channel's ranks; refreshed on REF issue
+        # only, so the per-cycle wake computation reads one value instead of
+        # looping over ranks.
+        self._channel_refresh_due: List[int] = [timing.tREFI] * org.channels
+        # Row-command probe caches.  ACT and PRE constraints are purely
+        # rank/bank-local, so their absolute earliest-issue cycles stay
+        # valid until the next command issues to the owning rank; scans
+        # re-probe every queued bank every cycle and mostly hit here.
+        self._issue_versions: List[int] = [0] * total_ranks
+        total_banks = total_ranks * org.banks_per_rank
+        self._act_cache: List[Tuple[int, int]] = [(-1, 0)] * total_banks
+        self._pre_cache: List[Tuple[int, int]] = [(-1, 0)] * total_banks
+        # NDA column commands never touch the channel bus, so their
+        # absolute horizons are rank-local and cache the same way.
+        self._nda_rd_cache: List[Tuple[int, int]] = [(-1, 0)] * total_banks
+        self._nda_wr_cache: List[Tuple[int, int]] = [(-1, 0)] * total_banks
         #: Invoked as ``busy_observer(channel, rank, now)`` immediately
         #: before a command mutates the rank's host-busy state (busy_until /
         #: data-burst windows).  The windowed idle statistics use it to
@@ -101,109 +136,184 @@ class TimingEngine:
         #: available.  NDA column commands never mutate host-busy state and
         #: skip the callback.
         self.busy_observer: Optional[Callable[[int, int, int], None]] = None
-        for ch in range(org.channels):
-            for rk in range(org.ranks_per_channel):
-                self._ranks[(ch, rk)] = _RankTiming(org.bank_groups, timing.tREFI)
-                for bg in range(org.bank_groups):
-                    for bk in range(org.banks_per_group):
-                        self._banks[(ch, rk, bg, bk)] = _BankTiming()
 
     # ------------------------------------------------------------------ #
     # Accessors
     # ------------------------------------------------------------------ #
 
-    def _bank(self, cmd: Command) -> _BankTiming:
-        a = cmd.addr
-        return self._banks[(a.channel, a.rank, a.bank_group, a.bank)]
-
-    def _rank(self, cmd: Command) -> _RankTiming:
-        a = cmd.addr
-        return self._ranks[(a.channel, a.rank)]
+    def _indices(self, addr: DramAddress) -> Tuple[int, int]:
+        """(rank_index, bank_index) of ``addr``, from stamp or arithmetic."""
+        bank_index = addr.bank_index
+        if bank_index >= 0:
+            return addr.rank_index, bank_index
+        rank_index = addr.channel * self._ranks_per_channel + addr.rank
+        return rank_index, (rank_index * self._banks_per_rank
+                            + addr.bank_group * self._banks_per_group + addr.bank)
 
     def rank_state(self, channel: int, rank: int) -> _RankTiming:
-        return self._ranks[(channel, rank)]
+        return self._ranks[channel * self._ranks_per_channel + rank]
 
     # ------------------------------------------------------------------ #
     # Constraint checks
     # ------------------------------------------------------------------ #
 
+    def earliest_issue_at(self, kind: CommandType, addr: DramAddress,
+                          source: RequestSource, now: int) -> int:
+        """Earliest cycle >= ``now`` at which ``(kind, addr)`` may issue.
+
+        Value-based hot-path entry point: the FR-FCFS and NDA schedulers
+        probe every candidate through this (no ``Command`` allocation) and
+        build a command object only for the access they actually issue.
+        """
+        t = self.timing
+        bank_index = addr.bank_index
+        if bank_index >= 0:
+            rank_index = addr.rank_index
+        else:
+            rank_index = addr.channel * self._ranks_per_channel + addr.rank
+            bank_index = (rank_index * self._banks_per_rank
+                          + addr.bank_group * self._banks_per_group + addr.bank)
+        bank = self._banks[bank_index]
+        rank = self._ranks[rank_index]
+
+        # Comparisons instead of max(): this function dominates the hot
+        # path, and the builtin's call overhead is measurable at this rate.
+        # Every constraint is an absolute cycle, so each branch accumulates
+        # the ``now``-independent horizon and clamps to ``now`` at the end;
+        # that makes the horizons cacheable per (bank, kind) wherever they
+        # are rank-local (ACT/PRE, and NDA column commands).
+        if kind is CommandType.RD or kind is CommandType.WR:
+            # Column commands.  NDA accesses move data over the rank's
+            # internal (TSV) path rather than the chip IO mux, so
+            # back-to-back NDA column commands are paced at tCCD_S even
+            # within one bank group; all cross-type turnaround constraints
+            # still apply because the bank and sense-amp resources are
+            # shared with host accesses.
+            is_nda = source is RequestSource.NDA
+            if is_nda:
+                cache = (self._nda_rd_cache if kind is CommandType.RD
+                         else self._nda_wr_cache)
+                version = self._issue_versions[rank_index]
+                cached = cache[bank_index]
+                if cached[0] == version:
+                    absolute = cached[1]
+                    return absolute if absolute > now else now
+            absolute = rank.refreshing_until
+            ccd_long = t.tCCDS if is_nda else t.tCCDL
+            if kind is CommandType.RD:
+                if bank.rd_allowed > absolute:
+                    absolute = bank.rd_allowed
+                # read-after-read spacing within the rank
+                spacing = rank.last_read_cycle + (
+                    ccd_long if addr.bank_group == rank.last_read_bg else t.tCCDS)
+                if spacing > absolute:
+                    absolute = spacing
+                # write-to-read turnaround within the rank
+                wtr = (t.tWTRL if addr.bank_group == rank.last_write_bg
+                       else t.tWTRS)
+                turnaround = rank.last_write_cycle + t.tCWL + t.tBL + wtr
+                if turnaround > absolute:
+                    absolute = turnaround
+                data_start_offset = t.tCL
+            else:  # WR
+                if bank.wr_allowed > absolute:
+                    absolute = bank.wr_allowed
+                spacing = rank.last_write_cycle + (
+                    ccd_long if addr.bank_group == rank.last_write_bg else t.tCCDS)
+                if spacing > absolute:
+                    absolute = spacing
+                # Read-to-write turnaround is a data-bus direction change, so
+                # it only applies between accesses sharing a data path: host
+                # reads and host writes share the channel DQ bus, NDA reads
+                # and NDA writes share the rank-internal path.  A read on the
+                # *other* path only imposes the basic column spacing.
+                if is_nda:
+                    same_path_read = rank.last_nda_read_cycle
+                    other_path_read = rank.last_host_read_cycle
+                else:
+                    same_path_read = rank.last_host_read_cycle
+                    other_path_read = rank.last_nda_read_cycle
+                turnaround = same_path_read + self._read_to_write
+                if turnaround > absolute:
+                    absolute = turnaround
+                spacing = other_path_read + t.tCCDS
+                if spacing > absolute:
+                    absolute = spacing
+                data_start_offset = t.tCWL
+
+            if is_nda:
+                # NDA column accesses use the rank-internal bus only; the
+                # data burst must wait for the bus, pushing the command back
+                # by the burst's start offset.
+                bus = rank.nda_bus_free - data_start_offset
+                if bus > absolute:
+                    absolute = bus
+                cache[bank_index] = (version, absolute)
+                return absolute if absolute > now else now
+
+            # Host column accesses use the shared channel data bus: the
+            # data burst (command + CL/CWL) must clear the bus-free cycle
+            # and, when the previous burst came from another rank, the
+            # rank-to-rank switching gap.
+            channel = self._channels[addr.channel]
+            bus = channel.data_bus_free - data_start_offset
+            if bus > absolute:
+                absolute = bus
+            if channel.last_col_rank not in (-1, addr.rank):
+                switch = channel.last_data_end + t.tRTRS - data_start_offset
+                if switch > absolute:
+                    absolute = switch
+            return absolute if absolute > now else now
+
+        if kind is CommandType.ACT:
+            version = self._issue_versions[rank_index]
+            cached = self._act_cache[bank_index]
+            if cached[0] == version:
+                absolute = cached[1]
+                return absolute if absolute > now else now
+            absolute = rank.refreshing_until
+            if bank.act_allowed > absolute:
+                absolute = bank.act_allowed
+            if rank.act_allowed > absolute:
+                absolute = rank.act_allowed
+            bg_allowed = rank.act_allowed_bg[addr.bank_group]
+            if bg_allowed > absolute:
+                absolute = bg_allowed
+            if len(rank.faw_window) == 4:
+                faw = rank.faw_window[0] + t.tFAW
+                if faw > absolute:
+                    absolute = faw
+            self._act_cache[bank_index] = (version, absolute)
+            return absolute if absolute > now else now
+
+        if kind is CommandType.PRE:
+            version = self._issue_versions[rank_index]
+            cached = self._pre_cache[bank_index]
+            if cached[0] == version:
+                absolute = cached[1]
+            else:
+                absolute = rank.refreshing_until
+                if bank.pre_allowed > absolute:
+                    absolute = bank.pre_allowed
+                self._pre_cache[bank_index] = (version, absolute)
+            return absolute if absolute > now else now
+
+        # REF
+        refreshing = rank.refreshing_until
+        return refreshing if refreshing > now else now
+
+    def can_issue_at(self, kind: CommandType, addr: DramAddress,
+                     source: RequestSource, now: int) -> bool:
+        """Whether ``(kind, addr)`` can legally issue at cycle ``now``."""
+        return self.earliest_issue_at(kind, addr, source, now) <= now
+
     def earliest_issue(self, cmd: Command, now: int) -> int:
         """Earliest cycle >= ``now`` at which ``cmd`` may legally issue."""
-        t = self.timing
-        bank = self._bank(cmd)
-        rank = self._rank(cmd)
-        earliest = max(now, rank.refreshing_until)
-
-        if cmd.kind is CommandType.ACT:
-            earliest = max(earliest, bank.act_allowed, rank.act_allowed,
-                           rank.act_allowed_bg[cmd.addr.bank_group])
-            if len(rank.faw_window) == 4:
-                earliest = max(earliest, rank.faw_window[0] + t.tFAW)
-            return earliest
-
-        if cmd.kind is CommandType.PRE:
-            return max(earliest, bank.pre_allowed)
-
-        if cmd.kind is CommandType.REF:
-            return earliest
-
-        # Column commands (RD / WR).  NDA accesses move data over the rank's
-        # internal (TSV) path rather than the chip IO mux, so back-to-back
-        # NDA column commands are paced at tCCD_S even within one bank group;
-        # all cross-type turnaround constraints still apply because the bank
-        # and sense-amp resources are shared with host accesses.
-        same_bg_rd = cmd.addr.bank_group == rank.last_read_bg
-        same_bg_wr = cmd.addr.bank_group == rank.last_write_bg
-        ccd_long = t.tCCDS if cmd.is_nda else t.tCCDL
-        if cmd.kind is CommandType.RD:
-            earliest = max(earliest, bank.rd_allowed)
-            # read-after-read spacing within the rank
-            earliest = max(
-                earliest,
-                rank.last_read_cycle + (ccd_long if same_bg_rd else t.tCCDS),
-            )
-            # write-to-read turnaround within the rank
-            wtr = t.tWTRL if same_bg_wr else t.tWTRS
-            earliest = max(earliest, rank.last_write_cycle + t.tCWL + t.tBL + wtr)
-        else:  # WR
-            earliest = max(earliest, bank.wr_allowed)
-            earliest = max(
-                earliest,
-                rank.last_write_cycle + (ccd_long if same_bg_wr else t.tCCDS),
-            )
-            # Read-to-write turnaround is a data-bus direction change, so it
-            # only applies between accesses sharing a data path: host reads
-            # and host writes share the channel DQ bus, NDA reads and NDA
-            # writes share the rank-internal path.  A read on the *other*
-            # path only imposes the basic column spacing.
-            same_path_read = (rank.last_nda_read_cycle if cmd.is_nda
-                              else rank.last_host_read_cycle)
-            other_path_read = (rank.last_host_read_cycle if cmd.is_nda
-                               else rank.last_nda_read_cycle)
-            earliest = max(earliest, same_path_read + t.read_to_write)
-            earliest = max(earliest, other_path_read + t.tCCDS)
-
-        if cmd.is_nda:
-            # NDA column accesses use the rank-internal bus only.
-            data_start_offset = t.tCL if cmd.kind is CommandType.RD else t.tCWL
-            if rank.nda_bus_free > earliest + data_start_offset:
-                earliest = rank.nda_bus_free - data_start_offset
-            return earliest
-
-        # Host column accesses use the shared channel data bus.
-        channel = self._channels[cmd.addr.channel]
-        data_start_offset = t.tCL if cmd.kind is CommandType.RD else t.tCWL
-        data_start = earliest + data_start_offset
-        if channel.data_bus_free > data_start:
-            data_start = channel.data_bus_free
-        if (channel.last_col_rank not in (-1, cmd.addr.rank)
-                and channel.last_data_end + t.tRTRS > data_start):
-            data_start = channel.last_data_end + t.tRTRS
-        return max(earliest, data_start - data_start_offset)
+        return self.earliest_issue_at(cmd.kind, cmd.addr, cmd.source, now)
 
     def can_issue(self, cmd: Command, now: int) -> bool:
         """Whether ``cmd`` can legally issue at cycle ``now``."""
-        return self.earliest_issue(cmd, now) <= now
+        return self.earliest_issue_at(cmd.kind, cmd.addr, cmd.source, now) <= now
 
     # ------------------------------------------------------------------ #
     # State updates on issue
@@ -212,41 +322,67 @@ class TimingEngine:
     def issue(self, cmd: Command, now: int) -> None:
         """Apply the timing consequences of issuing ``cmd`` at cycle ``now``."""
         t = self.timing
-        bank = self._bank(cmd)
-        rank = self._rank(cmd)
+        addr = cmd.addr
+        rank_index, bank_index = self._indices(addr)
+        self._issue_versions[rank_index] += 1
+        bank = self._banks[bank_index]
+        rank = self._ranks[rank_index]
         if self.busy_observer is not None and not (
                 cmd.is_nda and (cmd.kind is CommandType.RD
                                 or cmd.kind is CommandType.WR)):
             # Row commands, refresh and host column commands all extend the
             # rank's host-busy windows; let the idle statistics catch up on
             # the unmutated window first.
-            self.busy_observer(cmd.addr.channel, cmd.addr.rank, now)
+            self.busy_observer(addr.channel, addr.rank, now)
 
         if cmd.kind is CommandType.ACT:
-            bank.rd_allowed = max(bank.rd_allowed, now + t.tRCD)
-            bank.wr_allowed = max(bank.wr_allowed, now + t.tRCD)
-            bank.pre_allowed = max(bank.pre_allowed, now + t.tRAS)
-            bank.act_allowed = max(bank.act_allowed, now + t.tRC)
-            rank.act_allowed = max(rank.act_allowed, now + t.tRRDS)
-            bg = cmd.addr.bank_group
-            rank.act_allowed_bg[bg] = max(rank.act_allowed_bg[bg], now + t.tRRDL)
+            # now + t.X always moves constraints forward from a live bank's
+            # perspective, but the max() guards stay (as comparisons) for
+            # exactness with out-of-order test scenarios.
+            rcd = now + t.tRCD
+            if rcd > bank.rd_allowed:
+                bank.rd_allowed = rcd
+            if rcd > bank.wr_allowed:
+                bank.wr_allowed = rcd
+            ras = now + t.tRAS
+            if ras > bank.pre_allowed:
+                bank.pre_allowed = ras
+            rc = now + t.tRC
+            if rc > bank.act_allowed:
+                bank.act_allowed = rc
+            rrds = now + t.tRRDS
+            if rrds > rank.act_allowed:
+                rank.act_allowed = rrds
+            bg = addr.bank_group
+            rrdl = now + t.tRRDL
+            if rrdl > rank.act_allowed_bg[bg]:
+                rank.act_allowed_bg[bg] = rrdl
             rank.faw_window.append(now)
-            rank.busy_until = max(rank.busy_until, now + 1)
+            if now + 1 > rank.busy_until:
+                rank.busy_until = now + 1
             return
 
         if cmd.kind is CommandType.PRE:
-            bank.act_allowed = max(bank.act_allowed, now + t.tRP)
-            rank.busy_until = max(rank.busy_until, now + 1)
+            rp = now + t.tRP
+            if rp > bank.act_allowed:
+                bank.act_allowed = rp
+            if now + 1 > rank.busy_until:
+                rank.busy_until = now + 1
             return
 
         if cmd.kind is CommandType.REF:
             rank.refreshing_until = max(rank.refreshing_until, now + t.tRFC)
             rank.refresh_due += t.tREFI
-            for bg in range(self.org.bank_groups):
-                for bk in range(self.org.banks_per_group):
-                    b = self._banks[(cmd.addr.channel, cmd.addr.rank, bg, bk)]
-                    b.act_allowed = max(b.act_allowed, now + t.tRFC)
+            start = rank_index * self._banks_per_rank
+            for b in self._banks[start:start + self._banks_per_rank]:
+                b.act_allowed = max(b.act_allowed, now + t.tRFC)
             rank.busy_until = max(rank.busy_until, now + t.tRFC)
+            ch = addr.channel
+            first = ch * self._ranks_per_channel
+            self._channel_refresh_due[ch] = min(
+                r.refresh_due
+                for r in self._ranks[first:first + self._ranks_per_channel]
+            )
             return
 
         # Column commands.
@@ -255,34 +391,42 @@ class TimingEngine:
         data_end = data_start + t.tBL
 
         if is_read:
-            bank.pre_allowed = max(bank.pre_allowed, now + t.tRTP)
+            rtp = now + t.tRTP
+            if rtp > bank.pre_allowed:
+                bank.pre_allowed = rtp
             rank.last_read_cycle = now
-            rank.last_read_bg = cmd.addr.bank_group
+            rank.last_read_bg = addr.bank_group
             if cmd.is_nda:
                 rank.last_nda_read_cycle = now
             else:
                 rank.last_host_read_cycle = now
         else:
-            bank.pre_allowed = max(bank.pre_allowed, now + t.write_to_precharge)
+            wtp = now + self._write_to_precharge
+            if wtp > bank.pre_allowed:
+                bank.pre_allowed = wtp
             rank.last_write_cycle = now
-            rank.last_write_bg = cmd.addr.bank_group
+            rank.last_write_bg = addr.bank_group
 
         if cmd.is_nda:
-            rank.nda_bus_free = max(rank.nda_bus_free, data_end)
+            if data_end > rank.nda_bus_free:
+                rank.nda_bus_free = data_end
         else:
-            channel = self._channels[cmd.addr.channel]
-            channel.data_bus_free = max(channel.data_bus_free, data_end)
-            channel.last_col_rank = cmd.addr.rank
+            channel = self._channels[addr.channel]
+            if data_end > channel.data_bus_free:
+                channel.data_bus_free = data_end
+            channel.last_col_rank = addr.rank
             channel.last_data_end = data_end
             channel.last_col_was_write = not is_read
             channel.last_col_cycle = now
             # The rank is occupied by the host for the command cycle and for
             # the data-burst window; the gap in between (CAS latency) is a
             # short idle period the NDA may exploit (Section III-B).
-            rank.busy_until = max(rank.busy_until, now + 1)
+            if now + 1 > rank.busy_until:
+                rank.busy_until = now + 1
             if data_start >= rank.data_busy_until:
                 rank.data_busy_from = data_start
-            rank.data_busy_until = max(rank.data_busy_until, data_end)
+            if data_end > rank.data_busy_until:
+                rank.data_busy_until = data_end
 
     # ------------------------------------------------------------------ #
     # Refresh bookkeeping
@@ -290,11 +434,11 @@ class TimingEngine:
 
     def refresh_due(self, channel: int, rank: int, now: int) -> bool:
         """Whether a refresh is due for the given rank at cycle ``now``."""
-        return now >= self._ranks[(channel, rank)].refresh_due
+        return now >= self.rank_state(channel, rank).refresh_due
 
     def refresh_urgency(self, channel: int, rank: int, now: int) -> float:
         """How overdue the next refresh is, in multiples of tREFI."""
-        due = self._ranks[(channel, rank)].refresh_due
+        due = self.rank_state(channel, rank).refresh_due
         return (now - due) / self.timing.tREFI if now > due else 0.0
 
     # ------------------------------------------------------------------ #
@@ -303,7 +447,7 @@ class TimingEngine:
 
     def rank_host_busy(self, channel: int, rank: int, now: int) -> bool:
         """Whether the host currently occupies the rank (command or data)."""
-        state = self._ranks[(channel, rank)]
+        state = self.rank_state(channel, rank)
         if state.busy_until > now:
             return True
         return state.data_busy_from <= now < state.data_busy_until
@@ -315,7 +459,7 @@ class TimingEngine:
         engine uses it to find the next NDA issue opportunity without
         stepping through host-busy cycles one by one.
         """
-        state = self._ranks[(channel, rank)]
+        state = self.rank_state(channel, rank)
         cycle = now
         while True:
             if cycle < state.busy_until:
@@ -335,7 +479,7 @@ class TimingEngine:
         determined by the current timing state.  Feeding the runs to the
         idle-period statistics is bit-identical to observing each cycle.
         """
-        state = self._ranks[(channel, rank)]
+        state = self.rank_state(channel, rank)
         breakpoints = {start, stop}
         for edge in (state.busy_until, state.data_busy_from,
                      state.data_busy_until):
@@ -351,7 +495,11 @@ class TimingEngine:
 
     def next_refresh_due_cycle(self, channel: int, rank: int) -> int:
         """Absolute cycle at which the rank's next refresh becomes due."""
-        return self._ranks[(channel, rank)].refresh_due
+        return self.rank_state(channel, rank).refresh_due
+
+    def channel_min_refresh_due(self, channel: int) -> int:
+        """Earliest refresh-due cycle over all ranks of ``channel`` (O(1))."""
+        return self._channel_refresh_due[channel]
 
     def read_latency(self) -> int:
         """Cycles from RD issue until the last data beat is received."""

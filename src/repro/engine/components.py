@@ -48,6 +48,9 @@ class ChannelComponent:
                 self.channel, controller.last_issue_rank, now
             )
 
+    #: advance() is a no-op; the engine skips it (see SimulationEngine).
+    needs_advance = False
+
     def advance(self, stop: int) -> None:
         """Channel state is purely event-driven; nothing accrues per cycle."""
 
@@ -150,8 +153,13 @@ class NdaComponent:
 
     def __init__(self, system: "ChopimSystem") -> None:
         self.system = system
-        self._rank_wakes: Dict[Tuple[int, int], int] = {}
         self._wake_stamp = -1
+        # Stable snapshot of (key, controller) pairs: the controller map is
+        # fixed after system construction, and per-cycle dict iteration with
+        # key hashing is measurable at scale.  Wakes live in a parallel
+        # list (positional, no tuple hashing).
+        self._controllers = list(system.rank_controllers.items())
+        self._rank_wakes: List[int] = [0] * len(self._controllers)
 
     def next_event_cycle(self, now: int) -> int:
         system = self.system
@@ -161,9 +169,18 @@ class NdaComponent:
         if system._relaunch_pending():
             wake = now
         rank_wakes = self._rank_wakes
-        for key, controller in system.rank_controllers.items():
-            rank_wake = controller.next_event_cycle(now)
-            rank_wakes[key] = rank_wake
+        rank_issue_version = system.dram.rank_issue_version
+        for index, (key, controller) in enumerate(self._controllers):
+            # Inline mirror of the controller's own wake-cache check: at one
+            # call per rank per processed cycle the call overhead alone is
+            # measurable, and most ranks have a valid cached wake.
+            if (controller._wake_cache_version
+                    == rank_issue_version[controller._rank_index]
+                    and controller._wake_cache > now):
+                rank_wake = controller._wake_cache
+            else:
+                rank_wake = controller.next_event_cycle(now)
+            rank_wakes[index] = rank_wake
             if rank_wake < wake:
                 wake = rank_wake
         self._wake_stamp = now
@@ -178,20 +195,25 @@ class NdaComponent:
         gated = self._wake_stamp == now
         rank_wakes = self._rank_wakes
         scheduler = system.scheduler
-        for key, controller in system.rank_controllers.items():
-            if (gated and rank_wakes.get(key, 0) > now
-                    and not controller.wake_invalidated):
+        for index, (key, controller) in enumerate(self._controllers):
+            if (gated and rank_wakes[index] > now
+                    and controller._wake_cache_version != -1):
                 # Event-engine fast path: this rank provably cannot issue,
                 # classify, draw throttle randomness or complete this cycle.
                 # A wake invalidated since it was computed (work delivered
-                # mid-cycle) falls through to normal processing.
+                # mid-cycle — `_wake_cache_version == -1`) falls through to
+                # normal processing.
                 continue
             if scheduler.nda_may_issue(key[0], key[1], now):
                 controller.try_issue(now)
             controller.post_cycle(now)
             # Local state (staging, refills, classification bookkeeping) may
-            # have changed without a DRAM issue; recompute the wake lazily.
-            controller.invalidate_wake()
+            # have changed without a DRAM issue; recompute the wake lazily
+            # (inline invalidate_wake).
+            controller._wake_cache_version = -1
+
+    #: advance() is a no-op; the engine skips it (see SimulationEngine).
+    needs_advance = False
 
     def advance(self, stop: int) -> None:
         """NDA state is purely event-driven; nothing accrues per cycle."""

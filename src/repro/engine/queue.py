@@ -1,11 +1,14 @@
 """A small event queue ordering component wake-ups by cycle.
 
 Implemented as a binary heap with lazy invalidation: re-scheduling an item
-simply pushes a new entry, and stale entries are discarded on pop.  With the
-handful of components a :class:`~repro.core.system.ChopimSystem` registers
-this is comparable to a linear scan, but the queue keeps the engine loop
-independent of the component count (sharded multi-system setups register
-many more components).
+simply pushes a new entry, and stale entries are discarded on pop.
+
+Note: :class:`~repro.engine.core.EventEngine` no longer uses this queue —
+it re-polls every registered component each iteration, so its earliest wake
+is a plain ``min`` (PR 2 hot-path rework).  The class is retained as a
+standalone utility (this module also defines ``INFINITY``, the shared
+"no wake-up" sentinel) for setups that register many more components than
+they poll, e.g. sharded multi-system drivers.
 """
 
 from __future__ import annotations

@@ -37,9 +37,24 @@ class ChannelController:
         self.read_queue = RequestQueue(self.config.read_queue_entries)
         self.write_queue = RequestQueue(self.config.write_queue_entries)
         self.scheduler = FrFcfsScheduler(dram)
+        # Integer occupancy thresholds with semantics identical to the
+        # float comparisons they replace (computed by evaluating the exact
+        # original expression for every possible length).
+        capacity = self.config.write_queue_entries
+        high = self.config.write_drain_high_watermark
+        low = self.config.write_drain_low_watermark
+        self._drain_high_len = next(
+            (k for k in range(capacity + 1) if k / capacity >= high),
+            capacity + 1)
+        self._drain_low_len = max(
+            (k for k in range(capacity + 1) if k / capacity <= low),
+            default=-1)
         self.counters = Counter()
         self.read_latency = WindowedStat()
         self._completions: List[_PendingCompletion] = []
+        # Earliest pending completion cycle (NO_EVENT when none): lets the
+        # per-cycle paths skip scanning the completion list.
+        self._completions_min = NO_EVENT
         self._draining_writes = False
         self._last_issue_was_write = False
         #: (cycle, rank) of the most recent command issued on this channel;
@@ -53,6 +68,13 @@ class ChannelController:
         #: only pushes timing constraints later, so a stale hint can only be
         #: early — which costs a no-op wake, never a missed event.
         self._issue_hint: int = 0
+        # Memoized FR-FCFS scans, one slot per queue: (cycle, queue version,
+        # channel DRAM version, choice, horizon).  A scan is a pure function
+        # of (queue contents+order, channel bank/timing state, cycle); the
+        # versions cover every mutation path, so the event engine's wake
+        # probe and the same cycle's tick share one scan.
+        self._scan_cache_read = (-1, -1, -1, None, 0)
+        self._scan_cache_write = (-1, -1, -1, None, 0)
 
     # ------------------------------------------------------------------ #
     # Enqueue interface (used by the host model and the runtime)
@@ -98,8 +120,13 @@ class ChannelController:
         return oldest.addr.rank
 
     def pending_requests_for_rank(self, rank: int) -> int:
-        return (sum(1 for r in self.read_queue if r.addr.rank == rank)
-                + sum(1 for r in self.write_queue if r.addr.rank == rank))
+        return (self.read_queue.count_for_rank(rank)
+                + self.write_queue.count_for_rank(rank))
+
+    def pending_to_bank(self, rank: int, bank_group: int, bank: int) -> bool:
+        """Whether either queue holds a request for the given bank (O(1))."""
+        return (self.read_queue.has_bank(rank, bank_group, bank)
+                or self.write_queue.has_bank(rank, bank_group, bank))
 
     @property
     def queued_reads(self) -> int:
@@ -119,6 +146,13 @@ class ChannelController:
         if self._issue_refresh_if_due(now):
             return completed
         self._update_drain_mode()
+        if self._issue_hint > now:
+            # The hint is never late: no queued request can issue before it
+            # (enqueues and issues reset it to "next cycle"; external DRAM
+            # activity only pushes constraints later), so the FR-FCFS scan
+            # would provably come up empty — skip it.  Keeping the possibly
+            # conservative hint costs at most a future no-op scan.
+            return completed
         request_cmd, horizon = self._pick(now)
         if request_cmd is not None:
             request, cmd = request_cmd
@@ -132,18 +166,30 @@ class ChannelController:
     # -- internals -------------------------------------------------------- #
 
     def _collect_completions(self, now: int) -> List[MemoryRequest]:
+        if now < self._completions_min:
+            return []
         done = [p.request for p in self._completions if p.cycle <= now]
         if done:
-            self._completions = [p for p in self._completions if p.cycle > now]
+            remaining = [p for p in self._completions if p.cycle > now]
+            self._completions = remaining
+            self._completions_min = (min(p.cycle for p in remaining)
+                                     if remaining else NO_EVENT)
             for request in done:
                 request.complete(now)
                 if request.is_read:
                     self.read_latency.add(request.completed_cycle - request.arrival_cycle)
         return done
 
+    def _add_completion(self, cycle: int, request: MemoryRequest) -> None:
+        self._completions.append(_PendingCompletion(cycle, request))
+        if cycle < self._completions_min:
+            self._completions_min = cycle
+
     def _issue_refresh_if_due(self, now: int) -> bool:
         """Handle refresh for any rank of this channel that is due."""
         if not self.config.refresh_enabled:
+            return False
+        if now < self.dram.timing.channel_min_refresh_due(self.channel):
             return False
         for rank in range(self.dram.org.ranks_per_channel):
             if not self.dram.refresh_due(self.channel, rank, now):
@@ -153,17 +199,19 @@ class ChannelController:
                 if bank.is_open():
                     addr = DramAddress(self.channel, rank, bank.bank_group,
                                        bank.bank, bank.open_row or 0, 0)
-                    cmd = Command(CommandType.PRE, addr, RequestSource.HOST)
-                    if self.dram.can_issue(cmd, now):
-                        self.dram.issue(cmd, now)
+                    if self.dram.can_issue_at(CommandType.PRE, addr,
+                                              RequestSource.HOST, now):
+                        cmd = Command(CommandType.PRE, addr, RequestSource.HOST)
+                        self.dram.issue_trusted(cmd, now)
                         self._note_issue(now, rank)
                         self.counters.add("refresh_precharges")
                         return True
                     return False  # wait for the precharge to become legal
             addr = DramAddress(self.channel, rank, 0, 0, 0, 0)
-            cmd = Command(CommandType.REF, addr, RequestSource.HOST)
-            if self.dram.can_issue(cmd, now):
-                self.dram.issue(cmd, now)
+            if self.dram.can_issue_at(CommandType.REF, addr,
+                                      RequestSource.HOST, now):
+                cmd = Command(CommandType.REF, addr, RequestSource.HOST)
+                self.dram.issue_trusted(cmd, now)
                 self._note_issue(now, rank)
                 self.counters.add("refreshes")
                 return True
@@ -171,16 +219,38 @@ class ChannelController:
         return False
 
     def _update_drain_mode(self) -> None:
-        high = self.config.write_drain_high_watermark
-        low = self.config.write_drain_low_watermark
+        writes = len(self.write_queue)
         if not self._draining_writes:
-            if (self.write_queue.occupancy >= high
-                    or (not self.read_queue and self.write_queue)):
+            if (writes >= self._drain_high_len
+                    or (writes and not self.read_queue)):
                 self._draining_writes = True
                 self.counters.add("drain_entries")
         else:
-            if self.write_queue.occupancy <= low or not self.write_queue:
+            if writes <= self._drain_low_len or not writes:
                 self._draining_writes = False
+
+    def _scan(self, queue: RequestQueue, now: int,
+              ) -> Tuple[Optional[Tuple[MemoryRequest, Command]], int]:
+        """Memoized FR-FCFS scan of one queue (see ``_scan_cache_*``)."""
+        cache = (self._scan_cache_write if queue is self.write_queue
+                 else self._scan_cache_read)
+        dram_version = self.dram.channel_issue_version[self.channel]
+        if cache[1] == queue.version and cache[2] == dram_version:
+            if cache[0] == now:
+                return cache[3], cache[4]
+            # An empty-handed scan stays valid until its horizon: with queue
+            # and channel DRAM state unchanged, every request's absolute
+            # earliest-issue cycle is unchanged, and all of them lie at or
+            # beyond the horizon.
+            if cache[3] is None and cache[0] < now < cache[4]:
+                return None, cache[4]
+        choice, horizon = self.scheduler.select_or_horizon(queue, now)
+        entry = (now, queue.version, dram_version, choice, horizon)
+        if queue is self.write_queue:
+            self._scan_cache_write = entry
+        else:
+            self._scan_cache_read = entry
+        return choice, horizon
 
     def _pick(self, now: int,
               ) -> Tuple[Optional[Tuple[MemoryRequest, Command]], int]:
@@ -188,11 +258,11 @@ class ChannelController:
             (self.write_queue, self.read_queue) if self._draining_writes
             else (self.read_queue, self.write_queue)
         )
-        choice, primary_horizon = self.scheduler.select_or_horizon(primary, now)
+        choice, primary_horizon = self._scan(primary, now)
         if choice is not None:
             return choice, NO_EVENT
         # Serve the other queue opportunistically so the channel is not idle.
-        choice, secondary_horizon = self.scheduler.select_or_horizon(secondary, now)
+        choice, secondary_horizon = self._scan(secondary, now)
         return choice, min(primary_horizon, secondary_horizon)
 
     def _issue_for_request(self, request: MemoryRequest, cmd: Command,
@@ -201,24 +271,22 @@ class ChannelController:
             self.dram.record_access_outcome(request.addr, request.is_write,
                                             is_nda=False)
             request.outcome_recorded = True
-        self.dram.issue(cmd, now)
+        # The command comes from this cycle's FR-FCFS scan (the scan cache
+        # is version-guarded), so legality was just proven.
+        self.dram.issue_trusted(cmd, now)
         self._note_issue(now, cmd.addr.rank)
         self.counters.add(f"cmd_{cmd.kind.name.lower()}")
         if cmd.kind is CommandType.RD:
             request.issued_cycle = now
             self.read_queue.remove(request)
-            self._completions.append(
-                _PendingCompletion(now + self.dram.read_latency(), request)
-            )
+            self._add_completion(now + self.dram.read_latency(), request)
             self._last_issue_was_write = False
         elif cmd.kind is CommandType.WR:
             request.issued_cycle = now
             self.write_queue.remove(request)
             # Writes are posted: the transaction is complete once the data
             # has been driven onto the bus.
-            self._completions.append(
-                _PendingCompletion(now + self.dram.write_latency(), request)
-            )
+            self._add_completion(now + self.dram.write_latency(), request)
             if not self._last_issue_was_write:
                 self.counters.add("read_write_turnarounds")
             self._last_issue_was_write = True
@@ -245,15 +313,11 @@ class ChannelController:
         strictly before the returned value are provably no-ops for this
         controller, so the event engine may skip them.
         """
-        wake = NO_EVENT
-        if self._completions:
-            wake = min(p.cycle for p in self._completions)
+        wake = self._completions_min
         if self.config.refresh_enabled:
-            timing = self.dram.timing
-            for rank in range(self.dram.org.ranks_per_channel):
-                due = timing.next_refresh_due_cycle(self.channel, rank)
-                if due < wake:
-                    wake = due
+            due = self.dram.timing.channel_min_refresh_due(self.channel)
+            if due < wake:
+                wake = due
         if self.read_queue or self.write_queue:
             hint = self._issue_hint
             if hint <= now < wake:
@@ -269,12 +333,10 @@ class ChannelController:
         used only for wake-up computation.  The refreshed hint stays valid
         until the next enqueue or issue on this channel (both reset it).
         """
-        choice, read_horizon = self.scheduler.select_or_horizon(
-            self.read_queue, now)
+        choice, read_horizon = self._scan(self.read_queue, now)
         if choice is not None:
             return now
-        choice, write_horizon = self.scheduler.select_or_horizon(
-            self.write_queue, now)
+        choice, write_horizon = self._scan(self.write_queue, now)
         if choice is not None:
             return now
         self._issue_hint = max(now + 1, min(read_horizon, write_horizon))

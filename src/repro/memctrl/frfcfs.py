@@ -15,9 +15,10 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Tuple
 
+from repro.dram.bank import BankState
 from repro.dram.commands import Command, CommandType, RequestSource
 from repro.dram.device import DramSystem
-from repro.memctrl.request import MemoryRequest
+from repro.memctrl.request import MemoryRequest, RequestQueue
 
 #: Sentinel for "no issuable cycle known" horizons.
 NO_EVENT = 1 << 62
@@ -28,15 +29,24 @@ class FrFcfsScheduler:
 
     def __init__(self, dram: DramSystem) -> None:
         self.dram = dram
+        # Bound methods of the hot probes: the scan bypasses the DramSystem
+        # delegation layer (timing-only semantics, as before).
+        self._earliest_issue_at = dram.timing.earliest_issue_at
+        self._bank = dram.bank
+        # Direct references to the timing engine's row-command probe caches
+        # (lists mutated in place, never reassigned): the bucketed scan
+        # reads them inline, skipping the probe call on cache hits.
+        self._issue_versions = dram.timing._issue_versions
+        self._act_cache = dram.timing._act_cache
+        self._pre_cache = dram.timing._pre_cache
 
     def next_command_for(self, request: MemoryRequest,
                          now: int) -> Optional[Command]:
         """The next command required by ``request`` if issuable now, else None."""
         kind = self.dram.required_command(request.addr, request.is_write)
-        cmd = Command(kind, request.addr, RequestSource.HOST,
-                      request_id=request.request_id)
-        if self.dram.can_issue(cmd, now):
-            return cmd
+        if self.dram.can_issue_at(kind, request.addr, RequestSource.HOST, now):
+            return Command(kind, request.addr, RequestSource.HOST,
+                           request_id=request.request_id)
         return None
 
     def select(self, requests: Iterable[MemoryRequest],
@@ -56,22 +66,137 @@ class FrFcfsScheduler:
         lower bound on the next cycle this queue could issue anything,
         assuming no intervening enqueue or DRAM state change that hastens a
         request (timing state only ever moves constraints later).
+
+        The scan is allocation-free: every candidate is probed value-based
+        through ``required_command``/``earliest_issue_at`` and exactly one
+        :class:`Command` is built, for the winning request.
         """
-        fallback: Optional[Tuple[MemoryRequest, Command]] = None
+        if isinstance(requests, RequestQueue):
+            return self._select_bucketed(requests, now)
+        required_command = self.dram.required_command
+        earliest_issue_at = self._earliest_issue_at
+        host = RequestSource.HOST
+        fallback: Optional[MemoryRequest] = None
+        fallback_kind: Optional[CommandType] = None
         horizon = NO_EVENT
         for request in requests:  # iteration order == arrival order
-            kind = self.dram.required_command(request.addr, request.is_write)
-            cmd = Command(kind, request.addr, RequestSource.HOST,
-                          request_id=request.request_id)
-            earliest = self.dram.earliest_issue(cmd, now)
+            addr = request.addr
+            kind = required_command(addr, request.is_write)
+            earliest = earliest_issue_at(kind, addr, host, now)
             if earliest > now:
                 if earliest < horizon:
                     horizon = earliest
                 continue
-            if (kind is CommandType.RD or kind is CommandType.WR):
+            if kind is CommandType.RD or kind is CommandType.WR:
                 # required_command returns a column command only when the
                 # target row is open — a row-buffer hit by construction.
+                cmd = Command(kind, addr, host, request_id=request.request_id)
                 return (request, cmd), NO_EVENT
             if fallback is None:
-                fallback = (request, cmd)
-        return fallback, horizon
+                fallback = request
+                fallback_kind = kind
+        if fallback is None:
+            return None, horizon
+        cmd = Command(fallback_kind, fallback.addr, host,
+                      request_id=fallback.request_id)
+        return (fallback, cmd), horizon
+
+    def _select_bucketed(self, queue: RequestQueue, now: int,
+                         ) -> Tuple[Optional[Tuple[MemoryRequest, Command]], int]:
+        """Bucketed FR-FCFS scan over a :class:`RequestQueue`.
+
+        Timing-equivalent to the linear scan but probes DDR4 timing once
+        per bank bucket and command class instead of once per request:
+        within one bank, every request needing ACT (bank closed) or PRE
+        (row conflict) shares the same ``earliest_issue_at``, and row-hit
+        column commands share it per direction (RD/WR).  Arrival order
+        across buckets is recovered from each request's ``queue_seq``
+        stamp, so the selected request is exactly the one the linear scan
+        would pick; the horizon (min earliest over non-issuable requests)
+        is likewise identical whenever it is consumed (choice is None).
+        """
+        earliest_issue_at = self._earliest_issue_at
+        dram_bank = self._bank
+        host = RequestSource.HOST
+        rd = CommandType.RD
+        wr = CommandType.WR
+        closed = BankState.CLOSED
+        horizon = NO_EVENT
+        best_hit: Optional[MemoryRequest] = None
+        best_hit_kind: Optional[CommandType] = None
+        best_hit_seq = NO_EVENT
+        best_fb: Optional[MemoryRequest] = None
+        best_fb_kind: Optional[CommandType] = None
+        best_fb_seq = NO_EVENT
+        issue_versions = self._issue_versions
+        act_cache = self._act_cache
+        pre_cache = self._pre_cache
+        for bucket in queue.bank_buckets():
+            bucket_iter = iter(bucket.values())
+            first = next(bucket_iter)
+            bank = dram_bank(first.addr)
+            if bank.state is closed:
+                # Whole bucket needs ACT; oldest request represents it.
+                a = first.addr
+                bi = a.bank_index
+                if bi >= 0 and act_cache[bi][0] == issue_versions[a.rank_index]:
+                    earliest = act_cache[bi][1]
+                    if earliest < now:
+                        earliest = now
+                else:
+                    earliest = earliest_issue_at(CommandType.ACT, a, host, now)
+                if earliest <= now:
+                    if first.queue_seq < best_fb_seq:
+                        best_fb, best_fb_kind = first, CommandType.ACT
+                        best_fb_seq = first.queue_seq
+                elif earliest < horizon:
+                    horizon = earliest
+                continue
+            open_row = bank.open_row
+            rd_earliest = wr_earliest = pre_earliest = -1
+            for request in bucket.values():
+                addr = request.addr
+                if addr.row == open_row:
+                    if request.is_write:
+                        if wr_earliest < 0:
+                            wr_earliest = earliest_issue_at(wr, addr, host, now)
+                        earliest, kind = wr_earliest, wr
+                    else:
+                        if rd_earliest < 0:
+                            rd_earliest = earliest_issue_at(rd, addr, host, now)
+                        earliest, kind = rd_earliest, rd
+                    if earliest <= now:
+                        if request.queue_seq < best_hit_seq:
+                            best_hit, best_hit_kind = request, kind
+                            best_hit_seq = request.queue_seq
+                        # Later bucket entries are younger and the horizon
+                        # is irrelevant once a choice exists.
+                        break
+                else:
+                    if pre_earliest < 0:
+                        bi = addr.bank_index
+                        if (bi >= 0 and pre_cache[bi][0]
+                                == issue_versions[addr.rank_index]):
+                            pre_earliest = pre_cache[bi][1]
+                            if pre_earliest < now:
+                                pre_earliest = now
+                        else:
+                            pre_earliest = earliest_issue_at(
+                                CommandType.PRE, addr, host, now)
+                    earliest = pre_earliest
+                    if earliest <= now:
+                        if request.queue_seq < best_fb_seq:
+                            best_fb, best_fb_kind = request, CommandType.PRE
+                            best_fb_seq = request.queue_seq
+                        continue
+                if earliest > now and earliest < horizon:
+                    horizon = earliest
+        if best_hit is not None:
+            cmd = Command(best_hit_kind, best_hit.addr, host,
+                          request_id=best_hit.request_id)
+            return (best_hit, cmd), NO_EVENT
+        if best_fb is not None:
+            cmd = Command(best_fb_kind, best_fb.addr, host,
+                          request_id=best_fb.request_id)
+            return (best_fb, cmd), horizon
+        return None, horizon

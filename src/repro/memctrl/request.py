@@ -3,34 +3,49 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.dram.commands import DramAddress
 
 _request_ids = itertools.count()
 
+#: Bucket key identifying a bank within one channel's queue.
+_BankKey = Tuple[int, int, int]
 
-@dataclass
+
 class MemoryRequest:
     """One host memory transaction (a cache-line read or write).
 
     ``on_complete`` is invoked with the completion cycle when the data
     transfer finishes (reads) or the write has been accepted by the DRAM
     (writes); the host core model uses it to unblock the issuing core.
+
+    A ``__slots__`` class rather than a dataclass: requests are allocated
+    per cache miss and probed on every scheduler scan, so the compact
+    layout and fast attribute access matter.
     """
 
-    addr: DramAddress
-    is_write: bool
-    phys: int = 0
-    core_id: int = -1
-    arrival_cycle: int = 0
-    request_id: int = field(default_factory=lambda: next(_request_ids))
-    on_complete: Optional[Callable[[int], None]] = None
+    __slots__ = ("addr", "is_write", "phys", "core_id", "arrival_cycle",
+                 "request_id", "on_complete", "outcome_recorded",
+                 "issued_cycle", "completed_cycle", "queue_seq")
 
-    outcome_recorded: bool = False
-    issued_cycle: Optional[int] = None
-    completed_cycle: Optional[int] = None
+    def __init__(self, addr: DramAddress, is_write: bool, phys: int = 0,
+                 core_id: int = -1, arrival_cycle: int = 0,
+                 request_id: Optional[int] = None,
+                 on_complete: Optional[Callable[[int], None]] = None) -> None:
+        self.addr = addr
+        self.is_write = is_write
+        self.phys = phys
+        self.core_id = core_id
+        self.arrival_cycle = arrival_cycle
+        self.request_id = next(_request_ids) if request_id is None else request_id
+        self.on_complete = on_complete
+        self.outcome_recorded = False
+        self.issued_cycle: Optional[int] = None
+        self.completed_cycle: Optional[int] = None
+        #: Arrival-order stamp within the owning queue (set by push); lets
+        #: the bucketed FR-FCFS scan compare age across bank buckets.
+        self.queue_seq = 0
 
     @property
     def is_read(self) -> bool:
@@ -46,21 +61,46 @@ class MemoryRequest:
             return None
         return self.completed_cycle - self.arrival_cycle
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        op = "WR" if self.is_write else "RD"
+        return (f"MemoryRequest(#{self.request_id} {op} ch{self.addr.channel} "
+                f"rk{self.addr.rank} bg{self.addr.bank_group} "
+                f"bk{self.addr.bank} row{self.addr.row} col{self.addr.column})")
+
+
+def _bank_key(addr: DramAddress) -> _BankKey:
+    """Bank identity of ``addr`` within its channel (queues are per channel)."""
+    return (addr.rank, addr.bank_group, addr.bank)
+
 
 class RequestQueue:
-    """A bounded FIFO transaction queue preserving arrival order."""
+    """A bounded FIFO transaction queue preserving arrival order.
+
+    Entries live in an insertion-ordered dict keyed by ``request_id``, so
+    iteration remains exactly arrival order while removal is O(1) amortized
+    (the old list representation paid an O(n) ``list.remove`` per issued
+    command).  Per-bank buckets (same dict trick, same order) serve the
+    bank-local queries — ``find_same_bank``, ``find_write_to``,
+    ``has_bank`` — without scanning the whole queue, and a per-rank counter
+    serves rank-occupancy queries in O(1).
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError("queue capacity must be positive")
         self.capacity = capacity
-        self._entries: List[MemoryRequest] = []
+        self._entries: Dict[int, MemoryRequest] = {}
+        self._by_bank: Dict[_BankKey, Dict[int, MemoryRequest]] = {}
+        self._rank_counts: Dict[int, int] = {}
+        self._next_seq = 0
+        #: Bumped on every push/remove; scan results memoized against it.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __iter__(self) -> Iterator[MemoryRequest]:
-        return iter(self._entries)
+        return iter(self._entries.values())
 
     def __bool__(self) -> bool:
         return bool(self._entries)
@@ -77,22 +117,70 @@ class RequestQueue:
         """Append a request; returns False (and drops nothing) when full."""
         if self.full:
             return False
-        self._entries.append(request)
+        request.queue_seq = self._next_seq
+        self._next_seq += 1
+        self.version += 1
+        self._entries[request.request_id] = request
+        addr = request.addr
+        key = (addr.rank, addr.bank_group, addr.bank)
+        bucket = self._by_bank.get(key)
+        if bucket is None:
+            bucket = self._by_bank[key] = {}
+        bucket[request.request_id] = request
+        self._rank_counts[addr.rank] = self._rank_counts.get(addr.rank, 0) + 1
         return True
 
     def remove(self, request: MemoryRequest) -> None:
-        self._entries.remove(request)
+        request_id = request.request_id
+        if request_id not in self._entries:
+            raise ValueError(f"request #{request_id} not in queue")
+        self.version += 1
+        del self._entries[request_id]
+        addr = request.addr
+        key = (addr.rank, addr.bank_group, addr.bank)
+        bucket = self._by_bank[key]
+        del bucket[request_id]
+        if not bucket:
+            del self._by_bank[key]
+        count = self._rank_counts[addr.rank] - 1
+        if count:
+            self._rank_counts[addr.rank] = count
+        else:
+            del self._rank_counts[addr.rank]
 
     def oldest(self) -> Optional[MemoryRequest]:
-        return self._entries[0] if self._entries else None
+        return next(iter(self._entries.values()), None)
 
     def find_same_bank(self, addr: DramAddress) -> List[MemoryRequest]:
         """Requests targeting the same bank as ``addr`` (row-policy decisions)."""
-        return [r for r in self._entries if r.addr.same_bank(addr)]
+        bucket = self._by_bank.get(_bank_key(addr))
+        return list(bucket.values()) if bucket else []
 
     def find_write_to(self, addr: DramAddress) -> Optional[MemoryRequest]:
         """A queued write to the same cache line (read forwarding), if any."""
-        for r in self._entries:
-            if (r.is_write and r.addr == addr):
+        bucket = self._by_bank.get(_bank_key(addr))
+        if not bucket:
+            return None
+        for r in bucket.values():
+            if r.is_write and r.addr == addr:
                 return r
         return None
+
+    def bank_buckets(self) -> Iterator[Dict[int, MemoryRequest]]:
+        """The non-empty per-bank buckets (each in arrival order).
+
+        Only for the FR-FCFS scan: since DDR4 timing constraints do not
+        depend on row or column, every request in one bucket that needs the
+        same command kind shares one ``earliest_issue_at`` value, so the
+        scan probes timing once per bucket-and-kind instead of once per
+        request.
+        """
+        return iter(self._by_bank.values())
+
+    def has_bank(self, rank: int, bank_group: int, bank: int) -> bool:
+        """Whether any queued request targets the given bank (O(1))."""
+        return (rank, bank_group, bank) in self._by_bank
+
+    def count_for_rank(self, rank: int) -> int:
+        """Number of queued requests targeting ``rank`` (O(1))."""
+        return self._rank_counts.get(rank, 0)

@@ -73,6 +73,9 @@ class _ExecutionState:
         self.num_operands = max(1, len(work.operand_banks))
         per_operand = (self.total_read_columns + self.num_operands - 1) // self.num_operands
         self.columns_per_operand = max(1, per_operand)
+        # Memo of write_stage_allowed keyed on its inputs: the predicate is
+        # probed every cycle per rank but its inputs only move on progress.
+        self._stage_memo = (-1, -1, False)
 
     # -- reads ------------------------------------------------------------ #
 
@@ -130,9 +133,14 @@ class _ExecutionState:
         """Results may only be staged for data that has been read (pipelined)."""
         if self.total_write_columns == 0:
             return False
+        memo = self._stage_memo
+        if memo[0] == self.reads_issued and memo[1] == self.writes_staged:
+            return memo[2]
         read_progress = self.reads_issued / max(1, self.total_read_columns)
         write_progress = self.writes_staged / max(1, self.total_write_columns)
-        return write_progress < read_progress or self.reads_done
+        allowed = write_progress < read_progress or self.reads_done
+        self._stage_memo = (self.reads_issued, self.writes_staged, allowed)
+        return allowed
 
 
 class NdaRankController:
@@ -148,6 +156,12 @@ class NdaRankController:
         self.channel = channel
         self.rank = rank
         self.dram = dram
+        # Dense indices of this rank, matching the stamps the timing engine
+        # and DRAM device use for their flat state arrays.
+        self._rank_index = channel * dram.org.ranks_per_channel + rank
+        self._bank_index_base = self._rank_index * dram.org.banks_per_rank
+        # Bound hot probes (timing-only semantics, as the command path used).
+        self._timing_earliest_issue_at = dram.timing.earliest_issue_at
         self.config = config or NdaConfig()
         self.allowed_banks = allowed_banks or list(range(dram.org.banks_per_rank))
         self.throttle = throttle or IssueIfIdlePolicy()
@@ -166,6 +180,10 @@ class NdaRankController:
         # (attempts, staging, refills, new work) invalidate it explicitly.
         self._wake_cache = 0
         self._wake_cache_version = -1
+        # (execution state, reads_issued, addr): the decoded target of the
+        # next read access.  Recomputed only when the read cursor moves;
+        # blocked attempts and wake probes reuse the immutable address.
+        self._read_addr_cache: Optional[Tuple[_ExecutionState, int, DramAddress]] = None
         # Statistics
         self.bytes_read = 0
         self.bytes_written = 0
@@ -201,10 +219,12 @@ class NdaRankController:
 
     def try_issue(self, now: int) -> bool:
         """Attempt to issue one NDA DRAM command; returns True on issue."""
-        self._refill(now)
         state = self._active
         if state is None:
-            return False
+            if not self._queue:
+                return False
+            self._refill(now)
+            state = self._active
 
         # Drain has priority when the buffer asks for it or reads are done.
         if not self.write_buffer.empty and (self.write_buffer.draining
@@ -261,6 +281,8 @@ class NdaRankController:
             bank=flat_bank % banks_per_group,
             row=row,
             column=column,
+            rank_index=self._rank_index,
+            bank_index=self._bank_index_base + flat_bank,
         )
 
     def _host_wants_bank(self, addr: DramAddress) -> bool:
@@ -280,24 +302,34 @@ class NdaRankController:
         outcome reflects the bank state the access found.
         """
         kind = self.dram.required_command(addr, is_write)
-        cmd = Command(kind, addr, RequestSource.NDA)
         if kind.is_row and self._host_wants_bank(addr):
             # Host row commands take priority on contended banks.  The block
             # lifts when the host queue changes, which only happens at
             # engine-processed cycles — retry at the next opportunity.
             self.cycles_blocked_by_host += 1
             return None
-        if self.dram.earliest_issue(cmd, now) > now:
+        if self._timing_earliest_issue_at(kind, addr, RequestSource.NDA, now) > now:
             return None
         if classify:
             self.dram.record_access_outcome(addr, is_write, is_nda=True)
-        self.dram.issue(cmd, now)
+        # required_command + the probe above are exactly the issue-time
+        # legality checks; nothing issued in between.
+        self.dram.issue_trusted(Command(kind, addr, RequestSource.NDA), now)
         self.commands_issued += 1
         return kind
 
-    def _try_read(self, now: int, state: _ExecutionState) -> bool:
+    def _next_read_addr(self, state: _ExecutionState) -> DramAddress:
+        idx = state.reads_issued
+        cached = self._read_addr_cache
+        if cached is not None and cached[0] is state and cached[1] == idx:
+            return cached[2]
         bank, row, column = state.next_read()
         addr = self._addr(bank, row, column)
+        self._read_addr_cache = (state, idx, addr)
+        return addr
+
+    def _try_read(self, now: int, state: _ExecutionState) -> bool:
+        addr = self._next_read_addr(state)
         classify = state.reads_issued > state.read_classified_idx
         issued = self._issue_toward(addr, is_write=False, now=now,
                                     classify=classify)
@@ -394,8 +426,7 @@ class NdaRankController:
         if kind.is_row and self._host_wants_bank(addr):
             # Blocked on the host queue: poll at each issue opportunity.
             return self._issue_horizon(self.channel, self.rank, now)
-        cmd = Command(kind, addr, RequestSource.NDA)
-        earliest = self.dram.earliest_issue(cmd, now)
+        earliest = self._timing_earliest_issue_at(kind, addr, RequestSource.NDA, now)
         return self._issue_horizon(self.channel, self.rank,
                                    earliest if earliest > now else now)
 
@@ -411,9 +442,14 @@ class NdaRankController:
         the cycle-by-cycle loop.
         """
         state = self._active
+        version = self.dram.rank_issue_version[self._rank_index]
         if state is None and not self._queue:
+            # Idle ranks stay idle until new work arrives, and enqueue()
+            # invalidates the cache; caching lets the engine's inline
+            # fast-path skip this call entirely.
+            self._wake_cache = _NO_EVENT
+            self._wake_cache_version = version
             return _NO_EVENT
-        version = self.dram.rank_issue_version[(self.channel, self.rank)]
         if version == self._wake_cache_version and self._wake_cache > now:
             return self._wake_cache
         if state is None:
@@ -435,8 +471,7 @@ class NdaRankController:
                 # rank version) or an enqueue makes the prediction stricter
                 # (which can only delay the drain further).
             if not state.reads_done:
-                bank, row, column = state.next_read()
-                candidate = self._access_wake(self._addr(bank, row, column),
+                candidate = self._access_wake(self._next_read_addr(state),
                                               is_write=False, now=now)
                 if candidate < wake:
                     wake = candidate

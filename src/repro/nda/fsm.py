@@ -17,7 +17,7 @@ paper relies on, checked by our tests every cycle in debug mode).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 
 #: Events retained for post-mortem debugging; bounded so multi-billion-cycle
@@ -51,41 +51,46 @@ class NdaFsmState:
 
 
 def _transition(state: NdaFsmState, event: str, **kwargs) -> NdaFsmState:
-    """The deterministic FSM transition function (shared by both copies)."""
+    """The deterministic FSM transition function (shared by both copies).
+
+    States are built directly (positionally) rather than via
+    ``dataclasses.replace`` — the transition runs once per NDA command on
+    both FSM copies, and ``replace`` pays field-introspection cost per call.
+    """
     if event == "launch":
-        return replace(
-            state,
-            current_instruction=kwargs["instruction_id"],
-            reads_remaining=kwargs["reads"],
-            writes_remaining=kwargs["writes"],
-            draining=False,
-        )
+        return NdaFsmState(kwargs["instruction_id"], kwargs["reads"],
+                           kwargs["writes"], state.write_buffer_occupancy,
+                           False, state.instructions_completed)
     if event == "read_issued":
-        return replace(state, reads_remaining=max(0, state.reads_remaining - 1))
+        return NdaFsmState(state.current_instruction,
+                           max(0, state.reads_remaining - 1),
+                           state.writes_remaining,
+                           state.write_buffer_occupancy,
+                           state.draining, state.instructions_completed)
     if event == "write_buffered":
-        return replace(state,
-                       write_buffer_occupancy=state.write_buffer_occupancy + 1)
+        return NdaFsmState(state.current_instruction, state.reads_remaining,
+                           state.writes_remaining,
+                           state.write_buffer_occupancy + 1,
+                           state.draining, state.instructions_completed)
     if event == "write_drained":
         occ = max(0, state.write_buffer_occupancy - 1)
-        return replace(
-            state,
-            write_buffer_occupancy=occ,
-            writes_remaining=max(0, state.writes_remaining - 1),
-            draining=state.draining and occ > 0,
-        )
+        return NdaFsmState(state.current_instruction, state.reads_remaining,
+                           max(0, state.writes_remaining - 1), occ,
+                           state.draining and occ > 0,
+                           state.instructions_completed)
     if event == "drain_start":
-        return replace(state, draining=True)
+        return NdaFsmState(state.current_instruction, state.reads_remaining,
+                           state.writes_remaining,
+                           state.write_buffer_occupancy,
+                           True, state.instructions_completed)
     if event == "drain_end":
-        return replace(state, draining=False)
+        return NdaFsmState(state.current_instruction, state.reads_remaining,
+                           state.writes_remaining,
+                           state.write_buffer_occupancy,
+                           False, state.instructions_completed)
     if event == "complete":
-        return replace(
-            state,
-            current_instruction=None,
-            reads_remaining=0,
-            writes_remaining=0,
-            draining=False,
-            instructions_completed=state.instructions_completed + 1,
-        )
+        return NdaFsmState(None, 0, 0, state.write_buffer_occupancy, False,
+                           state.instructions_completed + 1)
     raise ValueError(f"unknown FSM event {event!r}")
 
 
@@ -125,10 +130,18 @@ class ReplicatedFsm:
 
     def verify(self) -> None:
         """Raise :class:`FsmDivergenceError` if the two copies differ."""
-        if self.device_state.as_tuple() != self.host_state.as_tuple():
+        device, host = self.device_state, self.host_state
+        # Field-by-field comparison (no as_tuple allocations): this runs
+        # after every FSM event.
+        if (device.current_instruction != host.current_instruction
+                or device.reads_remaining != host.reads_remaining
+                or device.writes_remaining != host.writes_remaining
+                or device.write_buffer_occupancy != host.write_buffer_occupancy
+                or device.draining != host.draining
+                or device.instructions_completed != host.instructions_completed):
             raise FsmDivergenceError(
                 f"FSM divergence on ch{self.channel} rk{self.rank}: "
-                f"device={self.device_state} host={self.host_state}"
+                f"device={device} host={host}"
             )
 
     @property

@@ -63,6 +63,11 @@ class ColoredFrameAllocator:
         return sum(len(v) for v in self._free_by_color.values())
 
     def color_of(self, addr: int) -> Color:
+        # Frames handed out by this allocator already know their color; the
+        # mapping's own frame_color cache covers everything else.
+        color = self._allocated.get(addr)
+        if color is not None:
+            return color
         return self.mapping.frame_color(addr, page_bits=self.page_bits)
 
     # ------------------------------------------------------------------ #

@@ -239,3 +239,118 @@ class TestOperandLayout:
         assert sum(partition_elements_per_rank(1023, 8)) == 1023
         with pytest.raises(ValueError):
             partition_elements_per_rank(4, 0)
+
+
+# --------------------------------------------------------------------------- #
+# Mask-based decode equivalence (PR 2 hot-path rework)
+# --------------------------------------------------------------------------- #
+
+def _bit(value, position):
+    return (value >> position) & 1
+
+
+def _oracle_extract(spec, phys):
+    """The pre-mask bit-loop implementation of FieldSpec.extract, kept as a
+    reference oracle: out[i] = phys[home_lsb+i] XOR (XOR of partners[i])."""
+    value = 0
+    for i in range(spec.width):
+        bit = _bit(phys, spec.home_lsb + i)
+        if i < len(spec.partners):
+            for p in spec.partners[i]:
+                bit ^= _bit(phys, p)
+        value |= bit << i
+    return value
+
+
+def _oracle_hash_part(spec, phys):
+    value = 0
+    for i in range(spec.width):
+        bit = 0
+        if i < len(spec.partners):
+            for p in spec.partners[i]:
+                bit ^= _bit(phys, p)
+        value |= bit << i
+    return value
+
+
+def _oracle_to_dram(mapping, phys):
+    """Legacy decode: field extraction via the bit-loop oracle."""
+    mapping.check_range(phys)
+    col_lo = (phys >> mapping._col_lo_lsb) & ((1 << mapping.column_split) - 1)
+    col_hi_width = mapping.column_bits - mapping.column_split
+    col_hi = (phys >> mapping._col_hi_lsb) & ((1 << col_hi_width) - 1)
+    column = (col_hi << mapping.column_split) | col_lo
+    row = (phys >> mapping.row_lsb) & ((1 << mapping.row_bits) - 1)
+    return (
+        _oracle_extract(mapping.fields["channel"], phys),
+        _oracle_extract(mapping.fields["rank"], phys),
+        _oracle_extract(mapping.fields["bank_group"], phys),
+        _oracle_extract(mapping.fields["bank"], phys),
+        row,
+        column,
+    )
+
+
+_MAPPING_FACTORIES = [skylake_mapping, linear_mapping, partition_friendly_mapping]
+
+
+class TestMaskDecodeEquivalence:
+    """The mask/popcount decode must match the legacy bit-loop decode."""
+
+    @pytest.mark.parametrize("factory", _MAPPING_FACTORIES)
+    @given(fraction=st.integers(min_value=0, max_value=(1 << 48) - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_to_dram_matches_bitloop_oracle(self, factory, fraction):
+        m = factory(ORG)
+        phys = fraction % m.capacity_bytes
+        a = m.to_dram(phys)
+        assert (a.channel, a.rank, a.bank_group, a.bank, a.row, a.column) \
+            == _oracle_to_dram(m, phys)
+
+    @pytest.mark.parametrize("factory", _MAPPING_FACTORIES)
+    @given(fraction=st.integers(min_value=0, max_value=(1 << 48) - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_hash_part_matches_bitloop_oracle(self, factory, fraction):
+        m = factory(ORG)
+        phys = fraction % m.capacity_bytes
+        for spec in m.fields.values():
+            assert spec.hash_part(phys) == _oracle_hash_part(spec, phys)
+
+    @pytest.mark.parametrize("factory", _MAPPING_FACTORIES)
+    @given(fraction=st.integers(min_value=0, max_value=(1 << 48) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_under_mask_decode(self, factory, fraction):
+        m = factory(ORG)
+        phys = fraction % m.capacity_bytes
+        assert m.round_trip_ok(phys)
+
+    def test_decode_stamps_dense_indices(self):
+        m = skylake_mapping(ORG)
+        for phys in range(0, ORG.total_bytes, ORG.total_bytes // 129):
+            a = m.to_dram(phys)
+            assert a.rank_index == a.channel * ORG.ranks_per_channel + a.rank
+            assert a.bank_index == (a.rank_index * ORG.banks_per_rank
+                                    + a.bank_group * ORG.banks_per_group + a.bank)
+
+    def test_stamped_and_unstamped_addresses_compare_equal(self):
+        m = skylake_mapping(ORG)
+        a = m.to_dram(1 << 20)
+        from repro.dram.commands import DramAddress
+        bare = DramAddress(a.channel, a.rank, a.bank_group, a.bank, a.row, a.column)
+        assert a == bare and hash(a) == hash(bare)
+        assert bare.rank_index == -1 and bare.bank_index == -1
+
+    def test_replace_of_bank_coordinate_clears_stamps(self):
+        m = skylake_mapping(ORG)
+        a = m.to_dram(1 << 21)
+        moved = a._replace(rank=(a.rank + 1) % ORG.ranks_per_channel)
+        assert moved.rank_index == -1 and moved.bank_index == -1
+        # Row/column changes keep the (still valid) stamps.
+        assert a.with_column(3).bank_index == a.bank_index
+        assert a.with_row(5).rank_index == a.rank_index
+
+    def test_num_colors_memoized_and_stable(self):
+        m = skylake_mapping(ORG)
+        first = m.num_colors()
+        assert m.num_colors() == first
+        assert m._num_colors_cache[21] == first

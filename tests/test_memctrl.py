@@ -58,6 +58,51 @@ class TestRequestQueue:
         assert q.find_write_to(addr(row=3)) is w
         assert q.find_write_to(addr(row=4)) is None
 
+
+    def test_fifo_order_preserved_across_interleaved_removals(self):
+        """Regression for the bucketed O(1) removal: iteration must stay
+        exactly arrival order through arbitrary remove/push interleavings."""
+        q = RequestQueue(8)
+        reqs = [MemoryRequest(addr(row=i, bank=i % 4), False) for i in range(6)]
+        for r in reqs:
+            assert q.push(r)
+        q.remove(reqs[2])
+        q.remove(reqs[0])
+        assert [r.request_id for r in q] == [reqs[i].request_id for i in (1, 3, 4, 5)]
+        late = MemoryRequest(addr(row=9), False)
+        q.push(late)
+        assert [r.request_id for r in q] == (
+            [reqs[i].request_id for i in (1, 3, 4, 5)] + [late.request_id])
+        assert q.oldest() is reqs[1]
+
+    def test_remove_absent_request_raises(self):
+        q = RequestQueue(4)
+        r = MemoryRequest(addr(), False)
+        q.push(r)
+        q.remove(r)
+        with pytest.raises(ValueError):
+            q.remove(r)
+
+    def test_bank_buckets_and_rank_counts_track_membership(self):
+        q = RequestQueue(8)
+        a0 = addr(rank=0, bank=1, row=1)
+        a1 = addr(rank=1, bank=1, row=2)
+        r0 = MemoryRequest(a0, False)
+        r1 = MemoryRequest(a1, False)
+        r2 = MemoryRequest(a0.with_row(7), False)
+        for r in (r0, r1, r2):
+            q.push(r)
+        assert q.has_bank(0, 0, 1) and q.has_bank(1, 0, 1)
+        assert not q.has_bank(0, 0, 2)
+        assert q.count_for_rank(0) == 2 and q.count_for_rank(1) == 1
+        assert [r.request_id for r in q.find_same_bank(a0)] == [
+            r0.request_id, r2.request_id]
+        q.remove(r0)
+        q.remove(r2)
+        assert not q.has_bank(0, 0, 1)
+        assert q.count_for_rank(0) == 0
+        assert q.find_same_bank(a0) == []
+
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             RequestQueue(0)
