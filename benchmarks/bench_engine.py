@@ -12,6 +12,11 @@ Measures
 
 Results are written to ``BENCH_engine.json`` at the repository root.
 
+The event-engine entry always includes ``selective_wake`` statistics: one
+row per schedulable unit with its wake-probe count (``next_event_cycle``
+calls), processed-cycle run count, received dirty notifications and skip
+ratio — the data needed to see which unit forces processed cycles.
+
 With ``--profile`` a cProfile pass over the largest point is added and the
 top-20 cumulative-time entries (annotated with the repro layer each function
 belongs to) are recorded per engine into the JSON, so perf PRs can see where
@@ -89,6 +94,16 @@ def bench_largest_point(cycles: int, warmup: int, repeats: int = 3) -> dict:
                     "cycles_processed": system.engine.cycles_processed,
                     "cycles_skipped": system.engine.cycles_skipped,
                 }
+        if engine == "event":
+            # Selective-wake scheduling statistics (deterministic across
+            # repeats): per-unit wake probes, runs, dirty notifications and
+            # skip ratios, so future perf PRs can see *which* unit forces
+            # processed cycles without re-instrumenting.
+            best["selective_wake"] = {
+                "wake_probes_total": sum(system.engine.wake_probes),
+                "dirty_notifications_total": sum(system.engine.hub.dirty_counts),
+                "units": system.engine.wake_stats(),
+            }
         out[engine] = best
     out["event_vs_cycle_speedup"] = (out["event"]["cycles_per_second"]
                                      / out["cycle"]["cycles_per_second"])
@@ -181,9 +196,16 @@ def bench_fig14_sweep(cycles: int, warmup: int) -> dict:
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cycles", type=int, default=DEFAULT_CYCLES,
-                        help="measured cycles per point")
+                        help="measured cycles for the largest point")
     parser.add_argument("--warmup", type=int, default=DEFAULT_WARMUP,
-                        help="warmup cycles per point")
+                        help="warmup cycles for the largest point")
+    parser.add_argument("--sweep-cycles", type=int, default=DEFAULT_CYCLES,
+                        help="measured cycles per fig14 sweep point (kept at "
+                             "the full default even for smoke runs so sweep "
+                             "wall-clock stays comparable to the committed "
+                             "baseline)")
+    parser.add_argument("--sweep-warmup", type=int, default=DEFAULT_WARMUP,
+                        help="warmup cycles per fig14 sweep point")
     parser.add_argument("--repeats", type=int, default=3,
                         help="repeats per engine on the largest point "
                              "(best run reported)")
@@ -201,7 +223,7 @@ def main(argv=None) -> None:
         "cpu_count": os.cpu_count() or 1,
         "largest_point": bench_largest_point(args.cycles, args.warmup,
                                              args.repeats),
-        "fig14_sweep": bench_fig14_sweep(args.cycles, args.warmup),
+        "fig14_sweep": bench_fig14_sweep(args.sweep_cycles, args.sweep_warmup),
     }
     if args.profile:
         result["profile"] = profile_largest_point(args.cycles, args.warmup)

@@ -8,9 +8,10 @@ the tests share one implementation.
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.dram.device import DramSystem
+from repro.engine.core import WakeHub
 from repro.memctrl.controller import ChannelController
 
 
@@ -21,14 +22,32 @@ class ConcurrentAccessScheduler:
                  channel_controllers: Dict[int, ChannelController]) -> None:
         self.dram = dram
         self.channel_controllers = channel_controllers
-        self._rank_host_busy = dram.timing.rank_host_busy
         self._next_host_free = dram.timing.next_host_free_cycle
+        # Direct view of the per-rank timing state (list mutated in place,
+        # never reassigned): the gate reads the busy windows inline — it
+        # runs once per rank per processed cycle.
+        self._rank_states = dram.timing._ranks
+        self._ranks_per_channel = dram.org.ranks_per_channel
         self._host_issued_this_cycle: Set[Tuple[int, int]] = set()
         self._cycle = -1
         self.nda_issue_opportunities = 0
         self.nda_blocked_cycles = 0
+        # Selective-wake plumbing: every host command issue is reported here
+        # (the channel components call note_host_issue), so this is the one
+        # place that sees "the host touched rank (ch, rk)" — the event that
+        # can change the rank's bank state and therefore move its NDA unit's
+        # wake-up in either direction.  The per-rank issue-version polling
+        # this replaces lived on DramSystem (see ARCHITECTURE.md).
+        self._wake_hub: Optional[WakeHub] = None
+        self._rank_slots: Dict[Tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------ #
+
+    def bind_wake_hub(self, hub: WakeHub,
+                      rank_slots: Dict[Tuple[int, int], int]) -> None:
+        """Route host-issue notifications to the affected NDA rank units."""
+        self._wake_hub = hub
+        self._rank_slots = rank_slots
 
     def begin_cycle(self, now: int) -> None:
         if now != self._cycle:
@@ -36,9 +55,20 @@ class ConcurrentAccessScheduler:
             self._host_issued_this_cycle.clear()
 
     def note_host_issue(self, channel: int, rank: int, now: int) -> None:
-        """Record that the host issued a command to (channel, rank) at ``now``."""
+        """Record that the host issued a command to (channel, rank) at ``now``.
+
+        Besides gating same-cycle NDA issue, this dirties the rank's NDA
+        unit: a host command can change the rank's bank state (shared-bank
+        modes, refresh precharges), which may change the *kind* of the NDA's
+        next required command and with it the unit's wake-up.
+        """
         self.begin_cycle(now)
         self._host_issued_this_cycle.add((channel, rank))
+        hub = self._wake_hub
+        if hub is not None:
+            slot = self._rank_slots.get((channel, rank))
+            if slot is not None:
+                hub.dirty(slot)
 
     def nda_may_issue(self, channel: int, rank: int, now: int) -> bool:
         """Whether the NDA of (channel, rank) may issue a command at ``now``.
@@ -47,11 +77,16 @@ class ConcurrentAccessScheduler:
         nor is currently transferring data to/from it — "a rank that is being
         accessed by the host cannot at the same time serve NDA requests".
         """
-        self.begin_cycle(now)
-        if (channel, rank) in self._host_issued_this_cycle:
+        if now != self._cycle:
+            self._cycle = now
+            self._host_issued_this_cycle.clear()
+        elif (channel, rank) in self._host_issued_this_cycle:
             self.nda_blocked_cycles += 1
             return False
-        if self._rank_host_busy(channel, rank, now):
+        # Inline rank_host_busy (command-cycle window or data-burst window).
+        state = self._rank_states[channel * self._ranks_per_channel + rank]
+        if (state.busy_until > now
+                or state.data_busy_from <= now < state.data_busy_until):
             self.nda_blocked_cycles += 1
             return False
         self.nda_issue_opportunities += 1

@@ -37,7 +37,8 @@ from repro.dram.device import DramSystem
 from repro.engine.components import (
     ChannelComponent,
     HostComponent,
-    NdaComponent,
+    NdaHostComponent,
+    NdaRankComponent,
     StatsComponent,
 )
 from repro.engine.core import SimulationEngine, make_engine
@@ -136,22 +137,75 @@ class ChopimSystem:
         self._measure_start = 0
 
         # ---- simulation engine -------------------------------------------
-        # Components run in this order every processed cycle, mirroring the
-        # legacy step() body; the event engine additionally fast-forwards
-        # over cycles on which no component can act.
+        # Schedulable units run in this (slot) order on every processed
+        # cycle they are due, mirroring the legacy step() body: channels,
+        # host cores, NDA host, per-rank NDA controllers, statistics.  The
+        # event engine wakes only due-or-dirty units and fast-forwards over
+        # cycles on which no unit can act.
         self.engine_kind = engine
         self._host_component = HostComponent(self)
         self._stats_component = StatsComponent(self)
-        components = [ChannelComponent(self, ch)
-                      for ch in sorted(self.channel_controllers)]
+        channel_components = [ChannelComponent(self, ch)
+                              for ch in sorted(self.channel_controllers)]
+        components: List[object] = list(channel_components)
+        host_slot = len(components)
         components.append(self._host_component)
-        components.append(NdaComponent(self))
+        nda_host_component: Optional[NdaHostComponent] = None
+        rank_components: List[NdaRankComponent] = []
+        if self.nda_host is not None:
+            nda_host_component = NdaHostComponent(self)
+            components.append(nda_host_component)
+            for key, controller in self.rank_controllers.items():
+                rank_components.append(NdaRankComponent(self, key, controller))
+            components.extend(rank_components)
         components.append(self._stats_component)
         self.engine: SimulationEngine = make_engine(engine, components)
+        self._wire_wake_hub(components, channel_components, host_slot,
+                            nda_host_component, rank_components)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
     # ------------------------------------------------------------------ #
+
+    def _wire_wake_hub(self, components: List[object],
+                       channel_components: List[ChannelComponent],
+                       host_slot: int,
+                       nda_host_component: Optional[NdaHostComponent],
+                       rank_components: List[NdaRankComponent]) -> None:
+        """Wire the push-based dirty notifications between schedulable units.
+
+        The wake hub replaces the poll-everything loop: every state change
+        that could move a unit's wake-up *earlier* notifies the affected
+        slot.  The routes are:
+
+        * enqueue into a channel controller (host cores, launch packets,
+          runtime) -> that channel's unit;
+        * a delivered demand-read completion -> the host unit;
+        * a host DRAM command issue -> the issued-to rank's NDA unit (via
+          the concurrent-access scheduler, which observes every host issue);
+        * NDA work delivery / ``NdaHostController.submit`` -> the receiving
+          rank unit / the NDA host unit.
+        """
+        hub = self.engine.hub
+        nda_host_slot = (components.index(nda_host_component)
+                         if nda_host_component is not None else -1)
+        for component in channel_components:
+            component.bind_targets(host_slot, nda_host_slot)
+        for core in self.cores:
+            core.wake_listener = hub.dirtier(host_slot)
+        channel_slots = {component.channel: slot
+                         for slot, component in enumerate(channel_components)}
+        for ch, controller in self.channel_controllers.items():
+            controller.wake_listener = hub.dirtier(channel_slots[ch])
+        rank_slots: Dict[Tuple[int, int], int] = {}
+        for component in rank_components:
+            slot = components.index(component)
+            rank_slots[component.key] = slot
+            component.bind_targets(nda_host_slot)
+            component.controller.wake_listener = hub.dirtier(slot)
+        self.scheduler.bind_wake_hub(hub, rank_slots)
+        if self.nda_host is not None:
+            self.nda_host.wake_listener = hub.dirtier(nda_host_slot)
 
     def _build_mapping(self) -> AddressMapping:
         if self.mode.uses_bank_partitioning:
@@ -248,6 +302,9 @@ class ChopimSystem:
         )
         self._nda_sequence = None
         self._nda_sequence_index = 0
+        # A new workload can make the NDA host (and transitively the ranks)
+        # eligible immediately; cached wakes must be recomputed.
+        self.engine.invalidate_wakes()
 
     def set_nda_workload_sequence(self, kernels: Sequence["NdaKernelSpec"],
                                   continuous: bool = True) -> None:
@@ -265,6 +322,7 @@ class ChopimSystem:
         self._nda_sequence = list(kernels)
         self._nda_sequence_continuous = continuous
         self._nda_sequence_index = 0
+        self.engine.invalidate_wakes()
 
     def submit_nda_operation(self, operation: NdaOperation) -> NdaOperation:
         """Submit a one-off NDA operation (used by the runtime API)."""
@@ -319,7 +377,12 @@ class ChopimSystem:
             addr = addr._replace(rank=host_ranks[addr.rank % len(host_ranks)])
         on_complete = None
         if not is_write:
-            on_complete = (lambda cycle, c=core, p=phys: c.notify_completion(p))
+            # Route through the host unit so the core's deferred fixed-point
+            # arithmetic is settled up to the delivery cycle before the
+            # completion mutates its state (lazy core sync, see
+            # HostComponent.deliver_completion).
+            on_complete = (lambda cycle, h=self._host_component,
+                           i=core.core_id, p=phys: h.deliver_completion(i, p, cycle))
         return MemoryRequest(addr=addr, is_write=is_write, phys=phys,
                              core_id=core.core_id, on_complete=on_complete)
 
@@ -377,6 +440,9 @@ class ChopimSystem:
             self.nda_host.reset_measurement()
         self.scheduler.nda_issue_opportunities = 0
         self.scheduler.nda_blocked_cycles = 0
+        # Resets change wake-relevant state (core event counters, re-anchored
+        # outstanding-miss ages); force a re-poll of every unit.
+        self.engine.invalidate_wakes()
         self._measure_start = self.now
 
     # ------------------------------------------------------------------ #

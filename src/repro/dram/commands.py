@@ -139,7 +139,7 @@ class Command:
         Identifier of the originating memory request (host requests only).
     """
 
-    __slots__ = ("kind", "addr", "source", "request_id")
+    __slots__ = ("kind", "addr", "source", "request_id", "is_nda")
 
     def __init__(self, kind: CommandType, addr: DramAddress,
                  source: RequestSource = RequestSource.HOST,
@@ -148,10 +148,10 @@ class Command:
         self.addr = addr
         self.source = source
         self.request_id = request_id
-
-    @property
-    def is_nda(self) -> bool:
-        return self.source is RequestSource.NDA
+        # Precomputed: read several times per issue on the hot path
+        # (device counts, timing updates), where property-call overhead
+        # is measurable.
+        self.is_nda = source is RequestSource.NDA
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Command({self.kind.name}, ch{self.addr.channel} rk{self.addr.rank} "

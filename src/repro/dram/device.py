@@ -56,18 +56,13 @@ class DramSystem:
         self._ranks_per_channel = org.ranks_per_channel
         self._banks_per_group = org.banks_per_group
         self._banks_per_rank = org.banks_per_rank
-        #: Monotonic per-rank issue counters indexed by dense rank index
-        #: (``channel * ranks_per_channel + rank``); any command issued to a
-        #: rank bumps its version.  Cached scheduling hints derived from a
-        #: rank's bank/timing state are tagged with the version they were
-        #: computed under and discarded when it changes (see the NDA rank
-        #: controller's event interface).
-        self.rank_issue_version: List[int] = [0] * (org.channels
-                                                    * org.ranks_per_channel)
         #: Per-channel issue counters: bumped by every command issued to any
         #: rank of the channel.  A channel's bank/timing state is a pure
         #: function of its issue history, so schedulers memoize scan results
-        #: against this (plus their queue versions).
+        #: against this (plus their queue versions).  (The per-rank twin of
+        #: this counter is gone: the NDA wake caches it tagged were replaced
+        #: by push notifications — host issues reach the rank units through
+        #: the concurrent-access scheduler's wake hub, see core/scheduler.)
         self.channel_issue_version: List[int] = [0] * org.channels
         #: Banks in dense ``bank_index`` order: all banks of one rank are
         #: contiguous, ranks in ``rank_index`` order.
@@ -177,34 +172,31 @@ class DramSystem:
         exact same checks.  State effects are identical to :meth:`issue`.
         """
         addr = cmd.addr
-        rank_index = addr.rank_index
-        if rank_index < 0:
-            rank_index = addr.channel * self._ranks_per_channel + addr.rank
-        self.rank_issue_version[rank_index] += 1
         self.channel_issue_version[addr.channel] += 1
-        bank = self.bank(cmd.addr)
+        index = addr.bank_index
+        bank = self._banks[index] if index >= 0 else self.bank(addr)
         is_nda = cmd.is_nda
+        kind = cmd.kind
 
-        if cmd.kind is CommandType.ACT:
-            bank.activate(cmd.addr.row)
+        # Dispatch ordered by frequency: column commands dominate.
+        if kind is CommandType.RD:
+            if is_nda:
+                self.counts.nda_reads += 1
+            else:
+                self.counts.host_reads += 1
+        elif kind is CommandType.WR:
+            if is_nda:
+                self.counts.nda_writes += 1
+            else:
+                self.counts.host_writes += 1
+        elif kind is CommandType.ACT:
+            bank.activate(addr.row)
             self.counts.activates += 1
-        elif cmd.kind is CommandType.PRE:
+        elif kind is CommandType.PRE:
             bank.precharge()
             self.counts.precharges += 1
-        elif cmd.kind is CommandType.REF:
+        else:  # REF
             self.counts.refreshes += 1
-        else:
-            is_write = cmd.kind is CommandType.WR
-            if is_write:
-                if is_nda:
-                    self.counts.nda_writes += 1
-                else:
-                    self.counts.host_writes += 1
-            else:
-                if is_nda:
-                    self.counts.nda_reads += 1
-                else:
-                    self.counts.host_reads += 1
         self.timing.issue(cmd, now)
 
     def record_access_outcome(self, addr: DramAddress, is_write: bool,
@@ -216,19 +208,39 @@ class DramSystem:
         hit/miss/conflict classification reflects the bank state the access
         found.  Returns the outcome string.
         """
-        bank = self.bank(addr)
-        outcome = bank.classify_access(addr.row)
-        bank.record_column(addr.row, is_write, is_nda, outcome)
-        if outcome == "hit":
+        index = addr.bank_index
+        bank = self._banks[index] if index >= 0 else self.bank(addr)
+        # Inline classify + record (one access-classification per column
+        # access; the classify/record call pair and its outcome-string
+        # dispatch were measurable at that rate).
+        counts = self.counts
+        if bank.state is BankState.CLOSED:
+            outcome = "miss"
+            bank.row_misses += 1
+        elif bank.open_row == addr.row:
+            outcome = "hit"
+            bank.row_hits += 1
             if is_nda:
-                self.counts.nda_row_hits += 1
+                counts.nda_row_hits += 1
             else:
-                self.counts.host_row_hits += 1
-        elif outcome == "conflict":
+                counts.host_row_hits += 1
+        else:
+            outcome = "conflict"
+            bank.row_conflicts += 1
             if is_nda:
-                self.counts.nda_row_conflicts += 1
+                counts.nda_row_conflicts += 1
             else:
-                self.counts.host_row_conflicts += 1
+                counts.host_row_conflicts += 1
+        if is_write:
+            if is_nda:
+                bank.nda_writes += 1
+            else:
+                bank.writes += 1
+        else:
+            if is_nda:
+                bank.nda_reads += 1
+            else:
+                bank.reads += 1
         return outcome
 
     # ------------------------------------------------------------------ #

@@ -327,15 +327,19 @@ class TimingEngine:
         self._issue_versions[rank_index] += 1
         bank = self._banks[bank_index]
         rank = self._ranks[rank_index]
-        if self.busy_observer is not None and not (
-                cmd.is_nda and (cmd.kind is CommandType.RD
-                                or cmd.kind is CommandType.WR)):
+        kind = cmd.kind
+        is_column = kind is CommandType.RD or kind is CommandType.WR
+        if self.busy_observer is not None and not (cmd.is_nda and is_column):
             # Row commands, refresh and host column commands all extend the
             # rank's host-busy windows; let the idle statistics catch up on
             # the unmutated window first.
             self.busy_observer(addr.channel, addr.rank, now)
 
-        if cmd.kind is CommandType.ACT:
+        if is_column:
+            self._issue_column(cmd, kind, addr, bank, rank, now)
+            return
+
+        if kind is CommandType.ACT:
             # now + t.X always moves constraints forward from a live bank's
             # perspective, but the max() guards stay (as comparisons) for
             # exactness with out-of-order test scenarios.
@@ -362,7 +366,7 @@ class TimingEngine:
                 rank.busy_until = now + 1
             return
 
-        if cmd.kind is CommandType.PRE:
+        if kind is CommandType.PRE:
             rp = now + t.tRP
             if rp > bank.act_allowed:
                 bank.act_allowed = rp
@@ -370,23 +374,25 @@ class TimingEngine:
                 rank.busy_until = now + 1
             return
 
-        if cmd.kind is CommandType.REF:
-            rank.refreshing_until = max(rank.refreshing_until, now + t.tRFC)
-            rank.refresh_due += t.tREFI
-            start = rank_index * self._banks_per_rank
-            for b in self._banks[start:start + self._banks_per_rank]:
-                b.act_allowed = max(b.act_allowed, now + t.tRFC)
-            rank.busy_until = max(rank.busy_until, now + t.tRFC)
-            ch = addr.channel
-            first = ch * self._ranks_per_channel
-            self._channel_refresh_due[ch] = min(
-                r.refresh_due
-                for r in self._ranks[first:first + self._ranks_per_channel]
-            )
-            return
+        # REF
+        rank.refreshing_until = max(rank.refreshing_until, now + t.tRFC)
+        rank.refresh_due += t.tREFI
+        start = rank_index * self._banks_per_rank
+        for b in self._banks[start:start + self._banks_per_rank]:
+            b.act_allowed = max(b.act_allowed, now + t.tRFC)
+        rank.busy_until = max(rank.busy_until, now + t.tRFC)
+        ch = addr.channel
+        first = ch * self._ranks_per_channel
+        self._channel_refresh_due[ch] = min(
+            r.refresh_due
+            for r in self._ranks[first:first + self._ranks_per_channel]
+        )
 
-        # Column commands.
-        is_read = cmd.kind is CommandType.RD
+    def _issue_column(self, cmd: Command, kind: CommandType, addr: DramAddress,
+                      bank: _BankTiming, rank: _RankTiming, now: int) -> None:
+        """Column-command (RD/WR) consequences — the dominant issue path."""
+        t = self.timing
+        is_read = kind is CommandType.RD
         data_start = now + (t.tCL if is_read else t.tCWL)
         data_end = data_start + t.tBL
 
@@ -480,17 +486,21 @@ class TimingEngine:
         idle-period statistics is bit-identical to observing each cycle.
         """
         state = self.rank_state(channel, rank)
-        breakpoints = {start, stop}
-        for edge in (state.busy_until, state.data_busy_from,
-                     state.data_busy_until):
-            if start < edge < stop:
-                breakpoints.add(edge)
-        points = sorted(breakpoints)
+        busy_until = state.busy_until
+        data_from = state.data_busy_from
+        data_until = state.data_busy_until
+        # Walk the (at most three) interior edges in ascending order without
+        # building a set or sorting: this runs once per busy mutation.
         runs: List[Tuple[bool, int]] = []
-        for a, b in zip(points, points[1:]):
-            busy = (a < state.busy_until
-                    or state.data_busy_from <= a < state.data_busy_until)
-            runs.append((busy, b - a))
+        cursor = start
+        while cursor < stop:
+            nxt = stop
+            for edge in (busy_until, data_from, data_until):
+                if cursor < edge < nxt:
+                    nxt = edge
+            busy = cursor < busy_until or data_from <= cursor < data_until
+            runs.append((busy, nxt - cursor))
+            cursor = nxt
         return runs
 
     def next_refresh_due_cycle(self, channel: int, rank: int) -> int:

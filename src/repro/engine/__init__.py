@@ -1,15 +1,18 @@
-"""Event-driven simulation engine with idle-cycle fast-forwarding.
+"""Event-driven simulation engine with selective wake scheduling.
 
 The engine decomposes a cycle-accurate simulation into :class:`Component`
 objects that expose two operations: ``next_event_cycle(now)`` (the earliest
 cycle at which the component could act) and ``on_wake(now)`` (process one
-cycle).  The :class:`EventEngine` advances directly to the earliest wake-up
-across all components, catching lazily-advanced components (host cores,
-windowed statistics) up in closed form over the skipped span; the
-:class:`CycleEngine` processes every cycle and is kept as the bit-exact
-regression baseline.
+cycle).  The :class:`EventEngine` keeps each component's cached wake in an
+:class:`IndexedCalendar` (one slot per unit, O(1) minimum), advances
+directly to the earliest entry, and on processed cycles wakes only units
+that are due or were dirtied through the :class:`WakeHub` push-notification
+channel; lazily-advanced components (host cores, windowed statistics) are
+caught up in closed form over skipped spans.  The :class:`CycleEngine`
+processes every cycle and is kept as the bit-exact regression baseline.
 
-See ``ARCHITECTURE.md`` for the wake/fast-forward contract.
+See ``ARCHITECTURE.md`` for the wake/fast-forward and dirty-notification
+contracts.
 """
 
 from repro.engine.core import (
@@ -18,9 +21,10 @@ from repro.engine.core import (
     CycleEngine,
     EventEngine,
     SimulationEngine,
+    WakeHub,
     make_engine,
 )
-from repro.engine.queue import EventQueue
+from repro.engine.queue import EventQueue, IndexedCalendar
 
 __all__ = [
     "Component",
@@ -28,6 +32,8 @@ __all__ = [
     "EventEngine",
     "EventQueue",
     "INFINITY",
+    "IndexedCalendar",
     "SimulationEngine",
+    "WakeHub",
     "make_engine",
 ]

@@ -1,19 +1,23 @@
 """Engine components adapting the Chopim subsystems to the event protocol.
 
-Each adapter wraps one slice of the legacy ``ChopimSystem.step`` body and
-adds the wake-up computation the :class:`~repro.engine.core.EventEngine`
-needs.  When driven by the :class:`~repro.engine.core.CycleEngine` the
-adapters process every cycle unconditionally, reproducing the original loop
-verbatim; when driven by the event engine they additionally skip the
-per-cycle work of sub-components whose wake-up lies in the future (the wake
-caches below), which is what makes processed cycles cheap even when *some*
-component acts every cycle.
+Each adapter wraps one slice of the legacy ``ChopimSystem.step`` body and is
+one *schedulable unit* of the selective-wake engine: it computes its own
+wake-up, owns one slot of the engine's wake calendar, and pushes dirty
+notifications through the :class:`~repro.engine.core.WakeHub` when its
+actions could move *another* unit's wake-up earlier.  The NDA subsystem is
+split into one unit per rank controller plus the NDA host, so a processed
+cycle touches only the ranks that can actually act.
+
+Driven by the :class:`~repro.engine.core.CycleEngine` (broadcast, every
+cycle) the adapters reproduce the original loop verbatim; under the
+:class:`~repro.engine.core.EventEngine` only due-or-dirty units run.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.engine.core import WakeHub
 from repro.engine.queue import INFINITY
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -21,35 +25,56 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class ChannelComponent:
-    """One host memory controller (plus its refresh duties)."""
+    """One host memory controller (plus its refresh duties).
+
+    Dirty notifications pushed: a command issue is reported to the
+    concurrent-access scheduler (which dirties the issued-to rank's NDA
+    unit), and — because an issued RD/WR frees a queue entry — the host unit
+    (back-pressured cores can retry) and the NDA host unit (stuck launch
+    packets can retry) when either has something waiting.  Demand-read
+    completions dirty the host unit through ``CoreModel.wake_listener``.
+    """
+
+    #: advance() is a no-op; the engine skips it (see SimulationEngine).
+    needs_advance = False
 
     def __init__(self, system: "ChopimSystem", channel: int) -> None:
         self.system = system
         self.channel = channel
         self.controller = system.channel_controllers[channel]
-        self._wake = 0
-        self._wake_stamp = -1
+        self.unit_label = f"channel{channel}"
+        self._hub: Optional[WakeHub] = None
+        self._host_slot = -1
+        self._nda_host_slot = -1
+
+    def register(self, hub: WakeHub, slot: int) -> None:
+        self._hub = hub
+
+    def bind_targets(self, host_slot: int, nda_host_slot: int) -> None:
+        self._host_slot = host_slot
+        self._nda_host_slot = nda_host_slot
 
     def next_event_cycle(self, now: int) -> int:
-        self._wake = self.controller.next_event_cycle(now)
-        self._wake_stamp = now
-        return self._wake
+        return self.controller.next_event_cycle(now)
+
+    def post_run_wake(self, now: int) -> int:
+        """O(1) calendar refresh after a run (no FR-FCFS probe needed)."""
+        return self.controller.wake_after_tick(now)
 
     def on_wake(self, now: int) -> None:
-        if self._wake_stamp == now and self._wake > now:
-            # Event-engine fast path: the controller provably cannot act
-            # this cycle (no completion due, no refresh due, issue hint in
-            # the future), so its tick would be a no-op.
-            return
         controller = self.controller
+        system = self.system
         controller.tick(now)
         if controller.last_issue_cycle == now:
-            self.system.scheduler.note_host_issue(
+            system.scheduler.note_host_issue(
                 self.channel, controller.last_issue_rank, now
             )
-
-    #: advance() is a no-op; the engine skips it (see SimulationEngine).
-    needs_advance = False
+            hub = self._hub
+            if system._host_component.backlog_requests:
+                hub.dirty(self._host_slot)
+            nda_host = system.nda_host
+            if nda_host is not None and nda_host._pending_packets:
+                hub.dirty(self._nda_host_slot)
 
     def advance(self, stop: int) -> None:
         """Channel state is purely event-driven; nothing accrues per cycle."""
@@ -59,21 +84,46 @@ class HostComponent:
     """All host cores plus the per-core back-pressure backlogs.
 
     Cores retire instructions on *every* cycle, so they are advanced lazily:
-    each core carries a cursor of the next un-ticked cycle, and
-    :meth:`advance` catches it up with the core model's exact batched
-    arithmetic.  A core is ticked "live" (with request enqueue handling)
-    only on cycles where it can emit a memory request; on all other cycles
-    the tick is deferred into the next batch.  Absolute next-request cycles
-    are cached against the core's event counter — between misses and
-    completions a core evolves deterministically, so the cached cycle stays
-    valid no matter how far the cursor advances.
+    each core carries a cursor of the next un-ticked cycle, and the batched
+    fixed-point arithmetic of ``CoreModel.tick_dram`` makes any catch-up
+    bit-identical to per-cycle ticking.  A core is synced exactly when its
+    deferred span could matter:
+
+    * just before a demand-read completion is delivered to it
+      (:meth:`deliver_completion` — the completion mutates core state, so
+      the arithmetic up to the delivery cycle must be settled first);
+    * at the start of its :meth:`on_wake` handling on cycles the unit runs
+      (live request emission and backlog retries need the core at ``now``);
+    * at :meth:`advance` time (the engine's end-of-run flush).
+
+    Unlike the broadcast engine, no per-cycle catch-up happens: a core that
+    neither completes nor emits is pure arithmetic and stays deferred for
+    the whole span.  Absolute next-request cycles are cached against the
+    core's event counter — between misses and completions a core evolves
+    deterministically from its cursor, so the cached cycle stays valid no
+    matter how far the cursor lags.
+
+    Wake sources beyond the cores' own next-request cycles: a backlogged
+    request whose target queue has space wakes the unit immediately; a
+    backlogged request facing a full queue contributes nothing (the blocking
+    channel dirties this unit when it issues and frees an entry), and
+    delivered read completions dirty it through ``CoreModel.wake_listener``.
     """
+
+    #: Cores are synced at their own trigger points, not once per processed
+    #: cycle; the engine only calls advance() at flush time.
+    needs_advance = False
+    needs_flush = True
+    unit_label = "host"
 
     def __init__(self, system: "ChopimSystem") -> None:
         self.system = system
         count = len(system.cores)
         self._cursors: List[int] = [0] * count
         self._wake_cache: List[Tuple[int, int]] = [(-1, 0)] * count
+        #: Requests sitting in per-core backlogs (O(1) "anyone waiting?"
+        #: check for the channels' issue-time notification).
+        self.backlog_requests = 0
 
     def _core_wake(self, index: int) -> int:
         core = self.system.cores[index]
@@ -87,43 +137,65 @@ class HostComponent:
         return wake
 
     def next_event_cycle(self, now: int) -> int:
+        system = self.system
+        controllers = system.channel_controllers
+        backlogs = system._core_backlog
         wake = INFINITY
-        for index in range(len(self.system.cores)):
-            if self.system._core_backlog[index]:
-                # Backlogged cores cannot enqueue until a queue frees up,
-                # which only happens on engine-processed cycles; their
-                # generated requests are appended to the backlog during
-                # advance() exactly as the per-cycle loop would.
+        for index in range(len(system.cores)):
+            backlog = backlogs[index]
+            if backlog:
+                # Backlogged cores cannot enqueue until a queue frees up; if
+                # the head request fits now, retry immediately, otherwise
+                # wait for the blocking channel's issue notification.
+                request = backlog[0]
+                if controllers[request.addr.channel].can_accept(request.is_write):
+                    return now
                 continue
             candidate = self._core_wake(index)
             if candidate < wake:
                 wake = candidate
         return wake if wake > now else now
 
-    def advance(self, stop: int) -> None:
-        for index, core in enumerate(self.system.cores):
-            cursor = self._cursors[index]
-            if cursor >= stop:
-                continue
-            requests = core.tick_dram(stop - cursor)
-            self._cursors[index] = stop
-            if requests:
-                backlog = self.system._core_backlog[index]
-                # The wake contract guarantees requests only appear in a
-                # batch when the backlog is non-empty, in which case the
-                # per-cycle loop would have appended them without an
-                # enqueue attempt (see on_wake below).
-                assert backlog, (
-                    "core generated a request inside a fast-forwarded window"
+    def _sync_core(self, index: int, stop: int) -> None:
+        """Settle one core's deferred arithmetic up to (excluding) ``stop``."""
+        cursor = self._cursors[index]
+        if cursor >= stop:
+            return
+        core = self.system.cores[index]
+        requests = core.tick_dram(stop - cursor)
+        self._cursors[index] = stop
+        if requests:
+            backlog = self.system._core_backlog[index]
+            # The wake contract guarantees requests only appear in a
+            # deferred span when the backlog is non-empty, in which case the
+            # per-cycle loop would have appended them without an enqueue
+            # attempt (see on_wake below).
+            assert backlog, (
+                "core generated a request inside a fast-forwarded window"
+            )
+            self.backlog_requests += len(requests)
+            for phys, is_write in requests:
+                backlog.append(
+                    self.system._make_host_request(core, phys, is_write)
                 )
-                for phys, is_write in requests:
-                    backlog.append(
-                        self.system._make_host_request(core, phys, is_write)
-                    )
+
+    def deliver_completion(self, index: int, phys: int, cycle: int) -> None:
+        """Deliver a demand-read completion (the request's on_complete hook).
+
+        The core is synced to the delivery cycle *first*, so the completion
+        lands on exactly the state the per-cycle loop would have had.
+        """
+        self._sync_core(index, cycle)
+        self.system.cores[index].notify_completion(phys)
+
+    def advance(self, stop: int) -> None:
+        for index in range(len(self.system.cores)):
+            self._sync_core(index, stop)
 
     def on_wake(self, now: int) -> None:
         system = self.system
         for index, core in enumerate(system.cores):
+            self._sync_core(index, now)
             backlog = system._core_backlog[index]
             # Back-pressure: retry requests the controller rejected earlier.
             while backlog:
@@ -131,6 +203,7 @@ class HostComponent:
                 if system.channel_controllers[request.addr.channel].enqueue(
                         request, now):
                     backlog.popleft()
+                    self.backlog_requests -= 1
                 else:
                     break
             if self._cursors[index] > now:
@@ -144,79 +217,94 @@ class HostComponent:
                     controller = system.channel_controllers[request.addr.channel]
                     if backlog or not controller.enqueue(request, now):
                         backlog.append(request)
+                        self.backlog_requests += 1
             # Otherwise the tick is pure arithmetic; defer it into the next
-            # advance() batch.
+            # sync batch.
 
 
-class NdaComponent:
-    """The host-side NDA controller plus every per-rank NDA controller."""
+class NdaHostComponent:
+    """The host-side NDA controller: workload relaunch + launch processing.
+
+    Wake sources: a queued operation with no blocking launch in flight, a
+    pending relaunch (``ChopimSystem._relaunch_pending``), or a pending
+    launch packet whose channel write queue has space.  Externally dirtied
+    by ``NdaHostController.submit`` (new operations), by rank units when an
+    instruction completes (operations finish / ``idle`` flips, enabling the
+    next launch or a relaunch), and by channels when an issue may have freed
+    write-queue space for a stuck packet.
+    """
+
+    #: advance() is a no-op; the engine skips it (see SimulationEngine).
+    needs_advance = False
+    unit_label = "nda_host"
 
     def __init__(self, system: "ChopimSystem") -> None:
         self.system = system
-        self._wake_stamp = -1
-        # Stable snapshot of (key, controller) pairs: the controller map is
-        # fixed after system construction, and per-cycle dict iteration with
-        # key hashing is measurable at scale.  Wakes live in a parallel
-        # list (positional, no tuple hashing).
-        self._controllers = list(system.rank_controllers.items())
-        self._rank_wakes: List[int] = [0] * len(self._controllers)
+        self.nda_host = system.nda_host
 
     def next_event_cycle(self, now: int) -> int:
-        system = self.system
-        if system.nda_host is None:
-            return INFINITY
-        wake = system.nda_host.next_event_cycle(now)
-        if system._relaunch_pending():
-            wake = now
-        rank_wakes = self._rank_wakes
-        rank_issue_version = system.dram.rank_issue_version
-        for index, (key, controller) in enumerate(self._controllers):
-            # Inline mirror of the controller's own wake-cache check: at one
-            # call per rank per processed cycle the call overhead alone is
-            # measurable, and most ranks have a valid cached wake.
-            if (controller._wake_cache_version
-                    == rank_issue_version[controller._rank_index]
-                    and controller._wake_cache > now):
-                rank_wake = controller._wake_cache
-            else:
-                rank_wake = controller.next_event_cycle(now)
-            rank_wakes[index] = rank_wake
-            if rank_wake < wake:
-                wake = rank_wake
-        self._wake_stamp = now
+        wake = self.nda_host.next_event_cycle(now)
+        if wake > now and self.system._relaunch_pending():
+            return now
         return wake if wake > now else now
 
     def on_wake(self, now: int) -> None:
-        system = self.system
-        if system.nda_host is None:
-            return
-        system._maybe_relaunch_workload()
-        system.nda_host.tick(now)
-        gated = self._wake_stamp == now
-        rank_wakes = self._rank_wakes
-        scheduler = system.scheduler
-        for index, (key, controller) in enumerate(self._controllers):
-            if (gated and rank_wakes[index] > now
-                    and controller._wake_cache_version != -1):
-                # Event-engine fast path: this rank provably cannot issue,
-                # classify, draw throttle randomness or complete this cycle.
-                # A wake invalidated since it was computed (work delivered
-                # mid-cycle — `_wake_cache_version == -1`) falls through to
-                # normal processing.
-                continue
-            if scheduler.nda_may_issue(key[0], key[1], now):
-                controller.try_issue(now)
-            controller.post_cycle(now)
-            # Local state (staging, refills, classification bookkeeping) may
-            # have changed without a DRAM issue; recompute the wake lazily
-            # (inline invalidate_wake).
-            controller._wake_cache_version = -1
+        self.system._maybe_relaunch_workload()
+        self.nda_host.tick(now)
+
+    def advance(self, stop: int) -> None:
+        """NDA launch state is purely event-driven; nothing accrues per cycle."""
+
+
+class NdaRankComponent:
+    """One rank's NDA memory controller (plus its PE group).
+
+    The rank controller's ``next_event_cycle`` composes DRAM timing horizons
+    with the rank's host-free windows; host commands only push those later,
+    so a cached wake can go stale early but never late.  The one external
+    event that can move a rank's eligibility *earlier* — a host command
+    changing the rank's bank state (shared-bank modes, refresh precharges) —
+    arrives as a dirty notification from the concurrent-access scheduler's
+    issue hook.  Work delivery (``NdaRankController.enqueue``) dirties the
+    unit through the controller's ``wake_listener`` so freshly delivered
+    instructions can start on their delivery cycle.
+    """
 
     #: advance() is a no-op; the engine skips it (see SimulationEngine).
     needs_advance = False
 
+    def __init__(self, system: "ChopimSystem", key: Tuple[int, int],
+                 controller) -> None:
+        self.system = system
+        self.key = key
+        self.controller = controller
+        self.unit_label = f"nda_c{key[0]}r{key[1]}"
+        self._hub: Optional[WakeHub] = None
+        self._nda_host_slot = -1
+
+    def register(self, hub: WakeHub, slot: int) -> None:
+        self._hub = hub
+
+    def bind_targets(self, nda_host_slot: int) -> None:
+        self._nda_host_slot = nda_host_slot
+
+    def next_event_cycle(self, now: int) -> int:
+        return self.controller.next_event_cycle(now)
+
+    def on_wake(self, now: int) -> None:
+        controller = self.controller
+        channel, rank = self.key
+        if self.system.scheduler.nda_may_issue(channel, rank, now):
+            controller.try_issue(now)
+        completed = controller.instructions_completed
+        controller.post_cycle(now)
+        if controller.instructions_completed != completed:
+            # The finished instruction may complete an operation (unblocking
+            # the next launch) or leave every rank idle (enabling relaunch).
+            self._hub.dirty(self._nda_host_slot)
+
     def advance(self, stop: int) -> None:
-        """NDA state is purely event-driven; nothing accrues per cycle."""
+        """NDA rank state is purely event-driven; nothing accrues per cycle."""
 
 
 class StatsComponent:
@@ -228,8 +316,14 @@ class StatsComponent:
     processed cycle.  This is bit-identical to observing every cycle: a
     rank's busy predicate over a window is frozen between mutations of its
     timing state, and ``host_busy_runs`` enumerates exactly the per-cycle
-    values the legacy loop observed.
+    values the legacy loop observed.  As a pure observer it never wakes
+    (its calendar entry stays at ``INFINITY``) and needs no notifications.
+    The O(1) global cycle count stays in the per-cycle advance path: the
+    ``step()``-driven runtime API never flushes, so accrual must not be
+    deferred to flush time.
     """
+
+    unit_label = "stats"
 
     def __init__(self, system: "ChopimSystem") -> None:
         self.system = system
@@ -285,6 +379,7 @@ class StatsComponent:
 __all__ = [
     "ChannelComponent",
     "HostComponent",
-    "NdaComponent",
+    "NdaHostComponent",
+    "NdaRankComponent",
     "StatsComponent",
 ]

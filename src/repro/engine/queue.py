@@ -1,14 +1,17 @@
-"""A small event queue ordering component wake-ups by cycle.
+"""Wake-up ordering structures for the simulation engines.
 
-Implemented as a binary heap with lazy invalidation: re-scheduling an item
-simply pushes a new entry, and stale entries are discarded on pop.
+Two structures live here:
 
-Note: :class:`~repro.engine.core.EventEngine` no longer uses this queue —
-it re-polls every registered component each iteration, so its earliest wake
-is a plain ``min`` (PR 2 hot-path rework).  The class is retained as a
-standalone utility (this module also defines ``INFINITY``, the shared
-"no wake-up" sentinel) for setups that register many more components than
-they poll, e.g. sharded multi-system drivers.
+* :class:`IndexedCalendar` — the event engine's wake calendar: one cached
+  absolute wake cycle per schedulable unit (components are assigned dense
+  slot indices at registration), with an O(1) minimum and O(log n) updates.
+  Unlike a lazy heap there is exactly one live entry per slot, so the
+  engine can also read any unit's cached wake by slot in O(1) — which is
+  what makes the per-processed-cycle "due or dirty" check a flat array
+  scan instead of a re-poll of every component.
+* :class:`EventQueue` — a general (cycle, item) priority queue with lazy
+  invalidation, retained as a standalone utility for setups that schedule
+  many more items than slots (e.g. sharded multi-system drivers).
 """
 
 from __future__ import annotations
@@ -21,8 +24,119 @@ from typing import Any, Dict, List, Optional, Tuple
 INFINITY = 1 << 62
 
 
+class IndexedCalendar:
+    """Indexed min-structure of absolute wake cycles, one entry per slot.
+
+    ``values[slot]`` is the slot's current wake cycle (``INFINITY`` =
+    never).  All slots are always present; "unscheduled" simply means a
+    value of ``INFINITY``.
+
+    Two representations behind one interface, chosen by slot count:
+
+    * **flat** (``slots <= _FLAT_LIMIT``): updates are a plain list store
+      and the minimum is a C-speed ``min()`` over the value list.  For the
+      handful of units a single system registers, this beats maintaining
+      heap invariants (measured: calendar updates outnumber minimum reads
+      ~4:1 on dense workloads).
+    * **heap** (larger): a classic indexed binary min-heap — ``_heap``
+      orders the slots, ``_pos`` maps a slot to its heap position so an
+      update re-heapifies only the affected path.  O(1) minimum, O(log n)
+      updates, for sharded/multi-system setups with many units.
+    """
+
+    __slots__ = ("values", "_heap", "_pos")
+
+    #: Largest slot count for which the flat representation is used.
+    _FLAT_LIMIT = 64
+
+    def __init__(self, slots: int) -> None:
+        self.values: List[int] = [INFINITY] * slots
+        if slots <= self._FLAT_LIMIT:
+            self._heap: Optional[List[int]] = None
+            self._pos: Optional[List[int]] = None
+        else:
+            self._heap = list(range(slots))
+            self._pos = list(range(slots))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def min_cycle(self) -> int:
+        """The earliest wake cycle over all slots (``INFINITY`` when none)."""
+        heap = self._heap
+        if heap is None:
+            return min(self.values) if self.values else INFINITY
+        return self.values[heap[0]] if heap else INFINITY
+
+    def min_slot(self) -> int:
+        """The slot holding the earliest wake (-1 for an empty calendar)."""
+        if self._heap is None:
+            if not self.values:
+                return -1
+            return self.values.index(min(self.values))
+        return self._heap[0] if self._heap else -1
+
+    def set(self, slot: int, cycle: int) -> None:
+        """Update ``slot``'s wake cycle (no-op if unchanged)."""
+        values = self.values
+        old = values[slot]
+        if cycle == old:
+            return
+        values[slot] = cycle
+        if self._heap is None:
+            return
+        if cycle < old:
+            self._sift_up(self._pos[slot])
+        else:
+            self._sift_down(self._pos[slot])
+
+    # -- heap internals ---------------------------------------------------- #
+
+    def _sift_up(self, index: int) -> None:
+        heap, pos, values = self._heap, self._pos, self.values
+        slot = heap[index]
+        value = values[slot]
+        while index > 0:
+            parent = (index - 1) >> 1
+            parent_slot = heap[parent]
+            if values[parent_slot] <= value:
+                break
+            heap[index] = parent_slot
+            pos[parent_slot] = index
+            index = parent
+        heap[index] = slot
+        pos[slot] = index
+
+    def _sift_down(self, index: int) -> None:
+        heap, pos, values = self._heap, self._pos, self.values
+        size = len(heap)
+        slot = heap[index]
+        value = values[slot]
+        while True:
+            child = 2 * index + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and values[heap[right]] < values[heap[child]]:
+                child = right
+            child_slot = heap[child]
+            if values[child_slot] >= value:
+                break
+            heap[index] = child_slot
+            pos[child_slot] = index
+            index = child
+        heap[index] = slot
+        pos[slot] = index
+
+
 class EventQueue:
-    """Priority queue of (cycle, component) wake-ups."""
+    """Priority queue of (cycle, item) wake-ups with lazy invalidation.
+
+    Re-scheduling an item simply pushes a new entry; stale entries are
+    discarded on pop.  Not used by the engines (the event engine keeps one
+    entry per unit in :class:`IndexedCalendar` instead) — retained as a
+    standalone utility for many-items-few-slots schedulers.
+    """
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, Any]] = []

@@ -35,10 +35,13 @@ class FrFcfsScheduler:
         self._bank = dram.bank
         # Direct references to the timing engine's row-command probe caches
         # (lists mutated in place, never reassigned): the bucketed scan
-        # reads them inline, skipping the probe call on cache hits.
+        # reads them inline, skipping the probe call on cache hits.  The
+        # bank list is likewise indexed directly through the stamped
+        # ``bank_index`` (one bank-state read per bucket).
         self._issue_versions = dram.timing._issue_versions
         self._act_cache = dram.timing._act_cache
         self._pre_cache = dram.timing._pre_cache
+        self._banks = dram._banks
 
     def next_command_for(self, request: MemoryRequest,
                          now: int) -> Optional[Command]:
@@ -117,6 +120,7 @@ class FrFcfsScheduler:
         """
         earliest_issue_at = self._earliest_issue_at
         dram_bank = self._bank
+        banks = self._banks
         host = RequestSource.HOST
         rd = CommandType.RD
         wr = CommandType.WR
@@ -132,9 +136,9 @@ class FrFcfsScheduler:
         act_cache = self._act_cache
         pre_cache = self._pre_cache
         for bucket in queue.bank_buckets():
-            bucket_iter = iter(bucket.values())
-            first = next(bucket_iter)
-            bank = dram_bank(first.addr)
+            first = next(iter(bucket.values()))
+            first_bi = first.addr.bank_index
+            bank = banks[first_bi] if first_bi >= 0 else dram_bank(first.addr)
             if bank.state is closed:
                 # Whole bucket needs ACT; oldest request represents it.
                 a = first.addr

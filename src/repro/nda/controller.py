@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.config import NdaConfig
+from repro.dram.bank import BankState
 from repro.dram.commands import Command, CommandType, DramAddress, RequestSource
 from repro.dram.device import DramSystem
 from repro.nda.fsm import ReplicatedFsm
@@ -76,6 +77,11 @@ class _ExecutionState:
         # Memo of write_stage_allowed keyed on its inputs: the predicate is
         # probed every cycle per rank but its inputs only move on progress.
         self._stage_memo = (-1, -1, False)
+        # Decoded target of the next read access, keyed by the read cursor:
+        # recomputed only when the cursor moves; blocked attempts and wake
+        # probes reuse the immutable address.
+        self._read_addr_idx = -1
+        self._read_addr: Optional[DramAddress] = None
 
     # -- reads ------------------------------------------------------------ #
 
@@ -160,30 +166,41 @@ class NdaRankController:
         # and DRAM device use for their flat state arrays.
         self._rank_index = channel * dram.org.ranks_per_channel + rank
         self._bank_index_base = self._rank_index * dram.org.banks_per_rank
-        # Bound hot probes (timing-only semantics, as the command path used).
+        # Bound hot probes (timing-only semantics, as the command path used),
+        # plus direct references to the bank list and the timing engine's
+        # rank-local probe caches (lists mutated in place, never
+        # reassigned): every local address is stamped, so the required
+        # command and — on cache hits — its earliest issue cycle are read
+        # inline without a call (see _required_earliest).
         self._timing_earliest_issue_at = dram.timing.earliest_issue_at
+        self._banks = dram._banks
+        self._timing_versions = dram.timing._issue_versions
+        self._act_cache = dram.timing._act_cache
+        self._pre_cache = dram.timing._pre_cache
+        self._nda_rd_cache = dram.timing._nda_rd_cache
+        self._nda_wr_cache = dram.timing._nda_wr_cache
         self.config = config or NdaConfig()
         self.allowed_banks = allowed_banks or list(range(dram.org.banks_per_rank))
         self.throttle = throttle or IssueIfIdlePolicy()
         self._host_pending_to_bank = host_pending_to_bank
-        self._issue_horizon = issue_horizon or dram.next_host_free_cycle
+        # Host-free horizon: injected override, or an inline walk over this
+        # rank's (stable) timing-state object — called once or twice per
+        # wake probe, where the generic rank_state lookup is measurable.
+        self._rank_timing = dram.timing.rank_state(channel, rank)
+        self._issue_horizon = issue_horizon or self._host_free_from
         self.write_buffer = NdaWriteBuffer(self.config.write_buffer_entries)
         self.fsm = ReplicatedFsm(channel, rank)
         self.pes = [ProcessingElement(chip, self.config)
                     for chip in range(dram.org.chips_per_rank)]
         self._queue: Deque[RankWorkItem] = deque()
         self._active: Optional[_ExecutionState] = None
-        # Cached wake-up for the event engine, tagged with the rank's issue
-        # version: any command issued to the rank (ours or the host's) can
-        # change bank state, timing constraints or host-busy windows, so the
-        # cache is discarded when the version moves.  Local state changes
-        # (attempts, staging, refills, new work) invalidate it explicitly.
-        self._wake_cache = 0
-        self._wake_cache_version = -1
-        # (execution state, reads_issued, addr): the decoded target of the
-        # next read access.  Recomputed only when the read cursor moves;
-        # blocked attempts and wake probes reuse the immutable address.
-        self._read_addr_cache: Optional[Tuple[_ExecutionState, int, DramAddress]] = None
+        #: Selective-wake notification: invoked whenever work is delivered,
+        #: so the engine re-polls (and, when eligible, runs) this rank's
+        #: unit on the delivery cycle.  The engine re-polls after every run
+        #: and on host-issue notifications, so :meth:`next_event_cycle` is
+        #: only ever called when its inputs actually changed — the old
+        #: issue-version-tagged wake cache is gone.
+        self.wake_listener: Optional[Callable[[], None]] = None
         # Statistics
         self.bytes_read = 0
         self.bytes_written = 0
@@ -199,7 +216,9 @@ class NdaRankController:
     def enqueue(self, work: RankWorkItem, now: int = 0) -> None:
         work.launched_cycle = now
         self._queue.append(work)
-        self._wake_cache_version = -1
+        listener = self.wake_listener
+        if listener is not None:
+            listener()
 
     @property
     def pending_instructions(self) -> int:
@@ -211,6 +230,10 @@ class NdaRankController:
 
     def set_throttle(self, policy: WriteThrottlePolicy) -> None:
         self.throttle = policy
+        # Throttle behaviour feeds the wake computation; re-poll.
+        listener = self.wake_listener
+        if listener is not None:
+            listener()
 
     # ------------------------------------------------------------------ #
     # Cycle advance: called by the system when the rank may issue an NDA
@@ -271,25 +294,75 @@ class NdaRankController:
                 pe.start(work.instruction)
 
     def _addr(self, flat_bank: int, row: int, column: int) -> DramAddress:
-        banks_per_group = self.dram.org.banks_per_group
-        row &= self.dram.org.rows_per_bank - 1
-        column %= self.dram.org.columns_per_row
-        return DramAddress(
-            channel=self.channel,
-            rank=self.rank,
-            bank_group=flat_bank // banks_per_group,
-            bank=flat_bank % banks_per_group,
-            row=row,
-            column=column,
-            rank_index=self._rank_index,
-            bank_index=self._bank_index_base + flat_bank,
-        )
+        org = self.dram.org
+        banks_per_group = org.banks_per_group
+        # _make (tuple.__new__) skips keyword/default processing; one address
+        # is built per streamed access, which makes construction measurable.
+        return DramAddress._make((
+            self.channel,
+            self.rank,
+            flat_bank // banks_per_group,
+            flat_bank % banks_per_group,
+            row & (org.rows_per_bank - 1),
+            column % org.columns_per_row,
+            self._rank_index,
+            self._bank_index_base + flat_bank,
+        ))
+
+    def _host_free_from(self, channel: int, rank: int, cycle: int) -> int:
+        """Earliest host-free cycle >= ``cycle`` for this rank.
+
+        Same walk as ``TimingEngine.next_host_free_cycle``, bound to this
+        rank's timing-state object (signature kept for injected overrides).
+        """
+        state = self._rank_timing
+        while True:
+            if cycle < state.busy_until:
+                cycle = state.busy_until
+                continue
+            if state.data_busy_from <= cycle < state.data_busy_until:
+                cycle = state.data_busy_until
+                continue
+            return cycle
 
     def _host_wants_bank(self, addr: DramAddress) -> bool:
         if self._host_pending_to_bank is None:
             return False
         flat = addr.bank_group * self.dram.org.banks_per_group + addr.bank
         return self._host_pending_to_bank(self.channel, self.rank, flat)
+
+    def _required_earliest(self, addr: DramAddress, is_write: bool,
+                           now: int) -> Tuple[CommandType, int]:
+        """(required command, its earliest issue cycle >= ``now``).
+
+        Fused fast path of ``dram.required_command`` +
+        ``timing.earliest_issue_at``: the bank state is read directly
+        through the stamped index, and the rank-local horizon caches
+        (ACT/PRE and NDA column commands) are consulted inline — probing
+        these is the controller's single hottest operation, once per wake
+        probe and once per issue attempt.
+        """
+        bank_index = addr.bank_index
+        bank = self._banks[bank_index]
+        if bank.state is BankState.CLOSED:
+            kind = CommandType.ACT
+            cache = self._act_cache
+        elif bank.open_row == addr.row:
+            if is_write:
+                kind = CommandType.WR
+                cache = self._nda_wr_cache
+            else:
+                kind = CommandType.RD
+                cache = self._nda_rd_cache
+        else:
+            kind = CommandType.PRE
+            cache = self._pre_cache
+        cached = cache[bank_index]
+        if cached[0] == self._timing_versions[addr.rank_index]:
+            earliest = cached[1]
+            return kind, (earliest if earliest > now else now)
+        return kind, self._timing_earliest_issue_at(kind, addr,
+                                                    RequestSource.NDA, now)
 
     def _issue_toward(self, addr: DramAddress, is_write: bool, now: int,
                       classify: bool = False) -> Optional[CommandType]:
@@ -301,14 +374,14 @@ class NdaRankController:
         (hit/miss/conflict) just before its first command issues, so the
         outcome reflects the bank state the access found.
         """
-        kind = self.dram.required_command(addr, is_write)
+        kind, earliest = self._required_earliest(addr, is_write, now)
         if kind.is_row and self._host_wants_bank(addr):
             # Host row commands take priority on contended banks.  The block
             # lifts when the host queue changes, which only happens at
             # engine-processed cycles — retry at the next opportunity.
             self.cycles_blocked_by_host += 1
             return None
-        if self._timing_earliest_issue_at(kind, addr, RequestSource.NDA, now) > now:
+        if earliest > now:
             return None
         if classify:
             self.dram.record_access_outcome(addr, is_write, is_nda=True)
@@ -320,12 +393,12 @@ class NdaRankController:
 
     def _next_read_addr(self, state: _ExecutionState) -> DramAddress:
         idx = state.reads_issued
-        cached = self._read_addr_cache
-        if cached is not None and cached[0] is state and cached[1] == idx:
-            return cached[2]
+        if state._read_addr_idx == idx:
+            return state._read_addr
         bank, row, column = state.next_read()
         addr = self._addr(bank, row, column)
-        self._read_addr_cache = (state, idx, addr)
+        state._read_addr_idx = idx
+        state._read_addr = addr
         return addr
 
     def _try_read(self, now: int, state: _ExecutionState) -> bool:
@@ -398,38 +471,6 @@ class NdaRankController:
     # Event-engine interface
     # ------------------------------------------------------------------ #
 
-    def invalidate_wake(self) -> None:
-        """Discard the cached wake-up (called after any local processing)."""
-        self._wake_cache_version = -1
-
-    @property
-    def wake_invalidated(self) -> bool:
-        """Whether local state changed since the wake-up was last computed.
-
-        The engine re-checks this before trusting a wake computed earlier in
-        the same cycle: work delivered mid-cycle (a launch-packet completion)
-        must be able to start on its delivery cycle, exactly as in the
-        cycle-by-cycle loop.
-        """
-        return self._wake_cache_version == -1
-
-    def _access_wake(self, addr: DramAddress, is_write: bool, now: int) -> int:
-        """Earliest cycle >= ``now`` the next command for ``addr`` could issue.
-
-        Combines the DRAM timing horizon of the required command with the
-        rank's host-busy windows (the concurrent-access gate).  Exact under
-        the fast-forward contract: both inputs are frozen until the next
-        command issues to the rank, which bumps the rank issue version and
-        invalidates the cached result.
-        """
-        kind = self.dram.required_command(addr, is_write)
-        if kind.is_row and self._host_wants_bank(addr):
-            # Blocked on the host queue: poll at each issue opportunity.
-            return self._issue_horizon(self.channel, self.rank, now)
-        earliest = self._timing_earliest_issue_at(kind, addr, RequestSource.NDA, now)
-        return self._issue_horizon(self.channel, self.rank,
-                                   earliest if earliest > now else now)
-
     def next_event_cycle(self, now: int) -> int:
         """Earliest cycle >= ``now`` at which this controller may act.
 
@@ -440,43 +481,51 @@ class NdaRankController:
         Drains under a non-deterministic throttle pin the wake-up to every
         host-free cycle so RNG draws land on exactly the same cycles as in
         the cycle-by-cycle loop.
+
+        Access wake-ups combine the DRAM timing horizon of the required
+        command with the rank's host-busy windows (the concurrent-access
+        gate).  Exact under the fast-forward contract: both inputs are
+        frozen until the next command issues to the rank — and every such
+        issue either is this controller's own (the engine re-polls ran
+        units) or arrives as a host-issue dirty notification, so the unit
+        is re-polled in time.
         """
         state = self._active
-        version = self.dram.rank_issue_version[self._rank_index]
-        if state is None and not self._queue:
-            # Idle ranks stay idle until new work arrives, and enqueue()
-            # invalidates the cache; caching lets the engine's inline
-            # fast-path skip this call entirely.
-            self._wake_cache = _NO_EVENT
-            self._wake_cache_version = version
-            return _NO_EVENT
-        if version == self._wake_cache_version and self._wake_cache > now:
-            return self._wake_cache
         if state is None:
+            if not self._queue:
+                # Idle ranks stay idle until new work arrives; delivery
+                # fires wake_listener, so the engine re-polls in time.
+                return _NO_EVENT
             # Refill (and the first command of the new work item) happens at
             # the next issue opportunity.
-            wake = self._issue_horizon(self.channel, self.rank, now)
-        else:
-            wake = _NO_EVENT
-            drain_pending = (not self.write_buffer.empty
-                             and (self.write_buffer.draining or state.reads_done))
-            if drain_pending:
-                if not self.throttle.deterministic:
+            return self._issue_horizon(self.channel, self.rank, now)
+        wake = _NO_EVENT
+        drain_pending = (not self.write_buffer.empty
+                         and (self.write_buffer.draining or state.reads_done))
+        if drain_pending:
+            if not self.throttle.deterministic:
+                wake = self._issue_horizon(self.channel, self.rank, now)
+            elif self.throttle.would_allow(self.channel, self.rank, now):
+                addr = self.write_buffer.peek()
+                kind, earliest = self._required_earliest(addr, True, now)
+                if kind.is_row and self._host_wants_bank(addr):
+                    # Blocked on the host queue: poll at each opportunity.
                     wake = self._issue_horizon(self.channel, self.rank, now)
-                elif self.throttle.would_allow(self.channel, self.rank, now):
-                    wake = self._access_wake(self.write_buffer.peek(),
-                                             is_write=True, now=now)
-                # else: throttled — the block only lifts when the host queue
-                # changes: either a read to this rank issues (bumping the
-                # rank version) or an enqueue makes the prediction stricter
-                # (which can only delay the drain further).
-            if not state.reads_done:
-                candidate = self._access_wake(self._next_read_addr(state),
-                                              is_write=False, now=now)
-                if candidate < wake:
-                    wake = candidate
-        self._wake_cache = wake
-        self._wake_cache_version = version
+                else:
+                    wake = self._issue_horizon(self.channel, self.rank, earliest)
+            # else: throttled — the block only lifts when the host queue
+            # changes: either a read to this rank issues (a host-issue
+            # dirty notification re-polls this unit) or an enqueue makes
+            # the prediction stricter (which can only delay the drain).
+        if not state.reads_done:
+            addr = self._next_read_addr(state)
+            kind, earliest = self._required_earliest(addr, False, now)
+            if kind.is_row and self._host_wants_bank(addr):
+                candidate = self._issue_horizon(self.channel, self.rank, now)
+            else:
+                candidate = self._issue_horizon(self.channel, self.rank, earliest)
+            if candidate < wake:
+                wake = candidate
         return wake
 
     def reset_measurement(self) -> None:

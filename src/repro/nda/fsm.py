@@ -50,48 +50,63 @@ class NdaFsmState:
                 self.draining, self.instructions_completed)
 
 
-def _transition(state: NdaFsmState, event: str, **kwargs) -> NdaFsmState:
-    """The deterministic FSM transition function (shared by both copies).
+class _FsmCopy:
+    """One mutable FSM replica (device side or host side).
 
-    States are built directly (positionally) rather than via
-    ``dataclasses.replace`` — the transition runs once per NDA command on
-    both FSM copies, and ``replace`` pays field-introspection cost per call.
+    Transitions mutate in place: the transition runs once per NDA command on
+    *both* copies, and constructing a (frozen-dataclass) state object per
+    event dominated the FSM cost on the hot path.  The immutable
+    :class:`NdaFsmState` view is materialized on demand only.
     """
-    if event == "launch":
-        return NdaFsmState(kwargs["instruction_id"], kwargs["reads"],
-                           kwargs["writes"], state.write_buffer_occupancy,
-                           False, state.instructions_completed)
+
+    __slots__ = ("current_instruction", "reads_remaining", "writes_remaining",
+                 "write_buffer_occupancy", "draining", "instructions_completed")
+
+    def __init__(self) -> None:
+        self.current_instruction: Optional[int] = None
+        self.reads_remaining = 0
+        self.writes_remaining = 0
+        self.write_buffer_occupancy = 0
+        self.draining = False
+        self.instructions_completed = 0
+
+    def snapshot(self) -> NdaFsmState:
+        return NdaFsmState(self.current_instruction, self.reads_remaining,
+                           self.writes_remaining, self.write_buffer_occupancy,
+                           self.draining, self.instructions_completed)
+
+
+def _apply_to(copy: _FsmCopy, event: str, instruction_id: Optional[int],
+              reads: int, writes: int) -> None:
+    """The deterministic FSM transition function (shared by both copies)."""
     if event == "read_issued":
-        return NdaFsmState(state.current_instruction,
-                           max(0, state.reads_remaining - 1),
-                           state.writes_remaining,
-                           state.write_buffer_occupancy,
-                           state.draining, state.instructions_completed)
-    if event == "write_buffered":
-        return NdaFsmState(state.current_instruction, state.reads_remaining,
-                           state.writes_remaining,
-                           state.write_buffer_occupancy + 1,
-                           state.draining, state.instructions_completed)
-    if event == "write_drained":
-        occ = max(0, state.write_buffer_occupancy - 1)
-        return NdaFsmState(state.current_instruction, state.reads_remaining,
-                           max(0, state.writes_remaining - 1), occ,
-                           state.draining and occ > 0,
-                           state.instructions_completed)
-    if event == "drain_start":
-        return NdaFsmState(state.current_instruction, state.reads_remaining,
-                           state.writes_remaining,
-                           state.write_buffer_occupancy,
-                           True, state.instructions_completed)
-    if event == "drain_end":
-        return NdaFsmState(state.current_instruction, state.reads_remaining,
-                           state.writes_remaining,
-                           state.write_buffer_occupancy,
-                           False, state.instructions_completed)
-    if event == "complete":
-        return NdaFsmState(None, 0, 0, state.write_buffer_occupancy, False,
-                           state.instructions_completed + 1)
-    raise ValueError(f"unknown FSM event {event!r}")
+        if copy.reads_remaining > 0:
+            copy.reads_remaining -= 1
+    elif event == "write_drained":
+        occ = copy.write_buffer_occupancy
+        copy.write_buffer_occupancy = occ = occ - 1 if occ > 0 else 0
+        if copy.writes_remaining > 0:
+            copy.writes_remaining -= 1
+        copy.draining = copy.draining and occ > 0
+    elif event == "write_buffered":
+        copy.write_buffer_occupancy += 1
+    elif event == "launch":
+        copy.current_instruction = instruction_id
+        copy.reads_remaining = reads
+        copy.writes_remaining = writes
+        copy.draining = False
+    elif event == "drain_start":
+        copy.draining = True
+    elif event == "drain_end":
+        copy.draining = False
+    elif event == "complete":
+        copy.current_instruction = None
+        copy.reads_remaining = 0
+        copy.writes_remaining = 0
+        copy.draining = False
+        copy.instructions_completed += 1
+    else:
+        raise ValueError(f"unknown FSM event {event!r}")
 
 
 class FsmDivergenceError(Exception):
@@ -105,33 +120,34 @@ class ReplicatedFsm:
         self.channel = channel
         self.rank = rank
         self.check_every_event = check_every_event
-        self.device_state = NdaFsmState()
-        self.host_state = NdaFsmState()
+        self._device = _FsmCopy()
+        self._host = _FsmCopy()
         self.events_applied = 0
         self._log: Deque[str] = deque(maxlen=_EVENT_LOG_LIMIT)
 
     # ------------------------------------------------------------------ #
 
-    def apply(self, event: str, **kwargs) -> NdaFsmState:
+    def apply(self, event: str, instruction_id: Optional[int] = None,
+              reads: int = 0, writes: int = 0) -> None:
         """Apply an event to both copies (as the hardware would) and verify."""
-        self.device_state = _transition(self.device_state, event, **kwargs)
-        self.host_state = _transition(self.host_state, event, **kwargs)
+        _apply_to(self._device, event, instruction_id, reads, writes)
+        _apply_to(self._host, event, instruction_id, reads, writes)
         self.events_applied += 1
         self._log.append(event)
         if self.check_every_event:
             self.verify()
-        return self.device_state
 
-    def apply_device_only(self, event: str, **kwargs) -> None:
+    def apply_device_only(self, event: str, instruction_id: Optional[int] = None,
+                          reads: int = 0, writes: int = 0) -> None:
         """Apply an event to the device copy only (used to *test* divergence
         detection; real hardware never does this)."""
-        self.device_state = _transition(self.device_state, event, **kwargs)
+        _apply_to(self._device, event, instruction_id, reads, writes)
         self.events_applied += 1
 
     def verify(self) -> None:
         """Raise :class:`FsmDivergenceError` if the two copies differ."""
-        device, host = self.device_state, self.host_state
-        # Field-by-field comparison (no as_tuple allocations): this runs
+        device, host = self._device, self._host
+        # Field-by-field comparison (no snapshot allocations): this runs
         # after every FSM event.
         if (device.current_instruction != host.current_instruction
                 or device.reads_remaining != host.reads_remaining
@@ -141,17 +157,25 @@ class ReplicatedFsm:
                 or device.instructions_completed != host.instructions_completed):
             raise FsmDivergenceError(
                 f"FSM divergence on ch{self.channel} rk{self.rank}: "
-                f"device={device} host={host}"
+                f"device={device.snapshot()} host={host.snapshot()}"
             )
 
     @property
     def in_sync(self) -> bool:
-        return self.device_state.as_tuple() == self.host_state.as_tuple()
+        return self._device.snapshot() == self._host.snapshot()
+
+    @property
+    def device_state(self) -> NdaFsmState:
+        return self._device.snapshot()
+
+    @property
+    def host_state(self) -> NdaFsmState:
+        return self._host.snapshot()
 
     @property
     def state(self) -> NdaFsmState:
         """The (verified) shared state."""
-        return self.device_state
+        return self._device.snapshot()
 
     def recent_events(self, count: int = 16) -> List[str]:
         events = list(self._log)

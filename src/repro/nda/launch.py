@@ -116,6 +116,10 @@ class NdaHostController:
         self.operations_launched = 0
         self.operations_completed = 0
         self.packets_sent = 0
+        #: Selective-wake notification: invoked when a new operation is
+        #: submitted, so the engine re-polls this controller's unit instead
+        #: of polling it every cycle.
+        self.wake_listener: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -124,6 +128,9 @@ class NdaHostController:
     def submit(self, operation: NdaOperation) -> NdaOperation:
         """Queue an operation for launch."""
         self._operation_queue.append(operation)
+        listener = self.wake_listener
+        if listener is not None:
+            listener()
         return operation
 
     def submit_kernel(self, opcode: NdaOpcode, total_elements: int,
@@ -291,10 +298,12 @@ class NdaHostController:
         """Earliest cycle >= ``now`` at which ``tick`` could do anything.
 
         Launches are self-paced (next cycle once an operation is queued and
-        nothing blocks); stuck launch packets only unblock when a channel
-        write queue frees an entry, which happens at controller issue
-        cycles — those are engine-processed already, and ``tick`` runs on
-        every processed cycle.
+        nothing blocks).  Stuck launch packets only unblock when a channel
+        write queue frees an entry — the issuing channel unit dirties this
+        controller's unit, so a full queue contributes no wake-up here.
+        Operation completions (which clear ``_active_blocking`` and can make
+        the controller idle for a relaunch) arrive as dirty notifications
+        from the rank units.
         """
         if self._operation_queue and self._active_blocking is None:
             return now

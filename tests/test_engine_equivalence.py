@@ -1,14 +1,16 @@
 """Equivalence suite: the event engine must be cycle-result-exact.
 
-For every access mode, every throttle policy and a composite kernel
-sequence, ``engine="event"`` must produce a :class:`SimulationResult` whose
-every field — including floating-point metrics, per-rank idle breakdowns and
-the energy table — is *identical* (not approximately equal) to
-``engine="cycle"``.  This is the regression contract of the event-driven
-fast-forwarding engine (see ARCHITECTURE.md).
+For every access mode, every throttle policy, a composite kernel sequence
+and a seeded random sample of full configurations, ``engine="event"`` must
+produce a :class:`SimulationResult` whose every field — including
+floating-point metrics, per-rank idle breakdowns and the energy table — is
+*identical* (not approximately equal) to ``engine="cycle"``.  This is the
+regression contract of the selective-wake engine and its dirty-notification
+routing (see ARCHITECTURE.md).
 """
 
 import dataclasses
+import random
 
 import pytest
 
@@ -131,6 +133,74 @@ class TestEngineEquivalenceComposite:
             system.set_nda_workload(NdaOpcode.SCAL, elements_per_rank=1 << 11)
         _assert_equivalent(configure, AccessMode.BANK_PARTITIONED, mix="mix8",
                            warmup=0)
+
+
+def _fuzz_configs(count: int, seed: int = 0xC0F1):
+    """Sample ``count`` full system configurations from a seeded RNG.
+
+    The hand-picked classes above pin known-tricky interactions; this sweep
+    pins the dirty-notification contract across the cartesian space of
+    (channels, ranks, mode, throttle, workload, mix) combinations, so a
+    missing WakeHub route that only bites in an unusual combination cannot
+    slip through.  The seed is fixed: failures are reproducible by index.
+    """
+    rng = random.Random(seed)
+    modes = [AccessMode.HOST_ONLY, AccessMode.SHARED,
+             AccessMode.BANK_PARTITIONED, AccessMode.RANK_PARTITIONED,
+             AccessMode.NDA_ONLY]
+    opcodes = [NdaOpcode.DOT, NdaOpcode.AXPY, NdaOpcode.COPY,
+               NdaOpcode.SCAL, NdaOpcode.NRM2, NdaOpcode.GEMV]
+    configs = []
+    while len(configs) < count:
+        channels = rng.choice([1, 2])
+        ranks = rng.choice([1, 2, 4])
+        mode = rng.choice(modes)
+        if mode is AccessMode.RANK_PARTITIONED and ranks < 2:
+            continue  # needs host and NDA rank subsets
+        configs.append({
+            "channels": channels,
+            "ranks": ranks,
+            "mode": mode,
+            "throttle": rng.choice(["issue_if_idle", "next_rank",
+                                    "stochastic"]),
+            "probability": rng.choice([0.25, 1.0 / 16.0]),
+            "mix": rng.choice(["mix1", "mix5", "mix8"]),
+            "opcode": rng.choice(opcodes),
+            "elements": rng.choice([1 << 10, 1 << 11, 1 << 12]),
+            "warmup": rng.choice([0, 100]),
+        })
+    return configs
+
+
+_FUZZ_CONFIGS = _fuzz_configs(8)
+
+
+class TestEngineEquivalenceFuzz:
+    """Seeded random configurations: event == cycle, bit-exactly."""
+
+    @pytest.mark.parametrize("index", range(len(_FUZZ_CONFIGS)))
+    def test_random_config(self, index):
+        spec = _FUZZ_CONFIGS[index]
+        mode = spec["mode"]
+
+        def configure(system):
+            if not mode.has_nda_traffic:
+                return
+            kwargs = {}
+            if spec["opcode"] is NdaOpcode.GEMV:
+                kwargs["matrix_columns"] = 64
+            system.set_nda_workload(spec["opcode"],
+                                    elements_per_rank=spec["elements"],
+                                    **kwargs)
+
+        _assert_equivalent(
+            configure, mode,
+            mix=spec["mix"] if mode.has_host_traffic else None,
+            throttle=spec["throttle"],
+            stochastic_probability=spec["probability"],
+            config=scaled_config(spec["channels"], spec["ranks"]),
+            cycles=700, warmup=spec["warmup"],
+        )
 
 
 class TestEngineBehaviour:
