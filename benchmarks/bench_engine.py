@@ -70,6 +70,32 @@ def _largest_point_system(engine: str) -> ChopimSystem:
     return system
 
 
+def burst_summary(system: ChopimSystem) -> dict:
+    """Aggregate burst-issue statistics over all NDA rank controllers."""
+    total = {
+        "enabled": getattr(system, "burst_enabled", False),
+        "bursts_planned": 0,
+        "commands_planned": 0,
+        "commands_settled": 0,
+        "bursts_completed": 0,
+        "commands_per_burst": 0.0,
+        "truncations": {},
+    }
+    for controller in system.rank_controllers.values():
+        stats = controller.burst_stats()
+        total["bursts_planned"] += stats["bursts_planned"]
+        total["commands_planned"] += stats["commands_planned"]
+        total["commands_settled"] += stats["commands_settled"]
+        total["bursts_completed"] += stats["bursts_completed"]
+        for cause, count in stats["truncations"].items():
+            total["truncations"][cause] = (
+                total["truncations"].get(cause, 0) + count)
+    if total["bursts_planned"]:
+        total["commands_per_burst"] = round(
+            total["commands_settled"] / total["bursts_planned"], 2)
+    return total
+
+
 def bench_largest_point(cycles: int, warmup: int, repeats: int = 3) -> dict:
     """Cycles/sec for both engines on the largest fig14 point.
 
@@ -104,6 +130,9 @@ def bench_largest_point(cycles: int, warmup: int, repeats: int = 3) -> dict:
                 "dirty_notifications_total": sum(system.engine.hub.dirty_counts),
                 "units": system.engine.wake_stats(),
             }
+            # Burst-issue fast-path statistics (deterministic): bursts
+            # planned, commands settled through plans, truncation causes.
+            best["burst"] = burst_summary(system)
         out[engine] = best
     out["event_vs_cycle_speedup"] = (out["event"]["cycles_per_second"]
                                      / out["cycle"]["cycles_per_second"])
@@ -157,6 +186,10 @@ def profile_largest_point(cycles: int, warmup: int, top: int = 20) -> dict:
             if len(rows) >= top:
                 break
         result[engine] = {"top_cumtime": rows}
+        if engine == "event":
+            # The profiled run's burst behaviour, next to the table it
+            # explains (how much per-command work the plans absorbed).
+            result[engine]["burst"] = burst_summary(system)
     return result
 
 

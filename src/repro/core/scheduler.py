@@ -39,7 +39,12 @@ class ConcurrentAccessScheduler:
         # wake-up in either direction.  The per-rank issue-version polling
         # this replaces lived on DramSystem (see ARCHITECTURE.md).
         self._wake_hub: Optional[WakeHub] = None
-        self._rank_slots: Dict[Tuple[int, int], int] = {}
+        # Per-rank host-issue route: (wake-hub slot, burst controller or
+        # None).  A host command to (channel, rank) dirties the rank's NDA
+        # unit and truncates any planned NDA command burst on that rank —
+        # one lookup serves both.
+        self._rank_routes: Dict[Tuple[int, int],
+                                Tuple[int, Optional[object]]] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -47,7 +52,16 @@ class ConcurrentAccessScheduler:
                       rank_slots: Dict[Tuple[int, int], int]) -> None:
         """Route host-issue notifications to the affected NDA rank units."""
         self._wake_hub = hub
-        self._rank_slots = rank_slots
+        for key, slot in rank_slots.items():
+            old = self._rank_routes.get(key)
+            self._rank_routes[key] = (slot, old[1] if old else None)
+
+    def bind_burst_controllers(self, controllers: Dict[Tuple[int, int], object],
+                               ) -> None:
+        """Route host-issue burst truncations to the NDA rank controllers."""
+        for key, controller in controllers.items():
+            old = self._rank_routes.get(key)
+            self._rank_routes[key] = (old[0] if old else -1, controller)
 
     def begin_cycle(self, now: int) -> None:
         if now != self._cycle:
@@ -64,10 +78,25 @@ class ConcurrentAccessScheduler:
         """
         self.begin_cycle(now)
         self._host_issued_this_cycle.add((channel, rank))
-        hub = self._wake_hub
-        if hub is not None:
-            slot = self._rank_slots.get((channel, rank))
-            if slot is not None:
+        route = self._rank_routes.get((channel, rank))
+        if route is None:
+            return
+        slot, controller = route
+        if controller is not None and controller._plan is not None:
+            # The elapsed prefix was settled when the issuing channel began
+            # its tick; the remainder (including a command planned for this
+            # very cycle, which the same-cycle gate would block) is stale.
+            controller.cancel_burst(now, "host_issue")
+            # Streaming usually survives the interruption with a shifted
+            # cadence; re-plan immediately so the unit parks at the new
+            # burst horizon instead of paying a full per-cycle wake.  The
+            # eligibility predicate re-checks bank state, so a host command
+            # that actually perturbed the streak (shared-bank modes) simply
+            # yields no plan and the per-cycle path resumes.
+            controller.plan_burst(now)
+        if slot >= 0:
+            hub = self._wake_hub
+            if hub is not None:
                 hub.dirty(slot)
 
     def nda_may_issue(self, channel: int, rank: int, now: int) -> bool:

@@ -23,6 +23,7 @@ Typical usage::
 from __future__ import annotations
 
 import dataclasses
+import os
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
@@ -162,6 +163,17 @@ class ChopimSystem:
         self.engine: SimulationEngine = make_engine(engine, components)
         self._wire_wake_hub(components, channel_components, host_slot,
                             nda_host_component, rank_components)
+        # Burst-issue fast path: event engine only (the cycle engine is the
+        # per-cycle oracle), with REPRO_DISABLE_BURST=1 as the bit-exactness
+        # escape hatch.  The hooks are only wired when active, so disabling
+        # bursting restores the exact pre-burst hot paths.
+        self.burst_enabled = (
+            engine == "event"
+            and bool(self.rank_controllers)
+            and os.environ.get("REPRO_DISABLE_BURST", "") not in ("1", "true", "yes")
+        )
+        if self.burst_enabled:
+            self._wire_burst(rank_components)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -180,7 +192,9 @@ class ChopimSystem:
 
         * enqueue into a channel controller (host cores, launch packets,
           runtime) -> that channel's unit;
-        * a delivered demand-read completion -> the host unit;
+        * a delivered demand-read completion -> the host unit (conditional:
+          only when the delivered-to core's post-delivery wake beats the
+          host unit's published calendar entry);
         * a host DRAM command issue -> the issued-to rank's NDA unit (via
           the concurrent-access scheduler, which observes every host issue);
         * NDA work delivery / ``NdaHostController.submit`` -> the receiving
@@ -191,12 +205,17 @@ class ChopimSystem:
                          if nda_host_component is not None else -1)
         for component in channel_components:
             component.bind_targets(host_slot, nda_host_slot)
-        for core in self.cores:
-            core.wake_listener = hub.dirtier(host_slot)
+        # Completion deliveries dirty the host unit conditionally from
+        # HostComponent.deliver_completion (the outstanding-completion
+        # horizon check) — no per-core listener needed.
         channel_slots = {component.channel: slot
                          for slot, component in enumerate(channel_components)}
         for ch, controller in self.channel_controllers.items():
             controller.wake_listener = hub.dirtier(channel_slots[ch])
+            # Timed completions live in the host unit's completion calendar
+            # (the outstanding-completion horizon): deliveries stop forcing
+            # controller wakes entirely.
+            controller.completion_sink = self._host_component.schedule_completion
         rank_slots: Dict[Tuple[int, int], int] = {}
         for component in rank_components:
             slot = components.index(component)
@@ -206,6 +225,45 @@ class ChopimSystem:
         self.scheduler.bind_wake_hub(hub, rank_slots)
         if self.nda_host is not None:
             self.nda_host.wake_listener = hub.dirtier(nda_host_slot)
+
+    def _wire_burst(self, rank_components: List[NdaRankComponent]) -> None:
+        """Wire the burst-issue settlement and truncation routes.
+
+        Settlement: each channel controller applies its ranks' planned
+        command prefixes before any FR-FCFS scan or command issue reads the
+        rank timing state.  Truncation: a host issue to a rank cancels that
+        rank's plan (via the concurrent-access scheduler, which sees every
+        host issue), and a read-queue change cancels the channel's *write*
+        plans (the next-rank throttle reads the oldest queued read).
+        """
+        for component in rank_components:
+            component.burst_enabled = True
+        by_channel: Dict[int, List[NdaRankController]] = {}
+        for (ch, _rk), controller in self.rank_controllers.items():
+            controller.gate_stats = self.scheduler
+            by_channel.setdefault(ch, []).append(controller)
+        self.scheduler.bind_burst_controllers(self.rank_controllers)
+        for ch, channel_controller in self.channel_controllers.items():
+            ranks = by_channel.get(ch)
+            if not ranks:
+                continue
+
+            def settle(upto: int, ranks=ranks) -> None:
+                for rc in ranks:
+                    plan = rc._plan
+                    # Inline the no-elapsed-commands fast path: this runs
+                    # before every FR-FCFS scan/issue on the channel, and
+                    # most boundaries fall between two planned commands.
+                    if (plan is not None
+                            and upto > plan.start + plan.idx * plan.step):
+                        rc.settle_burst(upto)
+
+            def truncate_writes(now: int, ranks=ranks) -> None:
+                for rc in ranks:
+                    rc.cancel_write_burst(now, "read_queue")
+
+            channel_controller.burst_settler = settle
+            channel_controller.read_queue_listener = truncate_writes
 
     def _build_mapping(self) -> AddressMapping:
         if self.mode.uses_bank_partitioning:
@@ -413,9 +471,17 @@ class ChopimSystem:
         every DRAM cycle (the regression baseline), ``engine="event"``
         fast-forwards over provably idle cycles with identical results.
         """
-        self.now = self.engine.run_until(self.now, self.now + max(0, warmup))
+        # Eager completion application (see HostComponent) is bounded by the
+        # run target; moving the bound can surface deferred completions, so
+        # every cached wake is recomputed at the phase boundary.
+        target = self.now + max(0, warmup)
+        self._host_component.completion_bound = target
+        self.engine.invalidate_wakes()
+        self.now = self.engine.run_until(self.now, target)
         self._reset_measurement()
-        self.now = self.engine.run_until(self.now, self.now + cycles)
+        target = self.now + cycles
+        self._host_component.completion_bound = target
+        self.now = self.engine.run_until(self.now, target)
         return self._result(cycles)
 
     def _reset_measurement(self) -> None:

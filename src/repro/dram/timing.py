@@ -95,10 +95,21 @@ class TimingEngine:
     def __init__(self, org: DramOrgConfig, timing: DramTimingConfig) -> None:
         self.org = org
         self.timing = timing
-        # Snapshot of the derived timing sums (plain attributes; the config
-        # recomputes them per property access, which the hot loop can't afford).
+        # Snapshot of the derived timing sums and the column-command scalars
+        # (plain attributes; the config recomputes the sums per property
+        # access and even plain dataclass reads are measurable at the
+        # probe rate the scans sustain).
         self._read_to_write = timing.read_to_write
         self._write_to_precharge = timing.write_to_precharge
+        self._tCL = timing.tCL
+        self._tCWL = timing.tCWL
+        self._tBL = timing.tBL
+        self._tCCDS = timing.tCCDS
+        self._tCCDL = timing.tCCDL
+        self._tWTRS = timing.tWTRS
+        self._tWTRL = timing.tWTRL
+        self._tRTRS = timing.tRTRS
+        self._wr_to_rd = timing.tCWL + timing.tBL
         self._ranks_per_channel = org.ranks_per_channel
         self._banks_per_group = org.banks_per_group
         self._banks_per_rank = org.banks_per_rank
@@ -120,7 +131,17 @@ class TimingEngine:
         # rank/bank-local, so their absolute earliest-issue cycles stay
         # valid until the next command issues to the owning rank; scans
         # re-probe every queued bank every cycle and mostly hit here.
+        #
+        # Two version counters per rank: ``_issue_versions`` advances on
+        # *every* command (column spacing, turnaround and bus state move on
+        # column commands, so the NDA column caches key on it), while
+        # ``_row_versions`` advances only on ACT/PRE/REF — no constraint an
+        # ACT probe reads moves on a column command, and the one PRE input a
+        # column command does move (its own bank's tRTP/tWR horizon) is
+        # invalidated point-wise at issue.  Host FR-FCFS scans therefore
+        # keep their ACT/PRE horizon hits across dense NDA column streams.
         self._issue_versions: List[int] = [0] * total_ranks
+        self._row_versions: List[int] = [0] * total_ranks
         total_banks = total_ranks * org.banks_per_rank
         self._act_cache: List[Tuple[int, int]] = [(-1, 0)] * total_banks
         self._pre_cache: List[Tuple[int, int]] = [(-1, 0)] * total_banks
@@ -199,27 +220,29 @@ class TimingEngine:
                     absolute = cached[1]
                     return absolute if absolute > now else now
             absolute = rank.refreshing_until
-            ccd_long = t.tCCDS if is_nda else t.tCCDL
+            ccd_long = self._tCCDS if is_nda else self._tCCDL
             if kind is CommandType.RD:
                 if bank.rd_allowed > absolute:
                     absolute = bank.rd_allowed
                 # read-after-read spacing within the rank
                 spacing = rank.last_read_cycle + (
-                    ccd_long if addr.bank_group == rank.last_read_bg else t.tCCDS)
+                    ccd_long if addr.bank_group == rank.last_read_bg
+                    else self._tCCDS)
                 if spacing > absolute:
                     absolute = spacing
                 # write-to-read turnaround within the rank
-                wtr = (t.tWTRL if addr.bank_group == rank.last_write_bg
-                       else t.tWTRS)
-                turnaround = rank.last_write_cycle + t.tCWL + t.tBL + wtr
+                wtr = (self._tWTRL if addr.bank_group == rank.last_write_bg
+                       else self._tWTRS)
+                turnaround = rank.last_write_cycle + self._wr_to_rd + wtr
                 if turnaround > absolute:
                     absolute = turnaround
-                data_start_offset = t.tCL
+                data_start_offset = self._tCL
             else:  # WR
                 if bank.wr_allowed > absolute:
                     absolute = bank.wr_allowed
                 spacing = rank.last_write_cycle + (
-                    ccd_long if addr.bank_group == rank.last_write_bg else t.tCCDS)
+                    ccd_long if addr.bank_group == rank.last_write_bg
+                    else self._tCCDS)
                 if spacing > absolute:
                     absolute = spacing
                 # Read-to-write turnaround is a data-bus direction change, so
@@ -236,10 +259,10 @@ class TimingEngine:
                 turnaround = same_path_read + self._read_to_write
                 if turnaround > absolute:
                     absolute = turnaround
-                spacing = other_path_read + t.tCCDS
+                spacing = other_path_read + self._tCCDS
                 if spacing > absolute:
                     absolute = spacing
-                data_start_offset = t.tCWL
+                data_start_offset = self._tCWL
 
             if is_nda:
                 # NDA column accesses use the rank-internal bus only; the
@@ -260,13 +283,13 @@ class TimingEngine:
             if bus > absolute:
                 absolute = bus
             if channel.last_col_rank not in (-1, addr.rank):
-                switch = channel.last_data_end + t.tRTRS - data_start_offset
+                switch = channel.last_data_end + self._tRTRS - data_start_offset
                 if switch > absolute:
                     absolute = switch
             return absolute if absolute > now else now
 
         if kind is CommandType.ACT:
-            version = self._issue_versions[rank_index]
+            version = self._row_versions[rank_index]
             cached = self._act_cache[bank_index]
             if cached[0] == version:
                 absolute = cached[1]
@@ -287,7 +310,7 @@ class TimingEngine:
             return absolute if absolute > now else now
 
         if kind is CommandType.PRE:
-            version = self._issue_versions[rank_index]
+            version = self._row_versions[rank_index]
             cached = self._pre_cache[bank_index]
             if cached[0] == version:
                 absolute = cached[1]
@@ -301,6 +324,50 @@ class TimingEngine:
         # REF
         refreshing = rank.refreshing_until
         return refreshing if refreshing > now else now
+
+    def host_column_base(self, is_read: bool, addr: DramAddress) -> int:
+        """Bank-independent part of a host column command's earliest cycle.
+
+        Exactly the host-column branch of :meth:`earliest_issue_at` minus
+        the per-bank tRCD horizon (``rd_allowed``/``wr_allowed``) and the
+        ``now`` clamp, which the caller applies.  The FR-FCFS bucketed scan
+        uses it as its column probe (one call per bucket and direction) —
+        keep the two branches in lock-step when adding constraints.
+        """
+        rank = self._ranks[addr.rank_index]
+        channel = self._channels[addr.channel]
+        bg = addr.bank_group
+        base = rank.refreshing_until
+        if is_read:
+            spacing = rank.last_read_cycle + (
+                self._tCCDL if bg == rank.last_read_bg else self._tCCDS)
+            if spacing > base:
+                base = spacing
+            wtr = self._tWTRL if bg == rank.last_write_bg else self._tWTRS
+            turnaround = rank.last_write_cycle + self._wr_to_rd + wtr
+            if turnaround > base:
+                base = turnaround
+            offset = self._tCL
+        else:
+            spacing = rank.last_write_cycle + (
+                self._tCCDL if bg == rank.last_write_bg else self._tCCDS)
+            if spacing > base:
+                base = spacing
+            turnaround = rank.last_host_read_cycle + self._read_to_write
+            if turnaround > base:
+                base = turnaround
+            spacing = rank.last_nda_read_cycle + self._tCCDS
+            if spacing > base:
+                base = spacing
+            offset = self._tCWL
+        bus = channel.data_bus_free - offset
+        if bus > base:
+            base = bus
+        if channel.last_col_rank not in (-1, addr.rank):
+            switch = channel.last_data_end + self._tRTRS - offset
+            if switch > base:
+                base = switch
+        return base
 
     def can_issue_at(self, kind: CommandType, addr: DramAddress,
                      source: RequestSource, now: int) -> bool:
@@ -329,6 +396,13 @@ class TimingEngine:
         rank = self._ranks[rank_index]
         kind = cmd.kind
         is_column = kind is CommandType.RD or kind is CommandType.WR
+        if is_column:
+            # A column command moves no ACT input and, of the PRE inputs,
+            # only its own bank's precharge horizon (tRTP / write recovery):
+            # kill that single cache entry and leave the row version alone.
+            self._pre_cache[bank_index] = (-1, 0)
+        else:
+            self._row_versions[rank_index] += 1
         if self.busy_observer is not None and not (cmd.is_nda and is_column):
             # Row commands, refresh and host column commands all extend the
             # rank's host-busy windows; let the idle statistics catch up on
@@ -475,6 +549,23 @@ class TimingEngine:
                 cycle = state.data_busy_until
                 continue
             return cycle
+
+    def host_busy_span(self, channel: int, rank: int, start: int,
+                       stop: int) -> Optional[bool]:
+        """Uniform host-busy state over ``[start, stop)``, or None if mixed.
+
+        O(1) fast path for the per-mutation statistics flush: windows with
+        no busy edge inside are a single run (the common case between two
+        commands of a dense stream).
+        """
+        state = self._ranks[channel * self._ranks_per_channel + rank]
+        busy_until = state.busy_until
+        data_from = state.data_busy_from
+        data_until = state.data_busy_until
+        if (start < busy_until < stop or start < data_from < stop
+                or start < data_until < stop):
+            return None
+        return start < busy_until or data_from <= start < data_until
 
     def host_busy_runs(self, channel: int, rank: int, start: int,
                        stop: int) -> List[Tuple[bool, int]]:

@@ -15,6 +15,7 @@ cycle) the adapters reproduce the original loop verbatim; under the
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.engine.core import WakeHub
@@ -31,8 +32,9 @@ class ChannelComponent:
     concurrent-access scheduler (which dirties the issued-to rank's NDA
     unit), and — because an issued RD/WR frees a queue entry — the host unit
     (back-pressured cores can retry) and the NDA host unit (stuck launch
-    packets can retry) when either has something waiting.  Demand-read
-    completions dirty the host unit through ``CoreModel.wake_listener``.
+    packets can retry) when either has something waiting.  Timed request
+    completions are scheduled into the host unit's completion calendar
+    (``completion_sink``) rather than delivered from channel wakes.
     """
 
     #: advance() is a no-op; the engine skips it (see SimulationEngine).
@@ -106,8 +108,17 @@ class HostComponent:
     Wake sources beyond the cores' own next-request cycles: a backlogged
     request whose target queue has space wakes the unit immediately; a
     backlogged request facing a full queue contributes nothing (the blocking
-    channel dirties this unit when it issues and frees an entry), and
-    delivered read completions dirty it through ``CoreModel.wake_listener``.
+    channel dirties this unit when it issues and frees an entry).
+
+    The unit also owns the **completion calendar**: channel controllers
+    schedule every timed request completion here (``schedule_completion``,
+    wired as each controller's ``completion_sink``), and the unit delivers
+    the due prefix — in (cycle, schedule-order) order, which equals the
+    legacy per-channel collection order — at the start of its wake.  The
+    host's wake is therefore computed from the outstanding-completion
+    horizon directly; completions no longer force controller wakes, and no
+    per-delivery dirty notification exists at all (deliveries happen inside
+    this unit's own wake).
     """
 
     #: Cores are synced at their own trigger points, not once per processed
@@ -121,9 +132,48 @@ class HostComponent:
         count = len(system.cores)
         self._cursors: List[int] = [0] * count
         self._wake_cache: List[Tuple[int, int]] = [(-1, 0)] * count
+        self._hub: Optional[WakeHub] = None
+        self._slot = -1
+        #: Outstanding-completion calendar: (cycle, seq, request, controller)
+        #: heap entries, delivered at the due cycle during on_wake.
+        self._completions: List[Tuple[int, int, object, object]] = []
+        self._completion_seq = 0
+        #: The wake this unit last published to the calendar; INFINITY until
+        #: the first poll so early schedule_completion calls always dirty.
+        self._published_wake = INFINITY
+        #: Min next-request cycle over non-backlogged cores as of the last
+        #: poll (valid between core events — wakes are event-count-cached),
+        #: and the cores completions were delivered to this wake: together
+        #: they prove most completion-only wakes need no core sweep at all.
+        self._published_core_min = -1
+        self._delivered_cores: List[int] = []
+        #: Exclusive ceiling for eager completion application — the current
+        #: run's target, set by ``ChopimSystem.run``.  Completions at or
+        #: beyond it stay pending, exactly as the per-cycle loop leaves
+        #: them, so cores never sync past the measurement window.
+        self.completion_bound = 0
         #: Requests sitting in per-core backlogs (O(1) "anyone waiting?"
         #: check for the channels' issue-time notification).
         self.backlog_requests = 0
+
+    def register(self, hub: WakeHub, slot: int) -> None:
+        self._hub = hub
+        self._slot = slot
+
+    def schedule_completion(self, cycle: int, request, controller) -> None:
+        """Schedule a timed request completion (a controller's sink hook).
+
+        Called at issue time, so ``cycle`` is strictly in the future.  The
+        unit's published calendar entry may lie beyond it (or at INFINITY
+        when every core is blocked on outstanding misses), in which case
+        the slot is dirtied so the engine re-reads the horizon; otherwise
+        the already-scheduled wake covers it and no notification is needed.
+        """
+        seq = self._completion_seq
+        self._completion_seq = seq + 1
+        heappush(self._completions, (cycle, seq, request, controller))
+        if cycle < self._published_wake:
+            self._hub.dirty(self._slot)
 
     def _core_wake(self, index: int) -> int:
         core = self.system.cores[index]
@@ -140,21 +190,52 @@ class HostComponent:
         system = self.system
         controllers = system.channel_controllers
         backlogs = system._core_backlog
-        wake = INFINITY
-        for index in range(len(system.cores)):
-            backlog = backlogs[index]
-            if backlog:
-                # Backlogged cores cannot enqueue until a queue frees up; if
-                # the head request fits now, retry immediately, otherwise
-                # wait for the blocking channel's issue notification.
-                request = backlog[0]
-                if controllers[request.addr.channel].can_accept(request.is_write):
-                    return now
-                continue
-            candidate = self._core_wake(index)
-            if candidate < wake:
-                wake = candidate
-        return wake if wake > now else now
+        heap = self._completions
+        cores = range(len(system.cores))
+        while True:
+            core_min = INFINITY
+            for index in cores:
+                backlog = backlogs[index]
+                if backlog:
+                    # Backlogged cores cannot enqueue until a queue frees
+                    # up; if the head request fits now, retry immediately,
+                    # otherwise wait for the blocking channel's issue
+                    # notification.
+                    request = backlog[0]
+                    if controllers[request.addr.channel].can_accept(
+                            request.is_write):
+                        self._published_wake = now
+                        return now
+                    continue
+                candidate = self._core_wake(index)
+                if candidate < core_min:
+                    core_min = candidate
+            if heap and heap[0][0] < core_min:
+                entry = heap[0]
+                if entry[2].core_id >= 0:
+                    if entry[0] < self.completion_bound:
+                        # A demand-read completion strictly before any
+                        # possible emission: apply it *now* — the delivery
+                        # syncs the core to the completion cycle and lands
+                        # on exactly the state per-cycle execution would
+                        # have had, and no observable event can occur in
+                        # between — then re-derive the emission horizon
+                        # from the unblocked state.  This is what lets
+                        # completion-only cycles go unprocessed.
+                        heappop(heap)
+                        self._finish_completion(entry[0], entry[2], entry[3])
+                        continue
+                    # Beyond the current run: stays pending, like the
+                    # per-cycle loop leaves it.
+                else:
+                    # Launch-packet completions feed other units on their
+                    # exact cycle; keep a processed wake for them.
+                    core_min = entry[0]
+            break
+        self._published_core_min = core_min
+        wake = core_min if core_min > now else now
+        self._published_wake = wake
+        return wake
 
     def _sync_core(self, index: int, stop: int) -> None:
         """Settle one core's deferred arithmetic up to (excluding) ``stop``."""
@@ -184,19 +265,75 @@ class HostComponent:
 
         The core is synced to the delivery cycle *first*, so the completion
         lands on exactly the state the per-cycle loop would have had.
+        Deliveries happen inside this unit's own wake (the completion
+        calendar drives it), so no dirty notification is needed — the
+        engine re-polls a ran unit before its next scheduling decision.
         """
         self._sync_core(index, cycle)
         self.system.cores[index].notify_completion(phys)
+        self._delivered_cores.append(index)
+
+    def _finish_completion(self, cycle: int, request, controller) -> None:
+        """Deliver one scheduled completion at its (simulated) cycle."""
+        controller.inflight_completions -= 1
+        request.complete(cycle)
+        if not request.is_write:
+            controller.read_latency.add(
+                request.completed_cycle - request.arrival_cycle)
+
+    def _deliver_due_completions(self, now: int) -> None:
+        heap = self._completions
+        while heap and heap[0][0] <= now:
+            entry = heappop(heap)
+            self._finish_completion(entry[0], entry[2], entry[3])
+
+    def _sweep_needed(self, now: int) -> bool:
+        """Whether this wake must run the full core sweep.
+
+        True when a backlog retry is possible, some core's cached wake is
+        due, or a just-delivered completion moved a core's emission to
+        ``now`` — otherwise (the common completion-only wake) every core is
+        provably pure deferred arithmetic this cycle.
+        """
+        if self.backlog_requests:
+            return True
+        if self._published_core_min <= now:
+            return True
+        delivered = self._delivered_cores
+        if delivered:
+            for index in delivered:
+                if self._core_wake(index) <= now:
+                    return True
+        return False
 
     def advance(self, stop: int) -> None:
+        # Apply elapsed demand-read completions first (in schedule order):
+        # the final core sync must observe every delivery that per-cycle
+        # execution would have made before ``stop``.  Packet completions
+        # cannot be pending below ``stop`` — their cycles clamp this unit's
+        # published wake, so the engine processed them.
+        heap = self._completions
+        while heap and heap[0][0] < stop and heap[0][2].core_id >= 0:
+            entry = heappop(heap)
+            self._finish_completion(entry[0], entry[2], entry[3])
         for index in range(len(self.system.cores)):
             self._sync_core(index, stop)
 
     def on_wake(self, now: int) -> None:
         system = self.system
+        del self._delivered_cores[:]
+        if self._completions:
+            self._deliver_due_completions(now)
+        if not self._sweep_needed(now):
+            return
         for index, core in enumerate(system.cores):
-            self._sync_core(index, now)
             backlog = system._core_backlog[index]
+            if not backlog and self._core_wake(index) > now:
+                # Neither retrying nor emitting this cycle: the core is pure
+                # deferred arithmetic — leave it to the next sync point
+                # instead of paying a catch-up call per processed wake.
+                continue
+            self._sync_core(index, now)
             # Back-pressure: retry requests the controller rejected earlier.
             while backlog:
                 request = backlog[0]
@@ -268,10 +405,23 @@ class NdaRankComponent:
     issue hook.  Work delivery (``NdaRankController.enqueue``) dirties the
     unit through the controller's ``wake_listener`` so freshly delivered
     instructions can start on their delivery cycle.
+
+    With bursting enabled (event engine, ``REPRO_DISABLE_BURST`` unset), a
+    processed wake ends by planning the controller's next steady-state
+    command streak; the unit then parks its calendar entry at the burst
+    horizon and its commands are settled lazily (see ``nda/controller.py``).
+    A wake that arrives while a plan is live (the horizon itself, or an
+    early dirty re-poll such as the broadcast ``step`` path) first settles
+    the elapsed prefix and drops the rest, so per-cycle processing always
+    resumes from exactly the state the plan represented.
     """
 
-    #: advance() is a no-op; the engine skips it (see SimulationEngine).
+    #: advance() is a no-op per processed cycle, but run-boundary flushes
+    #: must settle any live burst plan up to the flush target.
     needs_advance = False
+    needs_flush = True
+    #: Set by the system when the burst-issue fast path is active.
+    burst_enabled = False
 
     def __init__(self, system: "ChopimSystem", key: Tuple[int, int],
                  controller) -> None:
@@ -293,6 +443,11 @@ class NdaRankComponent:
 
     def on_wake(self, now: int) -> None:
         controller = self.controller
+        if controller._plan is not None:
+            # Burst horizon reached (all commands elapsed → counted as a
+            # completed burst) or an early wake interleaved — either way the
+            # remainder is re-decided per cycle from the settled state.
+            controller.cancel_burst(now, "wake")
         channel, rank = self.key
         if self.system.scheduler.nda_may_issue(channel, rank, now):
             controller.try_issue(now)
@@ -302,9 +457,20 @@ class NdaRankComponent:
             # The finished instruction may complete an operation (unblocking
             # the next launch) or leave every rank idle (enabling relaunch).
             self._hub.dirty(self._nda_host_slot)
+        elif self.burst_enabled:
+            # Steady state persists: plan the next streak (starting strictly
+            # after this cycle); the post-run re-poll parks the calendar at
+            # the burst horizon.  Completion cycles never plan — the next
+            # instruction's first commands go through the per-cycle path.
+            controller.plan_burst(now)
 
     def advance(self, stop: int) -> None:
-        """NDA rank state is purely event-driven; nothing accrues per cycle."""
+        """Settle any live burst plan up to ``stop`` (run-boundary flush).
+
+        Full settlement — timing *and* deferred accounting — because flush
+        boundaries feed results and measurement resets.
+        """
+        self.controller.flush_burst(stop)
 
 
 class StatsComponent:
@@ -324,6 +490,10 @@ class StatsComponent:
     """
 
     unit_label = "stats"
+    #: The global cycle count is cursor-based and idempotent, so the
+    #: selective engine defers it to flush time; the broadcast engines keep
+    #: the per-cycle advance (the ``step()``-driven runtime never flushes).
+    advance_deferrable = True
 
     def __init__(self, system: "ChopimSystem") -> None:
         self.system = system
@@ -340,9 +510,14 @@ class StatsComponent:
             return
         tracker = self.system.stats.rank_trackers.get(key)
         if tracker is not None:
-            for busy, count in self.system.dram.host_busy_runs(
-                    channel, rank, cursor, now):
-                tracker.observe_run(busy, count)
+            timing = self.system.dram.timing
+            uniform = timing.host_busy_span(channel, rank, cursor, now)
+            if uniform is not None:
+                tracker.observe_run(uniform, now - cursor)
+            else:
+                for busy, count in timing.host_busy_runs(
+                        channel, rank, cursor, now):
+                    tracker.observe_run(busy, count)
         self._rank_cursors[key] = now
 
     def next_event_cycle(self, now: int) -> int:

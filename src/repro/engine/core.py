@@ -212,6 +212,13 @@ class EventEngine(SimulationEngine):
     def __init__(self, components: Iterable[Component]) -> None:
         super().__init__(components)
         self.calendar = IndexedCalendar(len(self.components))
+        # Cursor-based advancers (idempotent catch-up) defer to flush time
+        # on the selective path; the broadcast path still advances them per
+        # cycle for the step()-driven runtime API.
+        self._selective_advancing = [
+            c for c in self._advancing
+            if not getattr(c, "advance_deferrable", False)
+        ]
         self._ran_scratch: List[int] = []
         # Units exposing post_run_wake(now) refresh their calendar entry in
         # O(1) after a run instead of being marked for a full re-poll.
@@ -276,7 +283,7 @@ class EventEngine(SimulationEngine):
         which also matches the legacy ordering (the earlier component has
         already run this cycle).
         """
-        for component in self._advancing:
+        for component in self._selective_advancing:
             component.advance(now)
         polls = self._poll_fns
         wakes = self._wake_fns

@@ -25,7 +25,7 @@ without any floating-point drift.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import HostConfig
 from repro.host.profiles import BenchmarkProfile
@@ -70,13 +70,10 @@ class CoreModel:
         #: Bumped whenever the core's event-relevant state changes (miss
         #: issued, completion delivered, measurement reset).  Between bumps
         #: the core evolves deterministically, so a cached absolute
-        #: next-request cycle stays valid.
+        #: next-request cycle stays valid.  (Completion deliveries reach the
+        #: engine through the host unit's completion calendar, not through a
+        #: per-core listener — see HostComponent.)
         self.event_count = 0
-        #: Selective-wake notification: invoked when a delivered completion
-        #: changes this core's state (it may unblock the ROB/MLP window and
-        #: move the next-request cycle), so the engine re-polls the host
-        #: unit instead of polling it every cycle.
-        self.wake_listener: Optional[Callable[[], None]] = None
         self.reads_issued = 0
         self.writes_issued = 0
         self.misses_completed = 0
@@ -114,9 +111,6 @@ class CoreModel:
                 del self._outstanding[i]
                 self.misses_completed += 1
                 self.event_count += 1
-                listener = self.wake_listener
-                if listener is not None:
-                    listener()
                 return
         # Completion for a request we no longer track (e.g. after reset).
 

@@ -60,12 +60,28 @@ class ChannelController:
         # Earliest pending completion cycle (NO_EVENT when none): lets the
         # per-cycle paths skip scanning the completion list.
         self._completions_min = NO_EVENT
+        #: When set (by the system), pending completions are scheduled into
+        #: the host unit's completion calendar instead of this controller's
+        #: list: deliveries stop forcing controller wakes, and the host unit
+        #: wakes at the outstanding-completion horizon.  Invoked as
+        #: ``completion_sink(cycle, request, self)``.  ``None`` (standalone
+        #: controller use) keeps the internal list.
+        self.completion_sink: Optional[
+            Callable[[int, MemoryRequest, "ChannelController"], None]] = None
+        #: Pending completions handed to the sink and not yet delivered
+        #: (keeps the ``outstanding`` introspection exact).
+        self.inflight_completions = 0
         self._draining_writes = False
         self._last_issue_was_write = False
         #: (cycle, rank) of the most recent command issued on this channel;
         #: the concurrent-access scheduler uses it to gate NDA issue.
         self.last_issue_cycle: int = -1
         self.last_issue_rank: int = -1
+        #: Cycle of the most recent tick, and the wake this controller last
+        #: published to the engine's calendar — both used to elide redundant
+        #: enqueue-time dirty notifications (see :meth:`enqueue`).
+        self.last_tick_cycle: int = -1
+        self.published_wake: int = NO_EVENT
         #: Lower bound on the next cycle a *queued request* could issue.
         #: Never late: set to "next cycle" on any enqueue or issue, and to
         #: the exact scan-derived horizon when a full FR-FCFS scan finds
@@ -74,17 +90,30 @@ class ChannelController:
         #: early — which costs a no-op wake, never a missed event.
         self._issue_hint: int = 0
         # Memoized FR-FCFS scans, one slot per queue: (cycle, queue version,
-        # channel DRAM version, choice, horizon).  A scan is a pure function
-        # of (queue contents+order, channel bank/timing state, cycle); the
-        # versions cover every mutation path, so the event engine's wake
-        # probe and the same cycle's tick share one scan.
-        self._scan_cache_read = (-1, -1, -1, None, 0)
-        self._scan_cache_write = (-1, -1, -1, None, 0)
+        # channel DRAM version, choice, horizon, choice_at_horizon).  A scan
+        # is a pure function of (queue contents+order, channel bank/timing
+        # state, cycle); the versions cover every mutation path, so the
+        # event engine's wake probe and the same cycle's tick share one
+        # scan — and an empty probe's at-horizon lookahead lets the tick at
+        # the horizon issue without re-scanning at all.
+        self._scan_cache_read = (-1, -1, -1, None, 0, None)
+        self._scan_cache_write = (-1, -1, -1, None, 0, None)
         #: Selective-wake notification: invoked when a request is accepted
         #: into a queue, so the engine re-polls this channel's unit (the
         #: issue hint just moved to "next cycle") instead of polling every
         #: channel every cycle.
         self.wake_listener: Optional[Callable[[], None]] = None
+        #: Burst-issue settlement hook: invoked with a boundary cycle before
+        #: this controller reads or mutates DRAM timing state (FR-FCFS
+        #: scans, refresh/request issues), so lazily-planned NDA command
+        #: bursts on this channel's ranks are applied up to (excluding) the
+        #: boundary first.  ``None`` when bursting is disabled.
+        self.burst_settler: Optional[Callable[[int], None]] = None
+        #: Burst truncation hook: invoked with the mutation cycle whenever
+        #: the read queue changes (enqueue or issue) — the next-rank write
+        #: throttle reads the oldest queued read, so planned NDA write
+        #: bursts on this channel must fall back to per-cycle decisions.
+        self.read_queue_listener: Optional[Callable[[int], None]] = None
 
     # ------------------------------------------------------------------ #
     # Enqueue interface (used by the host model and the runtime)
@@ -115,6 +144,10 @@ class ChannelController:
                 return True
         queue.push(request)
         self.counters.add("write_enqueued" if request.is_write else "read_enqueued")
+        if request.is_read:
+            listener = self.read_queue_listener
+            if listener is not None:
+                listener(now)
         # Settle the drain-mode hysteresis for the new queue state (see
         # _update_drain_mode: one evaluation per length state keeps the
         # selective engine's mode trajectory identical to per-cycle ticking).
@@ -122,7 +155,13 @@ class ChannelController:
         self._issue_hint = now + 1
         listener = self.wake_listener
         if listener is not None:
-            listener()
+            # The dirty notification is redundant when this controller
+            # already ticked this cycle (the engine's post-run refresh
+            # re-probes with the new queue) or its published wake is due by
+            # the hint cycle anyway — the wake contract stays never-late and
+            # each elided dirty saves a full FR-FCFS re-probe.
+            if self.last_tick_cycle != now and self.published_wake > now + 1:
+                listener()
         return True
 
     # ------------------------------------------------------------------ #
@@ -159,6 +198,13 @@ class ChannelController:
 
     def tick(self, now: int) -> List[MemoryRequest]:
         """Advance one DRAM cycle; returns requests that completed this cycle."""
+        self.last_tick_cycle = now
+        settler = self.burst_settler
+        if settler is not None:
+            # Planned NDA commands strictly before ``now`` happened (in rank
+            # slots that precede this tick); apply them before any scan or
+            # issue reads the rank's timing state.
+            settler(now)
         completed = self._collect_completions(now)
         if self._issue_refresh_if_due(now):
             return completed
@@ -198,6 +244,11 @@ class ChannelController:
         return done
 
     def _add_completion(self, cycle: int, request: MemoryRequest) -> None:
+        sink = self.completion_sink
+        if sink is not None:
+            self.inflight_completions += 1
+            sink(cycle, request, self)
+            return
         self._completions.append(_PendingCompletion(cycle, request))
         if cycle < self._completions_min:
             self._completions_min = cycle
@@ -269,14 +320,19 @@ class ChannelController:
         if cache[1] == queue.version and cache[2] == dram_version:
             if cache[0] == now:
                 return cache[3], cache[4]
-            # An empty-handed scan stays valid until its horizon: with queue
-            # and channel DRAM state unchanged, every request's absolute
-            # earliest-issue cycle is unchanged, and all of them lie at or
-            # beyond the horizon.
-            if cache[3] is None and cache[0] < now < cache[4]:
-                return None, cache[4]
-        choice, horizon = self.scheduler.select_or_horizon(queue, now)
-        entry = (now, queue.version, dram_version, choice, horizon)
+            if cache[3] is None and cache[0] < now:
+                # An empty-handed scan stays valid until its horizon: with
+                # queue and channel DRAM state unchanged, every request's
+                # absolute earliest-issue cycle is unchanged, and all of
+                # them lie at or beyond the horizon.
+                if now < cache[4]:
+                    return None, cache[4]
+                # At the horizon itself the scan's lookahead already knows
+                # the FR-FCFS winner (state unchanged by the version check).
+                if now == cache[4] and cache[5] is not None:
+                    return cache[5], NO_EVENT
+        choice, horizon, future = self.scheduler._select_bucketed(queue, now)
+        entry = (now, queue.version, dram_version, choice, horizon, future)
         if queue is self.write_queue:
             self._scan_cache_write = entry
         else:
@@ -310,6 +366,9 @@ class ChannelController:
         if cmd.kind is CommandType.RD:
             request.issued_cycle = now
             self.read_queue.remove(request)
+            listener = self.read_queue_listener
+            if listener is not None:
+                listener(now)
             self._add_completion(now + self.dram.read_latency(), request)
             self._last_issue_was_write = False
             self._update_drain_mode()
@@ -317,8 +376,15 @@ class ChannelController:
             request.issued_cycle = now
             self.write_queue.remove(request)
             # Writes are posted: the transaction is complete once the data
-            # has been driven onto the bus.
-            self._add_completion(now + self.dram.write_latency(), request)
+            # has been driven onto the bus.  A plain writeback has no
+            # completion observer, so its completion cycle is stamped
+            # eagerly instead of scheduling a controller wake for it;
+            # requests with an on_complete hook (launch packets) keep the
+            # timed delivery.
+            if request.on_complete is None:
+                request.complete(now + self.dram.write_latency())
+            else:
+                self._add_completion(now + self.dram.write_latency(), request)
             if not self._last_issue_was_write:
                 self.counters.add("read_write_turnarounds")
             self._last_issue_was_write = True
@@ -357,7 +423,9 @@ class ChannelController:
                 hint = self._probe_issue(now)
             if hint < wake:
                 wake = hint
-        return wake if wake > now else now
+        wake = wake if wake > now else now
+        self.published_wake = wake
+        return wake
 
     def wake_after_tick(self, now: int) -> int:
         """Wake-up valid immediately after ``tick(now)``.
@@ -387,7 +455,9 @@ class ChannelController:
                 hint = self._probe_issue(now + 1)
             if hint < wake:
                 wake = hint
-        return wake if wake > now else now + 1
+        wake = wake if wake > now else now + 1
+        self.published_wake = wake
+        return wake
 
     def _probe_issue(self, now: int) -> int:
         """Pure scan: ``now`` if any queued request can issue, else the horizon.
@@ -396,6 +466,12 @@ class ChannelController:
         used only for wake-up computation.  The refreshed hint stays valid
         until the next enqueue or issue on this channel (both reset it).
         """
+        settler = self.burst_settler
+        if settler is not None:
+            # A probe for cycle ``now`` models the scan that tick(now) would
+            # run — which, in slot order, sees every NDA command issued on
+            # cycles before ``now``.
+            settler(now)
         choice, read_horizon = self._scan(self.read_queue, now)
         if choice is not None:
             return now
@@ -416,7 +492,8 @@ class ChannelController:
 
     @property
     def outstanding(self) -> int:
-        return len(self.read_queue) + len(self.write_queue) + len(self._completions)
+        return (len(self.read_queue) + len(self.write_queue)
+                + len(self._completions) + self.inflight_completions)
 
     def busy(self) -> bool:
         return self.outstanding > 0

@@ -38,10 +38,16 @@ class FrFcfsScheduler:
         # reads them inline, skipping the probe call on cache hits.  The
         # bank list is likewise indexed directly through the stamped
         # ``bank_index`` (one bank-state read per bucket).
-        self._issue_versions = dram.timing._issue_versions
+        # Row-command caches key on the row version: NDA column streams do
+        # not invalidate the scan's ACT/PRE horizon hits.
+        self._issue_versions = dram.timing._row_versions
         self._act_cache = dram.timing._act_cache
         self._pre_cache = dram.timing._pre_cache
         self._banks = dram._banks
+        # The scan's column probe: the bank-independent host-column horizon
+        # lives next to the full constraint law in TimingEngine.
+        self._host_column_base = dram.timing.host_column_base
+        self._bank_timings = dram.timing._banks
 
     def next_command_for(self, request: MemoryRequest,
                          now: int) -> Optional[Command]:
@@ -75,7 +81,8 @@ class FrFcfsScheduler:
         :class:`Command` is built, for the winning request.
         """
         if isinstance(requests, RequestQueue):
-            return self._select_bucketed(requests, now)
+            choice, horizon, _future = self._select_bucketed(requests, now)
+            return choice, horizon
         required_command = self.dram.required_command
         earliest_issue_at = self._earliest_issue_at
         host = RequestSource.HOST
@@ -105,8 +112,18 @@ class FrFcfsScheduler:
         return (fallback, cmd), horizon
 
     def _select_bucketed(self, queue: RequestQueue, now: int,
-                         ) -> Tuple[Optional[Tuple[MemoryRequest, Command]], int]:
-        """Bucketed FR-FCFS scan over a :class:`RequestQueue`.
+                         ) -> Tuple[Optional[Tuple[MemoryRequest, Command]],
+                                    int,
+                                    Optional[Tuple[MemoryRequest, Command]]]:
+        """Bucketed FR-FCFS scan: ``(choice, horizon, choice_at_horizon)``.
+
+        The third element predicts the FR-FCFS pick at the horizon cycle:
+        when nothing is issuable now, every candidate's *absolute* earliest
+        cycle is already in hand, and — provided no queue or channel DRAM
+        state changes in between, which the caller's version-keyed memo
+        guarantees — the scan at the horizon selects among exactly the
+        candidates whose earliest equals the horizon.  The controller can
+        therefore issue at the horizon from the memo without re-scanning.
 
         Timing-equivalent to the linear scan but probes DDR4 timing once
         per bank bucket and command class instead of once per request:
@@ -116,7 +133,10 @@ class FrFcfsScheduler:
         across buckets is recovered from each request's ``queue_seq``
         stamp, so the selected request is exactly the one the linear scan
         would pick; the horizon (min earliest over non-issuable requests)
-        is likewise identical whenever it is consumed (choice is None).
+        is likewise identical whenever it is consumed (choice is None),
+        and the at-horizon winner (hit preferred, then arrival order, among
+        candidates whose earliest equals the horizon) matches the scan a
+        caller would run at that cycle with unchanged state.
         """
         earliest_issue_at = self._earliest_issue_at
         dram_bank = self._bank
@@ -126,12 +146,24 @@ class FrFcfsScheduler:
         wr = CommandType.WR
         closed = BankState.CLOSED
         horizon = NO_EVENT
+        # Queues are shallow in practice (a handful of buckets per scan), so
+        # the column probe is the leaner ``_host_column_base`` + the bank's
+        # own tRCD horizon, called at most once per bucket and direction.
+        host_column_base = self._host_column_base
+        bank_timings = self._bank_timings
         best_hit: Optional[MemoryRequest] = None
         best_hit_kind: Optional[CommandType] = None
         best_hit_seq = NO_EVENT
         best_fb: Optional[MemoryRequest] = None
         best_fb_kind: Optional[CommandType] = None
         best_fb_seq = NO_EVENT
+        # At-horizon winner: among candidates whose earliest equals the
+        # (running) horizon, a hit beats a fallback, then arrival order —
+        # the same priority the scan itself applies at the horizon cycle.
+        h_req: Optional[MemoryRequest] = None
+        h_kind: Optional[CommandType] = None
+        h_seq = NO_EVENT
+        h_is_hit = False
         issue_versions = self._issue_versions
         act_cache = self._act_cache
         pre_cache = self._pre_cache
@@ -155,6 +187,11 @@ class FrFcfsScheduler:
                         best_fb_seq = first.queue_seq
                 elif earliest < horizon:
                     horizon = earliest
+                    h_req, h_kind = first, CommandType.ACT
+                    h_seq, h_is_hit = first.queue_seq, False
+                elif (earliest == horizon and not h_is_hit
+                        and first.queue_seq < h_seq):
+                    h_req, h_kind, h_seq = first, CommandType.ACT, first.queue_seq
                 continue
             open_row = bank.open_row
             rd_earliest = wr_earliest = pre_earliest = -1
@@ -163,11 +200,29 @@ class FrFcfsScheduler:
                 if addr.row == open_row:
                     if request.is_write:
                         if wr_earliest < 0:
-                            wr_earliest = earliest_issue_at(wr, addr, host, now)
+                            bi = addr.bank_index
+                            if bi >= 0:
+                                base = host_column_base(False, addr)
+                                allowed = bank_timings[bi].wr_allowed
+                                wr_earliest = base if base >= allowed else allowed
+                                if wr_earliest < now:
+                                    wr_earliest = now
+                            else:
+                                wr_earliest = earliest_issue_at(
+                                    wr, addr, host, now)
                         earliest, kind = wr_earliest, wr
                     else:
                         if rd_earliest < 0:
-                            rd_earliest = earliest_issue_at(rd, addr, host, now)
+                            bi = addr.bank_index
+                            if bi >= 0:
+                                base = host_column_base(True, addr)
+                                allowed = bank_timings[bi].rd_allowed
+                                rd_earliest = base if base >= allowed else allowed
+                                if rd_earliest < now:
+                                    rd_earliest = now
+                            else:
+                                rd_earliest = earliest_issue_at(
+                                    rd, addr, host, now)
                         earliest, kind = rd_earliest, rd
                     if earliest <= now:
                         if request.queue_seq < best_hit_seq:
@@ -193,14 +248,28 @@ class FrFcfsScheduler:
                             best_fb, best_fb_kind = request, CommandType.PRE
                             best_fb_seq = request.queue_seq
                         continue
-                if earliest > now and earliest < horizon:
-                    horizon = earliest
+                    kind = CommandType.PRE
+                if earliest > now:
+                    if earliest < horizon:
+                        horizon = earliest
+                        h_req, h_kind, h_seq = request, kind, request.queue_seq
+                        h_is_hit = kind is rd or kind is wr
+                    elif earliest == horizon:
+                        is_hit = kind is rd or kind is wr
+                        if (is_hit and not h_is_hit) or (
+                                is_hit == h_is_hit and request.queue_seq < h_seq):
+                            h_req, h_kind, h_seq = request, kind, request.queue_seq
+                            h_is_hit = is_hit
         if best_hit is not None:
             cmd = Command(best_hit_kind, best_hit.addr, host,
                           request_id=best_hit.request_id)
-            return (best_hit, cmd), NO_EVENT
+            return (best_hit, cmd), NO_EVENT, None
         if best_fb is not None:
             cmd = Command(best_fb_kind, best_fb.addr, host,
                           request_id=best_fb.request_id)
-            return (best_fb, cmd), horizon
-        return None, horizon
+            return (best_fb, cmd), horizon, None
+        future = None
+        if h_req is not None:
+            cmd = Command(h_kind, h_req.addr, host, request_id=h_req.request_id)
+            future = (h_req, cmd)
+        return None, horizon, future

@@ -31,6 +31,47 @@ from repro.nda.write_buffer import NdaWriteBuffer
 _NO_EVENT = 1 << 62
 
 
+class _BurstPlan:
+    """A planned steady-state command burst: K column commands at a fixed
+    cadence, applied lazily ("settled") in closed form.
+
+    A plan is a pure *schedule* — no simulation state changes when it is
+    created.  Commands are applied by :meth:`NdaRankController.settle_burst`
+    when (a) an external reader needs the rank's timing state (the owning
+    channel settles before every FR-FCFS scan and command issue), (b) the
+    engine flushes at a run boundary, or (c) the plan is truncated.  The
+    command at index ``i`` issues at cycle ``start + i * step``; ``idx`` is
+    the first unsettled index.  ``end`` (one past the last command's cycle)
+    is the owning unit's calendar wake while the plan is live.
+    """
+
+    __slots__ = ("is_write", "start", "step", "count", "idx", "acc_idx",
+                 "end", "bank", "bank_index", "bank_group", "stages",
+                 "skip_first")
+
+    def __init__(self, is_write: bool, start: int, step: int, count: int,
+                 bank, bank_index: int, bank_group: int, stages: bool,
+                 skip_first: bool) -> None:
+        self.is_write = is_write
+        self.start = start
+        self.step = step
+        self.count = count
+        self.idx = 0
+        #: Commands whose *accounting* (counters, FSM, staging) has been
+        #: applied; timing settlement (``idx``) runs ahead of it — scans
+        #: only read timing state, so accounting defers to plan boundaries.
+        self.acc_idx = 0
+        self.end = start + (count - 1) * step + 1
+        self.bank = bank
+        self.bank_index = bank_index
+        self.bank_group = bank_group
+        self.stages = stages
+        #: The first command's access was already classified (its PRE/ACT
+        #: issued earlier and recorded the row miss/conflict); classification
+        #: is per access, so settlement must not re-record it as a hit.
+        self.skip_first = skip_first
+
+
 @dataclass
 class RankWorkItem:
     """An NDA instruction bound to concrete banks/rows of one rank.
@@ -175,6 +216,7 @@ class NdaRankController:
         self._timing_earliest_issue_at = dram.timing.earliest_issue_at
         self._banks = dram._banks
         self._timing_versions = dram.timing._issue_versions
+        self._timing_row_versions = dram.timing._row_versions
         self._act_cache = dram.timing._act_cache
         self._pre_cache = dram.timing._pre_cache
         self._nda_rd_cache = dram.timing._nda_rd_cache
@@ -201,6 +243,33 @@ class NdaRankController:
         #: only ever called when its inputs actually changed — the old
         #: issue-version-tagged wake cache is gone.
         self.wake_listener: Optional[Callable[[], None]] = None
+        # ---- burst-issue fast path ------------------------------------- #
+        # The active plan (None outside steady-state streaming), the fixed
+        # column cadence, and the write-buffer watermark thresholds as
+        # integer lengths (computed with the buffer's own float comparisons
+        # so plan-time trajectory prediction matches push/pop bit-exactly).
+        self._plan: Optional[_BurstPlan] = None
+        timing = dram.timing.timing
+        self._burst_step = max(timing.tCCDS, timing.tBL)
+        wb_cap = self.write_buffer.capacity
+        self._wb_flip_len = next(
+            (k for k in range(wb_cap + 1)
+             if k / wb_cap >= self.write_buffer.drain_high_watermark),
+            wb_cap + 1)
+        self._wb_low_len = max(
+            (k for k in range(wb_cap + 1)
+             if k / wb_cap <= self.write_buffer.drain_low_watermark),
+            default=0)
+        #: Optional scheduler whose ``nda_issue_opportunities`` counter is
+        #: advanced per settled command (one per issuing cycle, as the
+        #: per-cycle selective engine counts).
+        self.gate_stats = None
+        # Burst diagnostics (cumulative; recorded by bench_engine).
+        self.bursts_planned = 0
+        self.burst_commands_planned = 0
+        self.burst_commands_settled = 0
+        self.bursts_completed = 0
+        self.burst_truncations: Dict[str, int] = {}
         # Statistics
         self.bytes_read = 0
         self.bytes_written = 0
@@ -229,6 +298,12 @@ class NdaRankController:
         return self._active is not None or bool(self._queue)
 
     def set_throttle(self, policy: WriteThrottlePolicy) -> None:
+        # A planned write burst embeds the old policy's decisions; a planned
+        # read burst embeds the absence of drain attempts.  Policy swaps
+        # happen between engine runs, where the run-boundary flush has
+        # already settled every elapsed command — the unsettled remainder
+        # lies in the future and is simply dropped (settle boundary 0).
+        self.cancel_burst(0, "throttle_change")
         self.throttle = policy
         # Throttle behaviour feeds the wake computation; re-poll.
         listener = self.wake_listener
@@ -273,6 +348,318 @@ class NdaRankController:
         self._stage_writes(state)
         if state.reads_done and self.write_buffer.empty and state.writes_done:
             self._complete_active(now)
+
+    # ------------------------------------------------------------------ #
+    # Burst-issue fast path
+    #
+    # In steady-state streaming phases the controller's next K commands are
+    # same-bank column commands at a provably fixed cadence:
+    #
+    # * a **read streak** — the remaining row-hit RDs of the current
+    #   (operand, row) run, while drains have no priority (buffer empty or
+    #   not draining, reads not done); and
+    # * a **drain tail** — consecutive row-hit WRs to the buffered output
+    #   row once reads are done, everything is staged and the (deterministic)
+    #   throttle allows writes.
+    #
+    # Within such a streak, each command's earliest-issue cycle is exactly
+    # ``prev + max(tCCD_S, tBL)``: all other timing terms are *frozen*
+    # absolute horizons already cleared by the first command, and only the
+    # streak's own commands move the rank-local spacing/bus terms — by the
+    # fixed cadence.  :meth:`plan_burst` captures the streak as a
+    # :class:`_BurstPlan` (a pure schedule), the engine parks the unit's
+    # wake at the burst horizon, and :meth:`settle_burst` applies elapsed
+    # prefixes in closed form.  Any event that could perturb the schedule
+    # (a host command to this rank, a read-queue change under next-rank
+    # throttling, a throttle swap, broadcast ``step`` driving) truncates the
+    # plan through :meth:`cancel_burst`, falling back to the per-cycle path
+    # — the same routes that already carry the engine's dirty notifications.
+    # ------------------------------------------------------------------ #
+
+    def plan_burst(self, now: int) -> None:
+        """Plan the next command streak starting strictly after ``now``.
+
+        Called by the engine component at the end of a processed wake.  A
+        plan is only created when the streak is provably regular for at
+        least two commands; otherwise the per-cycle path continues.
+        """
+        state = self._active
+        if state is None or self._plan is not None:
+            return
+        wb = self.write_buffer
+        if not state.reads_done:
+            # Read streak.  Drain priority (buffer draining) interleaves
+            # drain attempts — and, under a stochastic throttle, RNG draws —
+            # with reads; streaks are only planned while reads run alone.
+            if not wb.empty and wb.draining:
+                return
+            # Exclude the instruction's final read: its post-cycle triggers
+            # force-drain / completion, which the per-cycle path handles.
+            remaining = state.total_read_columns - 1 - state.reads_issued
+            if remaining < 2:
+                return
+            batch_cols = state.columns_per_row
+            column = (state.reads_issued
+                      % (state.num_operands * batch_cols)) % batch_cols
+            run = batch_cols - column  # rest of the (operand, row) run
+            count = run if run < remaining else remaining
+            # After the plan: a row command (next operand's ACT/PRE) when
+            # the row run ends first, otherwise the instruction's final read
+            # — a column command whose cycle the horizon gives exactly.
+            row_end = run < remaining
+            addr = self._next_read_addr(state)
+            kind, earliest = self._required_earliest(addr, False, now + 1)
+            if kind is not CommandType.RD:
+                return
+            is_write = False
+            stages = state.total_write_columns > 0
+            skip_first = state.read_classified_idx >= state.reads_issued
+        else:
+            # Drain tail.  Staging must be quiescent (everything staged) and
+            # the throttle deterministic and currently permissive — both are
+            # frozen while the plan lives (read-queue changes and throttle
+            # swaps truncate it).
+            if wb.empty or not state.writes_all_staged:
+                return
+            throttle = self.throttle
+            if not throttle.deterministic:
+                return
+            if not throttle.would_allow(self.channel, self.rank, now + 1):
+                return
+            entries = wb._entries
+            # Exclude the final drain (completion detection) and any pop
+            # that would cross the low watermark (drain-phase exit).
+            limit = min(len(entries) - 1,
+                        len(entries) - self._wb_low_len - 1)
+            if limit < 2:
+                return
+            addr = entries[0]
+            kind, earliest = self._required_earliest(addr, True, now + 1)
+            if kind is not CommandType.WR:
+                return
+            bank_index = addr.bank_index
+            row = addr.row
+            count = 1
+            while count < limit:
+                nxt = entries[count]
+                if nxt.bank_index != bank_index or nxt.row != row:
+                    break
+                count += 1
+            # Row change in the buffered run -> a row command follows;
+            # otherwise the final (completion-detecting) drain, a column
+            # command at exactly one cadence step past the plan.
+            row_end = count < limit
+            is_write = True
+            stages = False
+            skip_first = state.write_classified_idx >= state.writes_drained
+        start = self._issue_horizon(self.channel, self.rank, earliest)
+        step = self._burst_step
+        # A host data burst scheduled to occupy the rank later on blocks the
+        # concurrent-access gate mid-streak; plan only up to its start (the
+        # window's own end is handled by the per-cycle wake logic).
+        rt = self._rank_timing
+        data_from = rt.data_busy_from
+        if data_from > start:
+            window_cap = (data_from - start - 1) // step + 1
+            if count > window_cap:
+                count = window_cap
+                row_end = False  # the stream resumes past the host window
+        if not is_write and stages:
+            bound, flipped = self._read_plan_stage_bound(state, count)
+            if flipped:
+                count = bound
+                # Drains gain priority right after the flip (and, under a
+                # stochastic throttle, start drawing RNG every host-free
+                # cycle): resume per-cycle processing immediately.
+                row_end = True
+        if count < 2:
+            return
+        plan = _BurstPlan(is_write, start, step, count,
+                          self._banks[addr.bank_index],
+                          addr.bank_index, addr.bank_group, stages,
+                          skip_first)
+        if not row_end:
+            # The next command after the plan is another column command of
+            # the streak: it cannot issue before one cadence step past the
+            # last planned command composed with the (frozen) host-free
+            # windows — park the wake exactly there instead of paying a
+            # provable no-op wake at the horizon.
+            last = plan.end - 1
+            plan.end = self._issue_horizon(self.channel, self.rank,
+                                           last + step)
+        self._plan = plan
+        self.bursts_planned += 1
+        self.burst_commands_planned += count
+
+    def _read_plan_stage_bound(self, state: _ExecutionState,
+                               count: int) -> Tuple[int, bool]:
+        """Truncate a read plan at the first drain-phase flip.
+
+        Replays the per-cycle staging trajectory (the exact float
+        comparisons of ``write_stage_allowed`` and the buffer watermarks)
+        without mutating state: once a staged push crosses the drain-high
+        watermark, drains gain priority on the following cycle, so the
+        flipping read must be the plan's last command.  Returns
+        ``(command bound, flipped)``.
+        """
+        tw = state.total_write_columns
+        tr = max(1, state.total_read_columns)
+        w = state.writes_staged
+        drained = state.writes_drained
+        cap = self.write_buffer.capacity
+        flip_len = self._wb_flip_len
+        r = state.reads_issued
+        for k in range(1, count + 1):
+            rr = r + k
+            while w < tw and (w / tw < rr / tr) and (w - drained) < cap:
+                w += 1
+                if (w - drained) >= flip_len:
+                    return k, True
+        return count, False
+
+    def settle_burst(self, upto: int) -> None:
+        """Apply the timing effects of commands at cycles before ``upto``.
+
+        The hot settlement path: the owning channel calls it (through the
+        system's settle hook) before every FR-FCFS scan or command issue, so
+        it updates exactly the state a scan can read — rank/bank timing
+        horizons (last-command absolute values; all updates are monotone, so
+        applying the aggregate is order-safe) and the probe-cache versions.
+        Counters, the replicated FSM and staging are deferred to
+        :meth:`_account_burst`: nothing reads them mid-plan, and one bulk
+        update per plan beats one per elapsed boundary.
+        """
+        plan = self._plan
+        done = plan.idx
+        if upto <= plan.start + done * plan.step:
+            return
+        j = (upto - 1 - plan.start) // plan.step + 1
+        if j > plan.count:
+            j = plan.count
+        if j <= done:
+            return
+        plan.idx = j
+        c_last = plan.start + (j - 1) * plan.step
+        timing = self.dram.timing
+        t = timing.timing
+        rt = self._rank_timing
+        bank_timing = timing._banks[plan.bank_index]
+        if plan.is_write:
+            if c_last > rt.last_write_cycle:
+                rt.last_write_cycle = c_last
+                rt.last_write_bg = plan.bank_group
+            bus = c_last + t.tCWL + t.tBL
+            if bus > rt.nda_bus_free:
+                rt.nda_bus_free = bus
+            wtp = c_last + timing._write_to_precharge
+            if wtp > bank_timing.pre_allowed:
+                bank_timing.pre_allowed = wtp
+        else:
+            if c_last > rt.last_read_cycle:
+                rt.last_read_cycle = c_last
+                rt.last_read_bg = plan.bank_group
+            if c_last > rt.last_nda_read_cycle:
+                rt.last_nda_read_cycle = c_last
+            bus = c_last + t.tCL + t.tBL
+            if bus > rt.nda_bus_free:
+                rt.nda_bus_free = bus
+            rtp = c_last + t.tRTP
+            if rtp > bank_timing.pre_allowed:
+                bank_timing.pre_allowed = rtp
+        # Version-keyed memo invalidation (equality-compared keys: one bump
+        # per settlement batch suffices), plus the point-wise precharge-
+        # horizon kill a column command performs on its own bank.
+        timing._issue_versions[self._rank_index] += 1
+        timing._pre_cache[plan.bank_index] = (-1, 0)
+        self.dram.channel_issue_version[self.channel] += 1
+
+    def _account_burst(self, plan: _BurstPlan) -> None:
+        """Apply the deferred accounting for the plan's settled commands.
+
+        Counters and FSM transitions are additive and staging's fixed point
+        depends only on the final read cursor, so one bulk application per
+        plan boundary is state-identical to per-command application.
+        """
+        done = plan.acc_idx
+        dj = plan.idx - done
+        if dj <= 0:
+            return
+        plan.acc_idx = plan.idx
+        dram = self.dram
+        counts = dram.counts
+        bank = plan.bank
+        # Every streak command is a row-buffer hit, classified (once per
+        # access) at its issue — except a first command whose access was
+        # already classified by its preceding row command.
+        classified = dj - 1 if (done == 0 and plan.skip_first) else dj
+        bank.row_hits += classified
+        counts.nda_row_hits += classified
+        cacheline = dram.org.cacheline_bytes
+        state = self._active
+        if plan.is_write:
+            bank.nda_writes += classified
+            counts.nda_writes += dj
+            self.bytes_written += dj * cacheline
+            self.write_buffer.pop_bulk(dj)
+            state.writes_drained += dj
+            state.write_classified_idx = state.writes_drained - 1
+            self.fsm.apply_bulk("write_drained", dj)
+            # One throttle decision per drained command, as the per-cycle
+            # selective engine records (permissive by plan invariant).
+            checks = getattr(self.throttle, "checks", None)
+            if checks is not None:
+                self.throttle.checks = checks + dj
+        else:
+            bank.nda_reads += classified
+            counts.nda_reads += dj
+            self.bytes_read += dj * cacheline
+            state.reads_issued += dj
+            state.read_classified_idx = state.reads_issued - 1
+            self.fsm.apply_bulk("read_issued", dj)
+            if plan.stages:
+                self._stage_writes(state)
+        self.commands_issued += dj
+        self.burst_commands_settled += dj
+        gate = self.gate_stats
+        if gate is not None:
+            gate.nda_issue_opportunities += dj
+
+    def flush_burst(self, upto: int) -> None:
+        """Settle timing *and* accounting up to ``upto`` (run-boundary
+        flushes: results and measurement resets read the counters)."""
+        plan = self._plan
+        if plan is None:
+            return
+        self.settle_burst(upto)
+        self._account_burst(plan)
+
+    def cancel_burst(self, upto: int, cause: str) -> None:
+        """Settle the elapsed prefix (< ``upto``) and drop the remainder.
+
+        ``cause`` labels the truncation source in the burst diagnostics; a
+        plan whose commands had all elapsed counts as completed instead.
+        """
+        plan = self._plan
+        if plan is None:
+            return
+        self.settle_burst(upto)
+        self._account_burst(plan)
+        self._plan = None
+        if plan.idx >= plan.count:
+            self.bursts_completed += 1
+        else:
+            self.burst_truncations[cause] = (
+                self.burst_truncations.get(cause, 0) + 1)
+
+    def cancel_write_burst(self, upto: int, cause: str) -> None:
+        """Truncate only a *write* plan (read-queue changes move the
+        next-rank prediction but cannot perturb a read streak)."""
+        plan = self._plan
+        if plan is not None and plan.is_write:
+            self.cancel_burst(upto, cause)
+            listener = self.wake_listener
+            if listener is not None:
+                listener()
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -347,6 +734,7 @@ class NdaRankController:
         if bank.state is BankState.CLOSED:
             kind = CommandType.ACT
             cache = self._act_cache
+            versions = self._timing_row_versions
         elif bank.open_row == addr.row:
             if is_write:
                 kind = CommandType.WR
@@ -354,11 +742,13 @@ class NdaRankController:
             else:
                 kind = CommandType.RD
                 cache = self._nda_rd_cache
+            versions = self._timing_versions
         else:
             kind = CommandType.PRE
             cache = self._pre_cache
+            versions = self._timing_row_versions
         cached = cache[bank_index]
-        if cached[0] == self._timing_versions[addr.rank_index]:
+        if cached[0] == versions[addr.rank_index]:
             earliest = cached[1]
             return kind, (earliest if earliest > now else now)
         return kind, self._timing_earliest_issue_at(kind, addr,
@@ -489,7 +879,15 @@ class NdaRankController:
         issue either is this controller's own (the engine re-polls ran
         units) or arrives as a host-issue dirty notification, so the unit
         is re-polled in time.
+
+        While a burst plan is live the unit's entire activity up to the
+        burst horizon is the plan itself (settled lazily), so the wake is
+        the horizon: the cycle after the plan's last command, where
+        per-cycle processing resumes.
         """
+        plan = self._plan
+        if plan is not None:
+            return plan.end if plan.end > now else now
         state = self._active
         if state is None:
             if not self._queue:
@@ -546,6 +944,16 @@ class NdaRankController:
     @property
     def total_bytes(self) -> int:
         return self.bytes_read + self.bytes_written
+
+    def burst_stats(self) -> Dict[str, object]:
+        """Burst-issue diagnostics (cumulative; reported by bench_engine)."""
+        return {
+            "bursts_planned": self.bursts_planned,
+            "commands_planned": self.burst_commands_planned,
+            "commands_settled": self.burst_commands_settled,
+            "bursts_completed": self.bursts_completed,
+            "truncations": dict(self.burst_truncations),
+        }
 
     def stats(self) -> Dict[str, float]:
         return {

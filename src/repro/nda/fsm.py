@@ -137,6 +137,40 @@ class ReplicatedFsm:
         if self.check_every_event:
             self.verify()
 
+    def apply_bulk(self, event: str, count: int) -> None:
+        """Apply ``count`` repetitions of a streaming event in closed form.
+
+        Only the per-command streaming events (``read_issued``,
+        ``write_drained``, ``write_buffered``) are bulk-applicable: their
+        transition functions are monotone counter updates, so ``count``
+        single applications and one closed-form application reach the same
+        state on both copies.  The burst-issue fast path uses this to settle
+        a whole command burst without one transition call per command; the
+        bounded event log keeps its per-event tail (only the last
+        ``_EVENT_LOG_LIMIT`` entries are retained either way).
+        """
+        if count <= 0:
+            return
+        if count == 1:
+            self.apply(event)
+            return
+        for copy in (self._device, self._host):
+            if event == "read_issued":
+                copy.reads_remaining = max(0, copy.reads_remaining - count)
+            elif event == "write_drained":
+                occ = max(0, copy.write_buffer_occupancy - count)
+                copy.write_buffer_occupancy = occ
+                copy.writes_remaining = max(0, copy.writes_remaining - count)
+                copy.draining = copy.draining and occ > 0
+            elif event == "write_buffered":
+                copy.write_buffer_occupancy += count
+            else:
+                raise ValueError(f"event {event!r} is not bulk-applicable")
+        self.events_applied += count
+        self._log.extend((event,) * min(count, _EVENT_LOG_LIMIT))
+        if self.check_every_event:
+            self.verify()
+
     def apply_device_only(self, event: str, instruction_id: Optional[int] = None,
                           reads: int = 0, writes: int = 0) -> None:
         """Apply an event to the device copy only (used to *test* divergence

@@ -82,6 +82,25 @@ class NdaWriteBuffer:
             self._draining = False
         return addr
 
+    def pop_bulk(self, count: int) -> None:
+        """Drain ``count`` entries in one step (burst-issue settlement).
+
+        State-identical to ``count`` :meth:`pop` calls; the caller has
+        already consumed the popped addresses via :meth:`peek`/iteration
+        (burst plans snapshot the address run up front).  The low-watermark
+        check runs once on the final occupancy — intermediate occupancies
+        are strictly higher, so no drain-phase exit is skipped.
+        """
+        if count <= 0:
+            return
+        if count > len(self._entries):
+            raise IndexError("pop_bulk beyond buffer occupancy")
+        for _ in range(count):
+            self._entries.popleft()
+        self.total_drained += count
+        if self.occupancy <= self.drain_low_watermark:
+            self._draining = False
+
     def force_drain(self) -> None:
         """Enter the drain phase regardless of occupancy (end of instruction)."""
         if self._entries:

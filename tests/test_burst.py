@@ -1,0 +1,186 @@
+"""Burst-issue fast-path oracle: bursts must be invisible in final state.
+
+``REPRO_DISABLE_BURST=1`` is the escape hatch that turns the event engine's
+burst-issue fast path off (every command then goes through the per-cycle
+path).  The oracle here replays each burst-heavy scenario with bursting
+disabled and diffs the *complete* observable state — the SimulationResult
+(stats + energy), every DRAM event and bank counter, the timing engine's
+rank/bank horizons, the replicated FSM registers and the per-rank NDA
+counters — against the bursting run.  Unit tests for the closed-form pieces
+(bulk FSM transitions, bulk write-buffer drains) ride along.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import scaled_config
+from repro.core.modes import AccessMode
+from repro.core.system import ChopimSystem
+from repro.dram.commands import DramAddress
+from repro.nda.fsm import ReplicatedFsm
+from repro.nda.isa import NdaOpcode
+from repro.nda.write_buffer import NdaWriteBuffer
+
+
+def _build_and_run(mode, opcode, *, mix=None, throttle="issue_if_idle",
+                   channels=2, ranks=2, elements=1 << 13, cycles=1500,
+                   warmup=150):
+    system = ChopimSystem(config=scaled_config(channels, ranks), mode=mode,
+                          mix=mix, throttle=throttle, engine="event")
+    system.set_nda_workload(opcode, elements_per_rank=elements)
+    result = system.run(cycles=cycles, warmup=warmup)
+    return system, result
+
+
+def _timing_state(system):
+    timing = system.dram.timing
+    ranks = [
+        {slot: getattr(rank, slot) for slot in rank.__slots__
+         if slot != "faw_window"} | {"faw_window": list(rank.faw_window)}
+        for rank in timing._ranks
+    ]
+    banks = [
+        {slot: getattr(bank, slot) for slot in bank.__slots__}
+        for bank in timing._banks
+    ]
+    channels = [
+        {slot: getattr(ch, slot) for slot in ch.__slots__}
+        for ch in timing._channels
+    ]
+    return {"ranks": ranks, "banks": banks, "channels": channels}
+
+
+def _full_state(system, result):
+    return {
+        "result": dataclasses.asdict(result),
+        "dram_counts": dataclasses.asdict(system.dram.counts),
+        "bank_counters": [
+            (b.state.value, b.open_row, b.row_hits, b.row_misses,
+             b.row_conflicts, b.reads, b.writes, b.nda_reads, b.nda_writes)
+            for b in system.dram.banks()
+        ],
+        "timing": _timing_state(system),
+        "rank_controllers": {
+            # Instruction ids come from a process-global counter, so the
+            # FSM's current_instruction register is normalized to presence.
+            key: rc.stats() | {
+                "fsm": (rc.fsm.state.current_instruction is not None,)
+                + rc.fsm.state.as_tuple()[1:],
+                "fsm_events": rc.fsm.events_applied,
+                "write_buffer": rc.write_buffer.state_tuple(),
+            }
+            for key, rc in system.rank_controllers.items()
+        },
+        "channel_stats": {
+            ch: mc.stats() for ch, mc in system.channel_controllers.items()
+        },
+        "now": system.now,
+    }
+
+
+_SCENARIOS = [
+    ("nda_only_dot", dict(mode=AccessMode.NDA_ONLY, opcode=NdaOpcode.DOT,
+                          ranks=4, elements=1 << 14)),
+    ("nda_only_copy", dict(mode=AccessMode.NDA_ONLY, opcode=NdaOpcode.COPY)),
+    ("partitioned_mix1", dict(mode=AccessMode.BANK_PARTITIONED, mix="mix1",
+                              throttle="next_rank", opcode=NdaOpcode.DOT,
+                              ranks=4, elements=1 << 14)),
+    ("shared_axpy", dict(mode=AccessMode.SHARED, mix="mix5",
+                         throttle="next_rank", opcode=NdaOpcode.AXPY)),
+]
+
+
+class TestBurstOracle:
+    """Burst-on vs burst-off (per-cycle replay) must match state-for-state."""
+
+    @pytest.mark.parametrize("name,spec", _SCENARIOS)
+    def test_replay_matches(self, name, spec, monkeypatch):
+        monkeypatch.delenv("REPRO_DISABLE_BURST", raising=False)
+        burst_system, burst_result = _build_and_run(**spec)
+        assert burst_system.burst_enabled
+        monkeypatch.setenv("REPRO_DISABLE_BURST", "1")
+        plain_system, plain_result = _build_and_run(**spec)
+        assert not plain_system.burst_enabled
+
+        burst_state = _full_state(burst_system, burst_result)
+        plain_state = _full_state(plain_system, plain_result)
+        mismatched = [key for key in plain_state
+                      if plain_state[key] != burst_state[key]]
+        assert not mismatched, (
+            f"burst path diverged from per-cycle replay on {mismatched}"
+        )
+
+    def test_bursts_actually_planned(self):
+        system, _ = _build_and_run(mode=AccessMode.NDA_ONLY,
+                                   opcode=NdaOpcode.DOT, ranks=4,
+                                   elements=1 << 14)
+        settled = sum(rc.burst_commands_settled
+                      for rc in system.rank_controllers.values())
+        commands = sum(rc.commands_issued
+                       for rc in system.rank_controllers.values())
+        # The steady-state streams should flow overwhelmingly through the
+        # fast path (only row transitions and streak heads go per-cycle).
+        assert settled > commands * 0.8
+
+    def test_escape_hatch_disables_planning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_BURST", "1")
+        system, _ = _build_and_run(mode=AccessMode.NDA_ONLY,
+                                   opcode=NdaOpcode.DOT)
+        assert all(rc.bursts_planned == 0
+                   for rc in system.rank_controllers.values())
+
+
+class TestBulkPrimitives:
+    """The closed-form settlement helpers equal their per-event loops."""
+
+    def test_fsm_apply_bulk_matches_loop(self):
+        bulk = ReplicatedFsm(0, 0)
+        loop = ReplicatedFsm(0, 0)
+        for fsm in (bulk, loop):
+            fsm.apply("launch", instruction_id=7, reads=100, writes=40)
+        for _ in range(12):
+            loop.apply("write_buffered")
+        bulk.apply_bulk("write_buffered", 12)
+        for _ in range(30):
+            loop.apply("read_issued")
+        bulk.apply_bulk("read_issued", 30)
+        loop.apply("drain_start")
+        bulk.apply("drain_start")
+        for _ in range(5):
+            loop.apply("write_drained")
+        bulk.apply_bulk("write_drained", 5)
+        assert bulk.state == loop.state
+        assert bulk.events_applied == loop.events_applied
+        assert bulk.recent_events(64) == loop.recent_events(64)
+        assert bulk.in_sync and loop.in_sync
+
+    def test_fsm_apply_bulk_rejects_non_streaming_events(self):
+        fsm = ReplicatedFsm(0, 0)
+        with pytest.raises(ValueError):
+            fsm.apply_bulk("launch", 3)
+
+    def test_write_buffer_pop_bulk_matches_loop(self):
+        def fill(buffer, count):
+            for i in range(count):
+                buffer.push(DramAddress(0, 0, 0, 0, 0, i))
+
+        bulk = NdaWriteBuffer(16, drain_high_watermark=0.5,
+                              drain_low_watermark=0.125)
+        loop = NdaWriteBuffer(16, drain_high_watermark=0.5,
+                              drain_low_watermark=0.125)
+        fill(bulk, 10)
+        fill(loop, 10)
+        assert bulk.draining and loop.draining
+        for _ in range(6):
+            loop.pop()
+        bulk.pop_bulk(6)
+        assert bulk.state_tuple() == loop.state_tuple()
+        assert bulk.total_drained == loop.total_drained
+        assert list(bulk._entries) == list(loop._entries)
+
+    def test_write_buffer_pop_bulk_bounds(self):
+        buffer = NdaWriteBuffer(4)
+        buffer.push(DramAddress(0, 0, 0, 0, 0, 0))
+        with pytest.raises(IndexError):
+            buffer.pop_bulk(2)

@@ -174,33 +174,89 @@ def _fuzz_configs(count: int, seed: int = 0xC0F1):
 
 _FUZZ_CONFIGS = _fuzz_configs(8)
 
+#: Burst-heavy configurations: long NDA streams (the steady-state phases the
+#: burst-issue fast path batches), zero host mix (uninterrupted streaks) and
+#: write-heavy kernels (drain-tail bursts under every throttle).  The fuzz
+#: class asserts cycle == event bit-exactly with bursting at its default
+#: (enabled), so these pin the burst path's truncation contract.
+_BURST_CONFIGS = [
+    {"channels": 2, "ranks": 4, "mode": AccessMode.NDA_ONLY, "mix": None,
+     "throttle": "issue_if_idle", "probability": 0.25,
+     "opcode": NdaOpcode.DOT, "elements": 1 << 14, "warmup": 100},
+    {"channels": 1, "ranks": 2, "mode": AccessMode.NDA_ONLY, "mix": None,
+     "throttle": "issue_if_idle", "probability": 0.25,
+     "opcode": NdaOpcode.COPY, "elements": 1 << 13, "warmup": 0},
+    {"channels": 2, "ranks": 2, "mode": AccessMode.BANK_PARTITIONED,
+     "mix": "mix1", "throttle": "next_rank", "probability": 0.25,
+     "opcode": NdaOpcode.SCAL, "elements": 1 << 13, "warmup": 50},
+    {"channels": 1, "ranks": 4, "mode": AccessMode.RANK_PARTITIONED,
+     "mix": "mix8", "throttle": "issue_if_idle", "probability": 0.25,
+     "opcode": NdaOpcode.AXPY, "elements": 1 << 13, "warmup": 0},
+    {"channels": 2, "ranks": 2, "mode": AccessMode.SHARED, "mix": "mix5",
+     "throttle": "stochastic", "probability": 1.0 / 16.0,
+     "opcode": NdaOpcode.COPY, "elements": 1 << 12, "warmup": 100},
+]
+
+
+def _run_fuzz_spec(spec, cycles=700):
+    mode = spec["mode"]
+
+    def configure(system):
+        if not mode.has_nda_traffic:
+            return
+        kwargs = {}
+        if spec["opcode"] is NdaOpcode.GEMV:
+            kwargs["matrix_columns"] = 64
+        system.set_nda_workload(spec["opcode"],
+                                elements_per_rank=spec["elements"],
+                                **kwargs)
+
+    _assert_equivalent(
+        configure, mode,
+        mix=spec["mix"] if mode.has_host_traffic else None,
+        throttle=spec["throttle"],
+        stochastic_probability=spec["probability"],
+        config=scaled_config(spec["channels"], spec["ranks"]),
+        cycles=cycles, warmup=spec["warmup"],
+    )
+
 
 class TestEngineEquivalenceFuzz:
-    """Seeded random configurations: event == cycle, bit-exactly."""
+    """Seeded random configurations: event == cycle, bit-exactly.
+
+    The event engine runs with its default burst-issue fast path, so every
+    case here is also a cycle == event == burst equivalence check.
+    """
 
     @pytest.mark.parametrize("index", range(len(_FUZZ_CONFIGS)))
     def test_random_config(self, index):
-        spec = _FUZZ_CONFIGS[index]
-        mode = spec["mode"]
+        _run_fuzz_spec(_FUZZ_CONFIGS[index])
 
-        def configure(system):
-            if not mode.has_nda_traffic:
-                return
-            kwargs = {}
-            if spec["opcode"] is NdaOpcode.GEMV:
-                kwargs["matrix_columns"] = 64
-            system.set_nda_workload(spec["opcode"],
-                                    elements_per_rank=spec["elements"],
-                                    **kwargs)
+    @pytest.mark.parametrize("index", range(len(_BURST_CONFIGS)))
+    def test_burst_heavy_config(self, index):
+        _run_fuzz_spec(_BURST_CONFIGS[index], cycles=1200)
 
-        _assert_equivalent(
-            configure, mode,
-            mix=spec["mix"] if mode.has_host_traffic else None,
-            throttle=spec["throttle"],
-            stochastic_probability=spec["probability"],
-            config=scaled_config(spec["channels"], spec["ranks"]),
-            cycles=700, warmup=spec["warmup"],
-        )
+    def test_throttle_flip_mid_stream(self):
+        """Swapping the write-throttle policy between run segments truncates
+        live write bursts; results must stay engine-exact across the flip."""
+        from repro.nda.throttle import make_policy
+        from repro.utils.rng import DeterministicRng
+
+        results = {}
+        for engine in ("cycle", "event"):
+            system = _build(engine, AccessMode.BANK_PARTITIONED, mix="mix5",
+                            throttle="issue_if_idle")
+            system.set_nda_workload(NdaOpcode.COPY, elements_per_rank=1 << 13)
+            system.run(cycles=600, warmup=100)
+            # Flip every rank controller to next-rank prediction mid-stream
+            # (the same policy object for all, as the system builds it).
+            policy = make_policy("next_rank",
+                                 rng=DeterministicRng(7, "flip"),
+                                 host_controllers=system.channel_controllers)
+            for controller in system.rank_controllers.values():
+                controller.set_throttle(policy)
+            results[engine] = dataclasses.asdict(system.run(cycles=900))
+        assert results["cycle"] == results["event"]
 
 
 class TestEngineBehaviour:
