@@ -8,7 +8,10 @@ Measures
 * **fig14 sweep** — wall-clock for regenerating the full Figure 14 sweep
   three ways: the legacy path (cycle engine, one point at a time, no cache),
   the new path (event engine through the parallel sweep runner, cold cache),
-  and a cached regeneration (warm cache replay).
+  and a cached regeneration (warm cache replay);
+* **platforms** — the largest point re-run on every registered memory
+  platform preset (both engines), so the regression gate can key on
+  ``(platform, metric)`` pairs.
 
 Results are written to ``BENCH_engine.json`` at the repository root.
 
@@ -40,13 +43,18 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.config import scaled_config
 from repro.core.modes import AccessMode
 from repro.core.system import ChopimSystem
-from repro.experiments.common import DEFAULT_CYCLES, DEFAULT_ELEMENTS_PER_RANK, DEFAULT_WARMUP
+from repro.experiments.common import (
+    DEFAULT_CYCLES,
+    DEFAULT_ELEMENTS_PER_RANK,
+    DEFAULT_WARMUP,
+    resolve_config,
+)
 from repro.experiments.fig14_scaling import _point, sweep_params
 from repro.experiments.sweep import run_sweep
 from repro.nda.isa import NdaOpcode
+from repro.platform import DEFAULT_PLATFORM, platform_names
 
 #: fig14's largest configuration point.
 LARGEST_POINT = {
@@ -59,10 +67,11 @@ LARGEST_POINT = {
 }
 
 
-def _largest_point_system(engine: str) -> ChopimSystem:
+def _largest_point_system(engine: str,
+                          platform: str = DEFAULT_PLATFORM) -> ChopimSystem:
     system = ChopimSystem(
-        config=scaled_config(LARGEST_POINT["channels"],
-                             LARGEST_POINT["ranks_per_channel"]),
+        config=resolve_config(platform, LARGEST_POINT["channels"],
+                              LARGEST_POINT["ranks_per_channel"]),
         mode=LARGEST_POINT["mode"], mix=LARGEST_POINT["mix"],
         throttle="next_rank", engine=engine)
     system.set_nda_workload(LARGEST_POINT["workload"],
@@ -136,6 +145,44 @@ def bench_largest_point(cycles: int, warmup: int, repeats: int = 3) -> dict:
         out[engine] = best
     out["event_vs_cycle_speedup"] = (out["event"]["cycles_per_second"]
                                      / out["cycle"]["cycles_per_second"])
+    return out
+
+
+def bench_platforms(cycles: int, warmup: int, repeats: int = 3,
+                    platforms=None) -> dict:
+    """Per-platform throughput on the largest point, both engines.
+
+    One entry per preset so the regression gate can key on
+    ``(platform, metric)`` — a hot-path regression that only bites on a
+    non-default geometry (more banks, different burst cadence) is invisible
+    to the DDR4-only numbers.
+    """
+    names = list(platforms) if platforms is not None else platform_names()
+    out = {"cycles": cycles, "warmup": warmup, "repeats": repeats}
+    total = cycles + warmup
+    for name in names:
+        entry = {}
+        for engine in ("cycle", "event"):
+            best = None
+            for _ in range(max(1, repeats)):
+                system = _largest_point_system(engine, platform=name)
+                start = time.perf_counter()
+                system.run(cycles=cycles, warmup=warmup)
+                elapsed = time.perf_counter() - start
+                if best is None or elapsed < best["seconds"]:
+                    best = {
+                        "seconds": elapsed,
+                        "cycles_per_second": total / elapsed,
+                        "cycles_processed": system.engine.cycles_processed,
+                        "cycles_skipped": system.engine.cycles_skipped,
+                    }
+            if engine == "event":
+                best["burst"] = burst_summary(system)
+            entry[engine] = best
+        entry["event_vs_cycle_speedup"] = (
+            entry["event"]["cycles_per_second"]
+            / entry["cycle"]["cycles_per_second"])
+        out[name] = entry
     return out
 
 
@@ -242,6 +289,13 @@ def main(argv=None) -> None:
     parser.add_argument("--repeats", type=int, default=3,
                         help="repeats per engine on the largest point "
                              "(best run reported)")
+    parser.add_argument("--platforms", nargs="*", default=None,
+                        metavar="NAME",
+                        help="platform presets for the per-platform section "
+                             "(default: every registered preset; pass an "
+                             "empty list to skip the section)")
+    parser.add_argument("--platform-repeats", type=int, default=3,
+                        help="repeats per engine per platform entry")
     parser.add_argument("--profile", action="store_true",
                         help="record a cProfile top-20 cumtime table per "
                              "engine into the JSON")
@@ -258,6 +312,10 @@ def main(argv=None) -> None:
                                              args.repeats),
         "fig14_sweep": bench_fig14_sweep(args.sweep_cycles, args.sweep_warmup),
     }
+    if args.platforms is None or args.platforms:
+        result["platforms"] = bench_platforms(
+            args.cycles, args.warmup, args.platform_repeats,
+            platforms=args.platforms)
     if args.profile:
         result["profile"] = profile_largest_point(args.cycles, args.warmup)
     args.output.write_text(json.dumps(result, indent=2) + "\n",

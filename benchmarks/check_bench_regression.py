@@ -10,6 +10,10 @@ Compares a fresh (smoke-sized) benchmark run against the committed
   *informational* tolerance: a large relative drop is reported in the diff
   table but never fails the job — they depend on the cycle budget and exist
   so a silently-disabled fast path is visible in CI logs.
+* per-platform entries (the ``platforms`` section) are gated hard per
+  ``(platform, engine)`` pair, each against its own committed baseline;
+  presets recorded in only one of the two reports are skipped, so the
+  preset registry can grow without breaking the gate.
 
 The result is printed as a readable diff table (metric, fresh, baseline,
 floor, verdict) instead of a bare assert.
@@ -82,12 +86,52 @@ METRICS = [
 ]
 
 
+def _platform_metric(name: str, engine: str) -> Callable[[dict], Optional[float]]:
+    def getter(report: dict) -> Optional[float]:
+        section = report.get("platforms", {}).get(name)
+        if not isinstance(section, dict):
+            return None
+        entry = section.get(engine)
+        if not entry:
+            return None
+        return float(entry["cycles_per_second"])
+    return getter
+
+
+def platform_metrics(fresh: dict, baseline: dict) -> list:
+    """Per-(platform, metric) gates over the presets both reports carry.
+
+    Each platform's baseline is gated independently — a regression that only
+    bites on one preset's geometry (say, HBM's 8 channels or DDR5's 32
+    banks) fails on that preset's row even when the DDR4 numbers are fine.
+    Presets present in only one of the two reports are skipped (they render
+    as "SKIPPED (not recorded)" rows), so adding or retiring a preset never
+    breaks the gate.
+    """
+    fresh_platforms = fresh.get("platforms", {})
+    baseline_platforms = baseline.get("platforms", {})
+    names = sorted(set(fresh_platforms) | set(baseline_platforms))
+    metrics = []
+    for name in names:
+        # Preset entries are dicts; scalar values (cycles/warmup/repeats
+        # and whatever bookkeeping bench_platforms grows next) are
+        # section-level metadata, not presets.
+        if not isinstance(fresh_platforms.get(name)
+                          or baseline_platforms.get(name), dict):
+            continue
+        for engine in ("cycle", "event"):
+            metrics.append(Metric(
+                f"platforms.{name}.{engine}.cycles_per_second",
+                _platform_metric(name, engine), None, hard=True))
+    return metrics
+
+
 def check(fresh: dict, baseline: dict, tolerance: float) -> int:
     skip_sweep = (fresh["fig14_sweep"]["cycles_per_point"]
                   != baseline["fig14_sweep"]["cycles_per_point"])
     rows = []
     status = 0
-    for metric in METRICS:
+    for metric in METRICS + platform_metrics(fresh, baseline):
         if metric.name.startswith("fig14_sweep") and skip_sweep:
             # Fixed per-point overhead (system construction, runner spawn)
             # is not proportional to cycles, so cross-budget throughput

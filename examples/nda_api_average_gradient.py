@@ -70,8 +70,9 @@ def main() -> None:
     print(f"macro operation AXPYs (async)      : {macro.launched}")
     print(f"GEMV/XMY/SCAL phase                : {gemv_cycles} DRAM cycles")
     print(f"parallel_for AXPY phase            : {macro_cycles} DRAM cycles")
+    clock_ghz = runtime.system.config.org.dram_clock_ghz
     print(f"total simulated cost               : {total_cycles} DRAM cycles "
-          f"({total_cycles / 1.2e3:.2f} us at 1.2 GHz)")
+          f"({total_cycles / (clock_ghz * 1e3):.2f} us at {clock_ghz:g} GHz)")
     print(f"max |error| vs. numpy reference    : {error:.2e}")
     print(f"replicated FSMs in sync            : {runtime.system.verify_fsm_sync()}")
 

@@ -12,6 +12,9 @@ The public API is intentionally small; most users interact with:
 * :mod:`repro.runtime.api` — the NDA vector/matrix runtime API used by
   example applications.
 * :mod:`repro.experiments` — one module per paper figure/table.
+* :mod:`repro.platform` — named memory-platform presets (DDR4/DDR5/LPDDR4/
+  HBM2-class) whose clocks and cycle counts are derived from raw
+  nanosecond parameters; ``ddr4-2400`` is the paper baseline.
 """
 
 from repro.config import (
@@ -24,6 +27,7 @@ from repro.config import (
 )
 from repro.core.modes import AccessMode
 from repro.core.system import ChopimSystem
+from repro.platform import PlatformSpec, get_platform, platform_config, platform_names
 
 __version__ = "1.0.0"
 
@@ -36,5 +40,9 @@ __all__ = [
     "SystemConfig",
     "ChopimSystem",
     "AccessMode",
+    "PlatformSpec",
+    "get_platform",
+    "platform_config",
+    "platform_names",
     "__version__",
 ]

@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.apps.datasets import SyntheticClassificationDataset, make_dataset
 from repro.apps.workloads import svrg_kernel_sequence
-from repro.config import SystemConfig, scaled_config
+from repro.config import SystemConfig, default_config, scaled_config
 from repro.core.modes import AccessMode
 from repro.core.system import ChopimSystem
 
@@ -85,16 +85,21 @@ class SvrgTimingModel:
     num_ndas: int = 4
 
     @classmethod
-    def analytic(cls, num_ndas: int = 4) -> "SvrgTimingModel":
+    def analytic(cls, num_ndas: int = 4,
+                 config: Optional[SystemConfig] = None) -> "SvrgTimingModel":
         """A model derived from peak bandwidths (no simulation required).
 
         The host streams at roughly two-thirds of its peak channel bandwidth;
         each NDA contributes roughly two-thirds of one rank's internal
-        bandwidth when sharing the rank with the host.
+        bandwidth when sharing the rank with the host.  Bandwidths come from
+        the active configuration's organization (the paper baseline's
+        19.2 GB/s per rank when no config is given), so retargeting the
+        platform retimes the model automatically.
         """
-        per_rank_gbs = 19.2  # 64 B per 4 cycles at 1.2 GHz
+        org = (config or default_config()).org
+        per_rank_gbs = org.peak_rank_internal_bandwidth_gbs
         return cls(
-            host_stream_gbs=2 * per_rank_gbs * 0.66,
+            host_stream_gbs=org.channels * per_rank_gbs * 0.66,
             nda_stream_gbs=num_ndas * per_rank_gbs * 0.6,
             num_ndas=num_ndas,
         )

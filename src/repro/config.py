@@ -47,8 +47,17 @@ class DramTimingConfig:
 
     @property
     def read_to_write(self) -> int:
-        """Minimum read-command to write-command spacing on one channel."""
-        return self.tCL + self.tBL + self.tRTRS - self.tCWL
+        """Minimum read-command to write-command spacing on one channel.
+
+        The raw sum ``tCL + tBL + tRTRS - tCWL`` can go non-positive for
+        device classes whose write latency approaches the read latency;
+        the property clamps at zero (column spacing and data-bus occupancy
+        are enforced separately, so a zero here means "no extra gap").
+        :meth:`validate` rejects such parameter sets up front — the clamp
+        only protects consumers of unvalidated hand-built configs.
+        """
+        raw = self.tCL + self.tBL + self.tRTRS - self.tCWL
+        return raw if raw > 0 else 0
 
     @property
     def write_to_read_same_rank_same_bg(self) -> int:
@@ -62,13 +71,14 @@ class DramTimingConfig:
 
     @property
     def write_to_read_diff_rank(self) -> int:
-        """Write-to-read spacing across ranks of the same channel."""
-        return self.tCWL + self.tBL + self.tRTRS - self.tCL
+        """Write-to-read spacing across ranks of the same channel.
 
-    @property
-    def write_to_precharge(self) -> int:
-        """Write-command to precharge spacing for the written bank."""
-        return self.tCWL + self.tBL + self.tWR
+        Clamped at zero like :attr:`read_to_write`: short-burst device
+        classes (small tBL relative to the CL/CWL gap) legitimately derive
+        a non-positive raw spacing, which :meth:`validate` rejects.
+        """
+        raw = self.tCWL + self.tBL + self.tRTRS - self.tCL
+        return raw if raw > 0 else 0
 
     def validate(self) -> None:
         """Sanity-check the parameter set; raises ``ValueError`` on nonsense."""
@@ -83,6 +93,32 @@ class DramTimingConfig:
             raise ValueError("tWTR_L must be >= tWTR_S")
         if self.tRRDL < self.tRRDS:
             raise ValueError("tRRD_L must be >= tRRD_S")
+        # Derived turnaround spacings.  These are sums the timing engine
+        # snapshots and applies directly; a non-positive derivation means
+        # the parameter set describes a device this DDR-style model cannot
+        # represent, so fail at construction with the formula spelled out
+        # rather than silently mis-simulating (the properties clamp at 0,
+        # which would weaken the constraint without complaint).
+        raw_rtw = self.tCL + self.tBL + self.tRTRS - self.tCWL
+        if raw_rtw <= 0:
+            raise ValueError(
+                "derived read_to_write spacing tCL + tBL + tRTRS - tCWL = "
+                f"{self.tCL} + {self.tBL} + {self.tRTRS} - {self.tCWL} = "
+                f"{raw_rtw} is not positive; increase tRTRS (bus turnaround) "
+                "or check the tCL/tCWL values of this platform")
+        raw_w2r = self.tCWL + self.tBL + self.tRTRS - self.tCL
+        if raw_w2r <= 0:
+            raise ValueError(
+                "derived write_to_read_diff_rank spacing tCWL + tBL + tRTRS "
+                f"- tCL = {self.tCWL} + {self.tBL} + {self.tRTRS} - "
+                f"{self.tCL} = {raw_w2r} is not positive; platforms with a "
+                "large read/write latency gap need a larger tRTRS (slow "
+                "unterminated buses genuinely do) or a longer burst")
+
+    @property
+    def write_to_precharge(self) -> int:
+        """Write-command to precharge spacing for the written bank."""
+        return self.tCWL + self.tBL + self.tWR
 
 
 @dataclass(frozen=True)
@@ -197,11 +233,16 @@ class HostConfig:
     llc_mshrs: int = 48
     read_queue_entries: int = 32
     write_queue_entries: int = 32
+    #: DRAM command-clock frequency the host is paired with.  Kept in sync
+    #: with ``DramOrgConfig.dram_clock_ghz`` by ``SystemConfig`` so the
+    #: fixed-point host tick ratio is derived, never hand-entered (the
+    #: paper baseline is DDR4-2400's 1.2 GHz).
+    dram_clock_ghz: float = 1.2
 
     @property
     def cycles_per_dram_cycle(self) -> float:
         """CPU cycles elapsing per DRAM command-clock cycle."""
-        return self.cpu_clock_ghz / 1.2
+        return self.cpu_clock_ghz / self.dram_clock_ghz
 
 
 @dataclass(frozen=True)
@@ -272,12 +313,27 @@ class SystemConfig:
     # bank partitioning is enabled.  The paper reserves one bank per rank.
     shared_banks_per_rank: int = 1
     seed: int = 12345
+    #: Name of the platform preset this configuration was derived from
+    #: (bookkeeping only; "ddr4-2400" is the paper's Table II baseline).
+    platform: str = "ddr4-2400"
+
+    def __post_init__(self) -> None:
+        # The host's fixed-point tick ratio is derived from the DRAM command
+        # clock; keep the two in sync so swapping the organization (e.g. a
+        # platform preset) can never leave a stale clock ratio behind.
+        if self.host.dram_clock_ghz != self.org.dram_clock_ghz:
+            self.host = dataclasses.replace(
+                self.host, dram_clock_ghz=self.org.dram_clock_ghz)
 
     def validate(self) -> None:
         self.timing.validate()
         self.org.validate()
         if not 0 < self.shared_banks_per_rank <= self.org.banks_per_rank:
             raise ValueError("shared_banks_per_rank out of range")
+        if self.host.dram_clock_ghz != self.org.dram_clock_ghz:
+            raise ValueError(
+                "host.dram_clock_ghz diverged from org.dram_clock_ghz; "
+                "derive HostConfig through SystemConfig or a platform preset")
 
     def with_ranks(self, channels: int, ranks_per_channel: int) -> "SystemConfig":
         """Return a copy with a different channel/rank organization."""

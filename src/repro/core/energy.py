@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
-from repro.config import DramOrgConfig, EnergyConfig
+from repro.config import DramOrgConfig, DramTimingConfig, EnergyConfig
 from repro.dram.device import DramEventCounts
 from repro.nda.pe import ProcessingElement
 
@@ -72,20 +72,27 @@ class EnergyBreakdown:
 class EnergyModel:
     """Computes an :class:`EnergyBreakdown` from simulator event counts."""
 
-    def __init__(self, org: DramOrgConfig, energy: Optional[EnergyConfig] = None) -> None:
+    def __init__(self, org: DramOrgConfig, energy: Optional[EnergyConfig] = None,
+                 timing: Optional[DramTimingConfig] = None) -> None:
         self.org = org
         self.energy = energy or EnergyConfig()
+        # Best-case column-command cadence of the platform: one access per
+        # max(tCCD_S, tBL) cycles.  Without a timing config the DDR4
+        # baseline's 4-cycle cadence is assumed (legacy behaviour).
+        self._column_cadence = (max(timing.tCCDS, timing.tBL)
+                                if timing is not None else 4)
 
     def theoretical_max_host_power_w(self) -> float:
         """Peak memory power with host-only accesses saturating all channels.
 
         The paper reports 8 W for its configuration; this derives the same
         kind of bound from the energy constants: back-to-back column accesses
-        (one cache line per tCCD_S) on every channel plus the activates they
-        imply plus background power.
+        (one cache line per the platform's column cadence) on every channel
+        plus the activates they imply plus background power.
         """
         cl = self.org.cacheline_bytes
-        accesses_per_second = (self.org.dram_clock_ghz * 1e9 / 4.0) * self.org.channels
+        accesses_per_second = (self.org.dram_clock_ghz * 1e9
+                               / self._column_cadence) * self.org.channels
         access_power = accesses_per_second * self.energy.host_access_nj(cl) * 1e-9
         act_power = (accesses_per_second / self.org.cachelines_per_row
                      * self.energy.activate_nj * 1e-9)

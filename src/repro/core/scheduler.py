@@ -28,6 +28,14 @@ class ConcurrentAccessScheduler:
         # runs once per rank per processed cycle.
         self._rank_states = dram.timing._ranks
         self._ranks_per_channel = dram.org.ranks_per_channel
+        # With refresh enabled the NDA must *defer* to a due refresh: it
+        # keeps no refresh state of its own, so if it kept streaming, its
+        # row activity would hold the bank precharge horizons in the future
+        # forever and starve REF on refresh-heavy configurations.  All
+        # channel controllers share one SchedulerConfig.
+        self._refresh_enabled = next(
+            (c.config.refresh_enabled for c in channel_controllers.values()),
+            False)
         self._host_issued_this_cycle: Set[Tuple[int, int]] = set()
         self._cycle = -1
         self.nda_issue_opportunities = 0
@@ -116,6 +124,14 @@ class ConcurrentAccessScheduler:
         state = self._rank_states[channel * self._ranks_per_channel + rank]
         if (state.busy_until > now
                 or state.data_busy_from <= now < state.data_busy_until):
+            self.nda_blocked_cycles += 1
+            return False
+        # A due refresh outranks NDA work: pausing lets the rank's bank
+        # precharge horizons settle so the channel's refresh precharges and
+        # REF become legal (the REF's tRFC window then blocks NDA commands
+        # through the ordinary timing path, and the REF issue itself arrives
+        # as a host-issue notification that reschedules the NDA unit).
+        if self._refresh_enabled and state.refresh_due <= now:
             self.nda_blocked_cycles += 1
             return False
         self.nda_issue_opportunities += 1

@@ -129,7 +129,8 @@ class ChopimSystem:
             self._build_nda(throttle, stochastic_probability, launch_packets_use_channel)
 
         self.stats = SimulationStats(self.config, list(self.rank_controllers.keys()))
-        self.energy_model = EnergyModel(org, self.config.energy)
+        self.energy_model = EnergyModel(org, self.config.energy,
+                                        timing=self.config.timing)
         self._nda_workload: Optional[_NdaWorkloadSpec] = None
         self._nda_sequence: Optional[List[NdaKernelSpec]] = None
         self._nda_sequence_index = 0
@@ -322,11 +323,13 @@ class ChopimSystem:
         self.throttle_policy = policy
         for key in self._nda_rank_keys():
             ch, rk = key
-            self.rank_controllers[key] = NdaRankController(
+            controller = NdaRankController(
                 channel=ch, rank=rk, dram=self.dram, config=self.config.nda,
                 allowed_banks=allowed_banks, throttle=policy,
                 host_pending_to_bank=self.scheduler.host_pending_to_bank,
             )
+            controller.refresh_enabled = self.config.scheduler.refresh_enabled
+            self.rank_controllers[key] = controller
         self.nda_host = NdaHostController(
             self.dram, self.channel_controllers, self.rank_controllers,
             config=self.config.nda,

@@ -1,13 +1,22 @@
-"""Shared experiment plumbing: default cycle budgets and table rendering."""
+"""Shared experiment plumbing: default cycle budgets and table rendering.
+
+Every experiment point is built through :func:`build_system`, which carries
+the **platform axis**: pass ``platform="lpddr4-3200"`` (or any name from
+:func:`repro.platform.platform_names`), or set the ``REPRO_PLATFORM``
+environment variable to retarget every figure sweep wholesale.  Unset, the
+paper's DDR4-2400 baseline is used, bit-exactly as before.
+"""
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional, Sequence
 
 from repro.config import SystemConfig, scaled_config
 from repro.core.modes import AccessMode
 from repro.core.system import ChopimSystem
 from repro.nda.isa import NdaOpcode
+from repro.platform import DEFAULT_PLATFORM, platform_config
 
 #: Default measured window per configuration point, in DRAM cycles.  Long
 #: enough for the memory system to reach steady state; short enough that a
@@ -26,20 +35,51 @@ QUICK_MIXES = ["mix1", "mix5", "mix8"]
 DEFAULT_ELEMENTS_PER_RANK = 1 << 14
 
 
+def resolve_config(platform: Optional[str] = None,
+                   channels: Optional[int] = None,
+                   ranks_per_channel: Optional[int] = None,
+                   cores: Optional[int] = None) -> SystemConfig:
+    """The :class:`SystemConfig` for one experiment point.
+
+    Platform resolution order: the explicit ``platform`` argument, then the
+    ``REPRO_PLATFORM`` environment variable (an empty value counts as
+    unset), then the paper's DDR4-2400 baseline (which goes through the
+    legacy :func:`scaled_config` path and is bit-exact with it — pinned by
+    ``tests/test_platform.py``).  ``channels``/``ranks_per_channel`` left
+    at ``None`` keep the preset's *native* geometry (HBM2's 8x1, the
+    paper's 2x2, ...); pass values only to deliberately rescale a sweep
+    point.
+    """
+    name = platform or os.environ.get("REPRO_PLATFORM")
+    if not name or name == DEFAULT_PLATFORM:
+        return scaled_config(2 if channels is None else channels,
+                             2 if ranks_per_channel is None
+                             else ranks_per_channel, cores=cores)
+    return platform_config(name, channels=channels,
+                           ranks_per_channel=ranks_per_channel, cores=cores)
+
+
 def build_system(mode: AccessMode, mix: Optional[str],
-                 channels: int = 2, ranks_per_channel: int = 2,
+                 channels: Optional[int] = None,
+                 ranks_per_channel: Optional[int] = None,
                  throttle: str = "next_rank",
                  stochastic_probability: float = 0.25,
                  config: Optional[SystemConfig] = None,
                  cores: Optional[int] = None,
-                 engine: str = "event") -> ChopimSystem:
+                 engine: str = "event",
+                 platform: Optional[str] = None) -> ChopimSystem:
     """Construct a system for one experiment point.
 
     ``engine`` selects the simulation driver: the event-driven engine
     (default) fast-forwards over idle cycles; ``"cycle"`` is the
-    cycle-by-cycle regression baseline with identical results.
+    cycle-by-cycle regression baseline with identical results.  ``platform``
+    names a memory-platform preset (see :mod:`repro.platform`); it is
+    ignored when an explicit ``config`` is supplied.  ``channels`` and
+    ``ranks_per_channel`` default to the platform's native organization
+    (the paper's 2x2 on the baseline).
     """
-    cfg = config or scaled_config(channels, ranks_per_channel, cores=cores)
+    cfg = config or resolve_config(platform, channels, ranks_per_channel,
+                                   cores=cores)
     return ChopimSystem(config=cfg, mode=mode, mix=mix, throttle=throttle,
                         stochastic_probability=stochastic_probability,
                         engine=engine)

@@ -26,7 +26,7 @@ from repro.apps.svrg import (
     SvrgVariant,
     measure_svrg_timing,
 )
-from repro.experiments.common import format_table
+from repro.experiments.common import format_table, resolve_config
 from repro.experiments.sweep import run_sweep
 
 #: Epoch fractions swept by the paper (N, N/2, N/4).
@@ -44,13 +44,17 @@ BEST_TUNED_LR = 0.05
 
 def _trainer(num_ndas: int, measure: bool, dataset_kwargs: Optional[Dict] = None,
              measure_cycles: int = 4000,
-             learning_rate: float = BEST_TUNED_LR) -> SvrgTrainer:
+             learning_rate: float = BEST_TUNED_LR,
+             platform: Optional[str] = None) -> SvrgTrainer:
     dataset = make_dataset(**(dataset_kwargs or {}))
     if measure:
         channels, ranks = next(cfg for n, cfg in NDA_SCALING if n == num_ndas)
-        timing = measure_svrg_timing(channels, ranks, cycles=measure_cycles)
+        timing = measure_svrg_timing(
+            channels, ranks, cycles=measure_cycles,
+            config=resolve_config(platform, channels, ranks))
     else:
-        timing = SvrgTimingModel.analytic(num_ndas)
+        timing = SvrgTimingModel.analytic(num_ndas,
+                                          config=resolve_config(platform))
     return SvrgTrainer(dataset, SvrgConfig(learning_rate=learning_rate), timing)
 
 
@@ -59,13 +63,15 @@ def run_svrg_convergence(num_ndas: int = 8,
                          epoch_fractions: Sequence[float] = EPOCH_FRACTIONS,
                          measure: bool = False,
                          dataset_kwargs: Optional[Dict] = None,
+                         platform: Optional[str] = None,
                          ) -> Dict[str, List[SvrgHistoryPoint]]:
     """Figure 15a: named loss trajectories.
 
     Keys follow the paper's legend: ``HO_epoch_N``, ``ACC_epoch_N/4``,
-    ``DelayedUpdate`` and so on.
+    ``DelayedUpdate`` and so on.  ``platform`` retimes the bandwidth model
+    (measured or analytic) to a memory-platform preset.
     """
-    trainer = _trainer(num_ndas, measure, dataset_kwargs)
+    trainer = _trainer(num_ndas, measure, dataset_kwargs, platform=platform)
     histories: Dict[str, List[SvrgHistoryPoint]] = {}
     for fraction in epoch_fractions:
         label = {1.0: "N", 0.5: "N/2", 0.25: "N/4"}.get(fraction, f"{fraction:g}N")
@@ -82,9 +88,10 @@ def run_svrg_convergence(num_ndas: int = 8,
 
 
 def _point(num_ndas: int, outer_iterations: int, measure: bool,
-           dataset_kwargs: Optional[Dict] = None) -> Dict[str, object]:
+           dataset_kwargs: Optional[Dict] = None,
+           platform: Optional[str] = None) -> Dict[str, object]:
     """Figure 15b sweep point: speedups at one NDA count."""
-    trainer = _trainer(num_ndas, measure, dataset_kwargs)
+    trainer = _trainer(num_ndas, measure, dataset_kwargs, platform=platform)
     max_outer = outer_iterations * 4
     # The quality target is the gap host-only SVRG reaches at its default
     # (epoch N) setting; the host-only baseline itself is then best-tuned
@@ -146,6 +153,7 @@ def run_svrg_scaling(nda_counts: Sequence[int] = (4, 8, 16),
                      dataset_kwargs: Optional[Dict] = None,
                      processes: Optional[int] = None,
                      cache_dir: Optional[str] = None,
+                     platform: Optional[str] = None,
                      ) -> List[Dict[str, object]]:
     """Figure 15b: ACC_Best and DelayedUpdate speedup over host-only per NDA count.
 
@@ -157,7 +165,8 @@ def run_svrg_scaling(nda_counts: Sequence[int] = (4, 8, 16),
     """
     params = [
         {"num_ndas": num_ndas, "outer_iterations": outer_iterations,
-         "measure": measure, "dataset_kwargs": dataset_kwargs}
+         "measure": measure, "dataset_kwargs": dataset_kwargs,
+         "platform": platform}
         for num_ndas in nda_counts
     ]
     return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)

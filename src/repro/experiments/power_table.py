@@ -13,7 +13,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.apps.workloads import svrg_kernel_sequence
-from repro.config import scaled_config
 from repro.core.energy import EnergyModel
 from repro.core.modes import AccessMode
 from repro.experiments.common import (
@@ -21,16 +20,17 @@ from repro.experiments.common import (
     DEFAULT_WARMUP,
     build_system,
     format_table,
+    resolve_config,
 )
 from repro.experiments.sweep import run_sweep
 
 
 def _point(scenario: str, mix: str, cycles: int,
-           warmup: int) -> Dict[str, object]:
+           warmup: int, platform: Optional[str] = None) -> Dict[str, object]:
     if scenario == "theoretical_max":
         # Closed-form bound: no simulator needed, just the configuration.
-        cfg = scaled_config(2, 2)
-        energy_model = EnergyModel(cfg.org, cfg.energy)
+        cfg = resolve_config(platform)
+        energy_model = EnergyModel(cfg.org, cfg.energy, timing=cfg.timing)
         maximum = energy_model.theoretical_max_host_power_w()
         return {
             "scenario": "theoretical_max_host_only",
@@ -39,11 +39,12 @@ def _point(scenario: str, mix: str, cycles: int,
             "total_power_w": maximum,
         }
     if scenario == "host_only":
-        system = build_system(AccessMode.HOST_ONLY, mix)
+        system = build_system(AccessMode.HOST_ONLY, mix, platform=platform)
         result = system.run(cycles=cycles, warmup=warmup)
         label = f"host_only_{mix}"
     else:
-        system = build_system(AccessMode.BANK_PARTITIONED, mix)
+        system = build_system(AccessMode.BANK_PARTITIONED, mix,
+                              platform=platform)
         system.set_nda_workload_sequence(svrg_kernel_sequence())
         result = system.run(cycles=cycles, warmup=warmup)
         label = f"concurrent_{mix}_avg_gradient"
@@ -59,10 +60,12 @@ def run_power_analysis(mix: str = "mix1",
                        cycles: int = DEFAULT_CYCLES,
                        warmup: int = DEFAULT_WARMUP,
                        processes: Optional[int] = None,
-                       cache_dir: Optional[str] = None) -> List[Dict[str, object]]:
+                       cache_dir: Optional[str] = None,
+                       platform: Optional[str] = None) -> List[Dict[str, object]]:
     """Rows: theoretical max, host-only measured, concurrent measured."""
     params = [
-        {"scenario": scenario, "mix": mix, "cycles": cycles, "warmup": warmup}
+        {"scenario": scenario, "mix": mix, "cycles": cycles, "warmup": warmup,
+         "platform": platform}
         for scenario in ("theoretical_max", "host_only", "concurrent")
     ]
     return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)

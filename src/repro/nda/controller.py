@@ -230,6 +230,11 @@ class NdaRankController:
         # wake probe, where the generic rank_state lookup is measurable.
         self._rank_timing = dram.timing.rank_state(channel, rank)
         self._issue_horizon = issue_horizon or self._host_free_from
+        #: Whether the owning system runs refresh (SchedulerConfig); burst
+        #: plans then stop short of the rank's refresh-due cycle, mirroring
+        #: the concurrent-access gate's refresh deference.  Set by the
+        #: system at construction.
+        self.refresh_enabled = True
         self.write_buffer = NdaWriteBuffer(self.config.write_buffer_entries)
         self.fsm = ReplicatedFsm(channel, rank)
         self.pes = [ProcessingElement(chip, self.config)
@@ -472,6 +477,19 @@ class NdaRankController:
                 # stochastic throttle, start drawing RNG every host-free
                 # cycle): resume per-cycle processing immediately.
                 row_end = True
+        if self.refresh_enabled:
+            # The concurrent-access gate blocks NDA issue from the rank's
+            # refresh-due cycle onward (the NDA defers to refresh), so no
+            # planned command may land at or past it.  ``refresh_due`` is
+            # frozen while the plan lives: only a REF moves it, and every
+            # host issue to the rank truncates the plan first.
+            due = rt.refresh_due
+            if due <= start:
+                return  # refresh imminent: per-cycle path defers to it
+            refresh_cap = (due - 1 - start) // step + 1
+            if count > refresh_cap:
+                count = refresh_cap
+                row_end = True  # the gate blocks the continuation
         if count < 2:
             return
         plan = _BurstPlan(is_write, start, step, count,

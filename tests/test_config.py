@@ -108,6 +108,16 @@ class TestHostAndNdaConfig:
     def test_clock_ratio(self):
         assert HostConfig().cycles_per_dram_cycle == pytest.approx(4.0 / 1.2)
 
+    def test_clock_ratio_derives_from_dram_clock(self):
+        faster = dataclasses.replace(HostConfig(), dram_clock_ghz=2.4)
+        assert faster.cycles_per_dram_cycle == pytest.approx(4.0 / 2.4)
+
+    def test_system_config_syncs_host_clock_to_organization(self):
+        org = dataclasses.replace(DramOrgConfig(), dram_clock_ghz=1.6)
+        cfg = SystemConfig(org=org)
+        assert cfg.host.dram_clock_ghz == 1.6
+        assert cfg.host.cycles_per_dram_cycle == pytest.approx(4.0 / 1.6)
+
     def test_nda_defaults_match_table_ii(self):
         nda = NdaConfig()
         assert nda.pe_clock_ghz == 1.2

@@ -17,6 +17,7 @@ import pytest
 from repro.core.modes import AccessMode
 from repro.core.system import ChopimSystem, NdaKernelSpec
 from repro.config import scaled_config
+from repro.experiments.common import resolve_config
 from repro.nda.isa import NdaOpcode
 
 CYCLES = 1500
@@ -140,9 +141,13 @@ def _fuzz_configs(count: int, seed: int = 0xC0F1):
 
     The hand-picked classes above pin known-tricky interactions; this sweep
     pins the dirty-notification contract across the cartesian space of
-    (channels, ranks, mode, throttle, workload, mix) combinations, so a
-    missing WakeHub route that only bites in an unusual combination cannot
-    slip through.  The seed is fixed: failures are reproducible by index.
+    (platform, channels, ranks, mode, throttle, workload, mix)
+    combinations, so a missing WakeHub route that only bites in an unusual
+    combination cannot slip through.  The seed is fixed: failures are
+    reproducible by index.  The platform axis weights the paper baseline
+    (None) but keeps every non-default preset in rotation, so the
+    cycle==event==burst contract is pinned on presets whose cadence, bank
+    count and turnarounds all differ from DDR4-2400's.
     """
     rng = random.Random(seed)
     modes = [AccessMode.HOST_ONLY, AccessMode.SHARED,
@@ -150,6 +155,7 @@ def _fuzz_configs(count: int, seed: int = 0xC0F1):
              AccessMode.NDA_ONLY]
     opcodes = [NdaOpcode.DOT, NdaOpcode.AXPY, NdaOpcode.COPY,
                NdaOpcode.SCAL, NdaOpcode.NRM2, NdaOpcode.GEMV]
+    platforms = [None, None, "ddr4-3200", "lpddr4-3200", "ddr5-4800", "hbm2"]
     configs = []
     while len(configs) < count:
         channels = rng.choice([1, 2])
@@ -161,6 +167,7 @@ def _fuzz_configs(count: int, seed: int = 0xC0F1):
             "channels": channels,
             "ranks": ranks,
             "mode": mode,
+            "platform": rng.choice(platforms),
             "throttle": rng.choice(["issue_if_idle", "next_rank",
                                     "stochastic"]),
             "probability": rng.choice([0.25, 1.0 / 16.0]),
@@ -172,7 +179,7 @@ def _fuzz_configs(count: int, seed: int = 0xC0F1):
     return configs
 
 
-_FUZZ_CONFIGS = _fuzz_configs(8)
+_FUZZ_CONFIGS = _fuzz_configs(12)
 
 #: Burst-heavy configurations: long NDA streams (the steady-state phases the
 #: burst-issue fast path batches), zero host mix (uninterrupted streaks) and
@@ -195,6 +202,20 @@ _BURST_CONFIGS = [
     {"channels": 2, "ranks": 2, "mode": AccessMode.SHARED, "mix": "mix5",
      "throttle": "stochastic", "probability": 1.0 / 16.0,
      "opcode": NdaOpcode.COPY, "elements": 1 << 12, "warmup": 100},
+    # Non-default platforms: the burst cadence (max(tCCD_S, tBL)), bank
+    # geometry and turnarounds all differ from the DDR4-2400 values the
+    # fast path was first built against.
+    {"channels": 2, "ranks": 2, "mode": AccessMode.NDA_ONLY, "mix": None,
+     "platform": "hbm2", "throttle": "issue_if_idle", "probability": 0.25,
+     "opcode": NdaOpcode.DOT, "elements": 1 << 13, "warmup": 100},
+    {"channels": 2, "ranks": 2, "mode": AccessMode.BANK_PARTITIONED,
+     "mix": "mix1", "platform": "lpddr4-3200", "throttle": "next_rank",
+     "probability": 0.25, "opcode": NdaOpcode.COPY, "elements": 1 << 13,
+     "warmup": 50},
+    {"channels": 2, "ranks": 4, "mode": AccessMode.NDA_ONLY, "mix": None,
+     "platform": "ddr5-4800", "throttle": "issue_if_idle",
+     "probability": 0.25, "opcode": NdaOpcode.SCAL, "elements": 1 << 13,
+     "warmup": 0},
 ]
 
 
@@ -216,7 +237,8 @@ def _run_fuzz_spec(spec, cycles=700):
         mix=spec["mix"] if mode.has_host_traffic else None,
         throttle=spec["throttle"],
         stochastic_probability=spec["probability"],
-        config=scaled_config(spec["channels"], spec["ranks"]),
+        config=resolve_config(spec.get("platform"),
+                              spec["channels"], spec["ranks"]),
         cycles=cycles, warmup=spec["warmup"],
     )
 
