@@ -1,17 +1,19 @@
-"""Engine benchmark: cycles/sec for both engines, plus the fig14 sweep.
+"""Engine benchmark: cycles/sec per engine/backend, plus the fig14 sweep.
 
 Measures
 
-* **largest point** — simulated DRAM cycles per wall-clock second for the
-  cycle-by-cycle and event-driven engines on fig14's largest configuration
-  point (2 channels x 4 ranks, Chopim scheme, DOT workload, mix1);
+* **largest point** — simulated DRAM cycles per wall-clock second on
+  fig14's largest configuration point (2 channels x 4 ranks, Chopim
+  scheme, DOT workload, mix1) for every execution variant: the
+  cycle-by-cycle engine, the event-driven engine, and (when numpy is
+  importable) the event engine over the vectorized ``kernel`` backend;
 * **fig14 sweep** — wall-clock for regenerating the full Figure 14 sweep
   three ways: the legacy path (cycle engine, one point at a time, no cache),
   the new path (event engine through the parallel sweep runner, cold cache),
   and a cached regeneration (warm cache replay);
 * **platforms** — the largest point re-run on every registered memory
-  platform preset (both engines), so the regression gate can key on
-  ``(platform, metric)`` pairs.
+  platform preset (every variant), so the regression gate can key on
+  ``(platform, variant)`` pairs.
 
 Results are written to ``BENCH_engine.json`` at the repository root.
 
@@ -22,8 +24,12 @@ ratio — the data needed to see which unit forces processed cycles.
 
 With ``--profile`` a cProfile pass over the largest point is added and the
 top-20 cumulative-time entries (annotated with the repro layer each function
-belongs to) are recorded per engine into the JSON, so perf PRs can see where
-the next bottleneck lives without re-profiling by hand.
+belongs to) are recorded per variant into the JSON, so perf PRs can see
+where the next bottleneck lives without re-profiling by hand.  The kernel
+variant's profile additionally attributes wall-clock to each vector
+primitive (``pack``, ``scan``, ``settle``, ``scatter``) through the
+:mod:`repro.kernel.profile` counters, separating numpy time from Python
+dispatch overhead.
 
 Usage::
 
@@ -53,6 +59,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.fig14_scaling import _point, sweep_params
 from repro.experiments.sweep import run_sweep
+from repro.kernel import kernel_available
 from repro.nda.isa import NdaOpcode
 from repro.platform import DEFAULT_PLATFORM, platform_names
 
@@ -67,13 +74,27 @@ LARGEST_POINT = {
 }
 
 
-def _largest_point_system(engine: str,
-                          platform: str = DEFAULT_PLATFORM) -> ChopimSystem:
+def variants() -> list:
+    """The measured (label, engine, backend) variants.
+
+    ``cycle`` and ``event`` are the python-backend engines (the committed
+    baseline keys, unchanged); ``kernel`` is the vectorized backend under
+    the event engine, present only when numpy is importable so a no-numpy
+    environment still produces a gateable report.
+    """
+    out = [("cycle", "cycle", "python"), ("event", "event", "python")]
+    if kernel_available():
+        out.append(("kernel", "event", "kernel"))
+    return out
+
+
+def _largest_point_system(engine: str, platform: str = DEFAULT_PLATFORM,
+                          backend: str = "python") -> ChopimSystem:
     system = ChopimSystem(
         config=resolve_config(platform, LARGEST_POINT["channels"],
                               LARGEST_POINT["ranks_per_channel"]),
         mode=LARGEST_POINT["mode"], mix=LARGEST_POINT["mix"],
-        throttle="next_rank", engine=engine)
+        throttle="next_rank", engine=engine, backend=backend)
     system.set_nda_workload(LARGEST_POINT["workload"],
                             elements_per_rank=DEFAULT_ELEMENTS_PER_RANK)
     return system
@@ -106,19 +127,19 @@ def burst_summary(system: ChopimSystem) -> dict:
 
 
 def bench_largest_point(cycles: int, warmup: int, repeats: int = 3) -> dict:
-    """Cycles/sec for both engines on the largest fig14 point.
+    """Cycles/sec for every variant on the largest fig14 point.
 
-    Each engine runs ``repeats`` times and the fastest run is reported (the
+    Each variant runs ``repeats`` times and the fastest run is reported (the
     standard minimum-noise estimator: external load only ever slows a run
     down, so the best repeat is the closest to the true cost).
     """
     out = {"cycles": cycles, "warmup": warmup, "repeats": repeats, "point": {
         k: getattr(v, "value", v) for k, v in LARGEST_POINT.items()}}
     total = cycles + warmup
-    for engine in ("cycle", "event"):
+    for label, engine, backend in variants():
         best = None
         for _ in range(max(1, repeats)):
-            system = _largest_point_system(engine)
+            system = _largest_point_system(engine, backend=backend)
             start = time.perf_counter()
             system.run(cycles=cycles, warmup=warmup)
             elapsed = time.perf_counter() - start
@@ -129,7 +150,10 @@ def bench_largest_point(cycles: int, warmup: int, repeats: int = 3) -> dict:
                     "cycles_processed": system.engine.cycles_processed,
                     "cycles_skipped": system.engine.cycles_skipped,
                 }
-        if engine == "event":
+        if backend != "python":
+            best["engine"] = engine
+            best["backend"] = backend
+        if label == "event":
             # Selective-wake scheduling statistics (deterministic across
             # repeats): per-unit wake probes, runs, dirty notifications and
             # skip ratios, so future perf PRs can see *which* unit forces
@@ -139,21 +163,25 @@ def bench_largest_point(cycles: int, warmup: int, repeats: int = 3) -> dict:
                 "dirty_notifications_total": sum(system.engine.hub.dirty_counts),
                 "units": system.engine.wake_stats(),
             }
+        if engine == "event":
             # Burst-issue fast-path statistics (deterministic): bursts
             # planned, commands settled through plans, truncation causes.
             best["burst"] = burst_summary(system)
-        out[engine] = best
+        out[label] = best
     out["event_vs_cycle_speedup"] = (out["event"]["cycles_per_second"]
                                      / out["cycle"]["cycles_per_second"])
+    if "kernel" in out:
+        out["kernel_vs_event_speedup"] = (out["kernel"]["cycles_per_second"]
+                                          / out["event"]["cycles_per_second"])
     return out
 
 
 def bench_platforms(cycles: int, warmup: int, repeats: int = 3,
                     platforms=None) -> dict:
-    """Per-platform throughput on the largest point, both engines.
+    """Per-platform throughput on the largest point, every variant.
 
     One entry per preset so the regression gate can key on
-    ``(platform, metric)`` — a hot-path regression that only bites on a
+    ``(platform, variant)`` — a hot-path regression that only bites on a
     non-default geometry (more banks, different burst cadence) is invisible
     to the DDR4-only numbers.
     """
@@ -162,10 +190,11 @@ def bench_platforms(cycles: int, warmup: int, repeats: int = 3,
     total = cycles + warmup
     for name in names:
         entry = {}
-        for engine in ("cycle", "event"):
+        for label, engine, backend in variants():
             best = None
             for _ in range(max(1, repeats)):
-                system = _largest_point_system(engine, platform=name)
+                system = _largest_point_system(engine, platform=name,
+                                               backend=backend)
                 start = time.perf_counter()
                 system.run(cycles=cycles, warmup=warmup)
                 elapsed = time.perf_counter() - start
@@ -176,12 +205,16 @@ def bench_platforms(cycles: int, warmup: int, repeats: int = 3,
                         "cycles_processed": system.engine.cycles_processed,
                         "cycles_skipped": system.engine.cycles_skipped,
                     }
-            if engine == "event":
+            if engine == "event" and label == "event":
                 best["burst"] = burst_summary(system)
-            entry[engine] = best
+            entry[label] = best
         entry["event_vs_cycle_speedup"] = (
             entry["event"]["cycles_per_second"]
             / entry["cycle"]["cycles_per_second"])
+        if "kernel" in entry:
+            entry["kernel_vs_event_speedup"] = (
+                entry["kernel"]["cycles_per_second"]
+                / entry["event"]["cycles_per_second"])
         out[name] = entry
     return out
 
@@ -205,10 +238,17 @@ def _layer_of(filename: str) -> str:
 
 
 def profile_largest_point(cycles: int, warmup: int, top: int = 20) -> dict:
-    """cProfile both engines on the largest point; top-N cumtime per layer."""
+    """cProfile every variant on the largest point; top-N cumtime per layer.
+
+    The kernel variant additionally runs once (outside cProfile, whose
+    tracing would distort sub-microsecond numpy calls) with the kernel's
+    own primitive counters enabled, attributing wall-clock to ``pack`` /
+    ``scan`` / ``settle`` / ``scatter`` — the number that shows whether
+    numpy time or Python dispatch overhead dominates the backend.
+    """
     result = {}
-    for engine in ("cycle", "event"):
-        system = _largest_point_system(engine)
+    for label, engine, backend in variants():
+        system = _largest_point_system(engine, backend=backend)
         profiler = cProfile.Profile()
         profiler.enable()
         system.run(cycles=cycles, warmup=warmup)
@@ -232,12 +272,43 @@ def profile_largest_point(cycles: int, warmup: int, top: int = 20) -> dict:
             })
             if len(rows) >= top:
                 break
-        result[engine] = {"top_cumtime": rows}
-        if engine == "event":
+        result[label] = {"top_cumtime": rows}
+        if engine == "event" and label == "event":
             # The profiled run's burst behaviour, next to the table it
             # explains (how much per-command work the plans absorbed).
-            result[engine]["burst"] = burst_summary(system)
+            result[label]["burst"] = burst_summary(system)
+        if backend == "kernel":
+            result[label]["primitives"] = profile_kernel_primitives(
+                cycles, warmup)
     return result
+
+
+def profile_kernel_primitives(cycles: int, warmup: int) -> dict:
+    """Wall-clock attribution of the kernel backend's vector primitives.
+
+    Returns per-primitive seconds/calls plus the run's total wall-clock, so
+    the share of time spent inside the vector core (vs. the surrounding
+    Python simulation loop) is read directly from the report.
+    """
+    from repro.kernel.profile import PROFILE
+
+    system = _largest_point_system("event", backend="kernel")
+    PROFILE.reset()
+    PROFILE.enabled = True
+    try:
+        start = time.perf_counter()
+        system.run(cycles=cycles, warmup=warmup)
+        total_seconds = time.perf_counter() - start
+    finally:
+        PROFILE.enabled = False
+    snapshot = PROFILE.snapshot()
+    in_primitives = sum(entry["seconds"] for entry in snapshot.values())
+    return {
+        "total_seconds": round(total_seconds, 4),
+        "in_primitives_seconds": round(in_primitives, 4),
+        "in_primitives_share": round(in_primitives / total_seconds, 4),
+        "per_primitive": snapshot,
+    }
 
 
 def bench_fig14_sweep(cycles: int, warmup: int) -> dict:

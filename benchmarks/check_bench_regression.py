@@ -11,9 +11,11 @@ Compares a fresh (smoke-sized) benchmark run against the committed
   table but never fails the job — they depend on the cycle budget and exist
   so a silently-disabled fast path is visible in CI logs.
 * per-platform entries (the ``platforms`` section) are gated hard per
-  ``(platform, engine)`` pair, each against its own committed baseline;
-  presets recorded in only one of the two reports are skipped, so the
-  preset registry can grow without breaking the gate.
+  ``(platform, engine/backend)`` pair — ``cycle``, ``event`` and (when
+  recorded) the vectorized ``kernel`` backend each against their own
+  committed baseline; variants or presets recorded in only one of the two
+  reports are skipped, so the registry can grow (or a no-numpy environment
+  can omit the kernel rows) without breaking the gate.
 
 The result is printed as a readable diff table (metric, fresh, baseline,
 floor, verdict) instead of a bare assert.
@@ -23,10 +25,15 @@ is deliberately loose — the gate exists to catch order-of-magnitude hot-path
 regressions (an accidental O(n) scan, a reintroduced per-probe allocation),
 not single-digit noise.
 
+``--update-baseline`` rewrites the committed baseline file from the fresh
+report (after printing the diff table for the record) instead of gating —
+the supported way to refresh ``BENCH_engine.json`` when a perf PR moves the
+numbers deliberately.
+
 Usage::
 
     python benchmarks/check_bench_regression.py --fresh bench_ci.json \
-        [--baseline BENCH_engine.json] [--tolerance 0.30]
+        [--baseline BENCH_engine.json] [--tolerance 0.30] [--update-baseline]
 """
 
 from __future__ import annotations
@@ -70,13 +77,22 @@ class Metric:
 
 #: The tolerance map.  cycles/sec metrics gate hard at the CLI tolerance;
 #: burst counters are looser and informational only.
+def _largest_point_metric(variant: str) -> Callable[[dict], Optional[float]]:
+    def getter(report: dict) -> Optional[float]:
+        entry = report["largest_point"].get(variant)
+        if not entry:
+            return None
+        return float(entry["cycles_per_second"])
+    return getter
+
+
 METRICS = [
     Metric("largest_point.cycle.cycles_per_second",
-           lambda r: r["largest_point"]["cycle"]["cycles_per_second"],
-           None, hard=True),
+           _largest_point_metric("cycle"), None, hard=True),
     Metric("largest_point.event.cycles_per_second",
-           lambda r: r["largest_point"]["event"]["cycles_per_second"],
-           None, hard=True),
+           _largest_point_metric("event"), None, hard=True),
+    Metric("largest_point.kernel.cycles_per_second",
+           _largest_point_metric("kernel"), None, hard=True),
     Metric("fig14_sweep.cycles_per_second", _sweep_cycles_per_second,
            None, hard=True),
     Metric("burst.bursts_planned", _burst_metric("bursts_planned"),
@@ -99,14 +115,15 @@ def _platform_metric(name: str, engine: str) -> Callable[[dict], Optional[float]
 
 
 def platform_metrics(fresh: dict, baseline: dict) -> list:
-    """Per-(platform, metric) gates over the presets both reports carry.
+    """Per-(platform, variant) gates over the presets both reports carry.
 
-    Each platform's baseline is gated independently — a regression that only
-    bites on one preset's geometry (say, HBM's 8 channels or DDR5's 32
-    banks) fails on that preset's row even when the DDR4 numbers are fine.
-    Presets present in only one of the two reports are skipped (they render
-    as "SKIPPED (not recorded)" rows), so adding or retiring a preset never
-    breaks the gate.
+    Each platform x engine/backend pair is gated independently — a
+    regression that only bites on one preset's geometry (say, HBM's 8
+    channels or DDR5's 32 banks) or one backend's hot path fails on that
+    row even when the DDR4/python numbers are fine.  Presets or variants
+    present in only one of the two reports are skipped (they render as
+    "SKIPPED (not recorded)" rows), so adding a preset — or running without
+    numpy, which omits the kernel rows — never breaks the gate.
     """
     fresh_platforms = fresh.get("platforms", {})
     baseline_platforms = baseline.get("platforms", {})
@@ -119,10 +136,10 @@ def platform_metrics(fresh: dict, baseline: dict) -> list:
         if not isinstance(fresh_platforms.get(name)
                           or baseline_platforms.get(name), dict):
             continue
-        for engine in ("cycle", "event"):
+        for variant in ("cycle", "event", "kernel"):
             metrics.append(Metric(
-                f"platforms.{name}.{engine}.cycles_per_second",
-                _platform_metric(name, engine), None, hard=True))
+                f"platforms.{name}.{variant}.cycles_per_second",
+                _platform_metric(name, variant), None, hard=True))
     return metrics
 
 
@@ -183,8 +200,20 @@ def main(argv=None) -> int:
                         / "BENCH_engine.json")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional slowdown for hard metrics")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the --baseline file from the fresh "
+                             "report instead of gating (the diff table is "
+                             "still printed for the record)")
     args = parser.parse_args(argv)
     fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
+    if args.update_baseline:
+        if args.baseline.exists():
+            baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+            check(fresh, baseline, args.tolerance)
+        args.baseline.write_text(json.dumps(fresh, indent=2) + "\n",
+                                 encoding="utf-8")
+        print(f"baseline updated: {args.baseline}")
+        return 0
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
     return check(fresh, baseline, args.tolerance)
 

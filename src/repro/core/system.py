@@ -35,6 +35,7 @@ from repro.core.modes import AccessMode, split_ranks_for_partitioning
 from repro.core.scheduler import ConcurrentAccessScheduler
 from repro.core.stats import SimulationResult, SimulationStats
 from repro.dram.device import DramSystem
+from repro.dram.timing import TimingEngine
 from repro.engine.components import (
     ChannelComponent,
     HostComponent,
@@ -96,7 +97,8 @@ class ChopimSystem:
                  stochastic_probability: float = 0.25,
                  launch_packets_use_channel: bool = True,
                  collect_energy: bool = True,
-                 engine: str = "event") -> None:
+                 engine: str = "event",
+                 backend: str = "python") -> None:
         self.config = config or default_config()
         self.config.validate()
         self.mode = mode
@@ -104,11 +106,32 @@ class ChopimSystem:
         self.rng = DeterministicRng(self.config.seed, "system")
         self.collect_energy = collect_energy
 
+        # ---- execution backend -------------------------------------------
+        # ``backend`` selects the hot-path state representation:
+        # ``"python"`` keeps the flat-list scalar core; ``"kernel"`` swaps
+        # in the numpy array-resident timing engine, the batched FR-FCFS
+        # vector scan and the vectorized burst settler (bit-identical
+        # results; see repro.kernel and ARCHITECTURE.md "Kernel backend").
+        if backend not in ("python", "kernel"):
+            raise ValueError(
+                f"unknown backend {backend!r}: expected 'python' or 'kernel'")
+        self.backend = backend
+        timing_cls: type = TimingEngine
+        scheduler_factory = None
+        if backend == "kernel":
+            from repro.kernel import require_kernel
+            require_kernel()
+            from repro.kernel.scan import KernelFrFcfsScheduler
+            from repro.kernel.timing_kernel import KernelTimingEngine
+            timing_cls = KernelTimingEngine
+            scheduler_factory = KernelFrFcfsScheduler
+
         org = self.config.org
-        self.dram = DramSystem(org, self.config.timing)
+        self.dram = DramSystem(org, self.config.timing, timing_cls=timing_cls)
         self.mapping = self._build_mapping()
         self.channel_controllers: Dict[int, ChannelController] = {
-            ch: ChannelController(ch, self.dram, self.config.scheduler)
+            ch: ChannelController(ch, self.dram, self.config.scheduler,
+                                  scheduler_factory=scheduler_factory)
             for ch in range(org.channels)
         }
         self.scheduler = ConcurrentAccessScheduler(self.dram, self.channel_controllers)
@@ -244,20 +267,30 @@ class ChopimSystem:
             controller.gate_stats = self.scheduler
             by_channel.setdefault(ch, []).append(controller)
         self.scheduler.bind_burst_controllers(self.rank_controllers)
+        kernel_settler_cls = None
+        if self.backend == "kernel":
+            from repro.kernel.settle import KernelBurstSettler
+            kernel_settler_cls = KernelBurstSettler
         for ch, channel_controller in self.channel_controllers.items():
             ranks = by_channel.get(ch)
             if not ranks:
                 continue
 
-            def settle(upto: int, ranks=ranks) -> None:
-                for rc in ranks:
-                    plan = rc._plan
-                    # Inline the no-elapsed-commands fast path: this runs
-                    # before every FR-FCFS scan/issue on the channel, and
-                    # most boundaries fall between two planned commands.
-                    if (plan is not None
-                            and upto > plan.start + plan.idx * plan.step):
-                        rc.settle_burst(upto)
+            if kernel_settler_cls is not None:
+                # Kernel backend: one vector pass over all of the channel's
+                # live plans decides eligibility; effects apply through the
+                # shared scalar single-writer (_apply_settlement).
+                settle = kernel_settler_cls(ranks)
+            else:
+                def settle(upto: int, ranks=ranks) -> None:
+                    for rc in ranks:
+                        plan = rc._plan
+                        # Inline the no-elapsed-commands fast path: this runs
+                        # before every FR-FCFS scan/issue on the channel, and
+                        # most boundaries fall between two planned commands.
+                        if (plan is not None
+                                and upto > plan.start + plan.idx * plan.step):
+                            rc.settle_burst(upto)
 
             def truncate_writes(now: int, ranks=ranks) -> None:
                 for rc in ranks:

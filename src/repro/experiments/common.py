@@ -4,7 +4,11 @@ Every experiment point is built through :func:`build_system`, which carries
 the **platform axis**: pass ``platform="lpddr4-3200"`` (or any name from
 :func:`repro.platform.platform_names`), or set the ``REPRO_PLATFORM``
 environment variable to retarget every figure sweep wholesale.  Unset, the
-paper's DDR4-2400 baseline is used, bit-exactly as before.
+paper's DDR4-2400 baseline is used, bit-exactly as before.  The **backend
+axis** works the same way: pass ``backend="kernel"`` or set
+``REPRO_BACKEND`` to run every point through the vectorized kernel backend
+(results are bit-identical by the equivalence contract; only speed
+differs).
 """
 
 from __future__ import annotations
@@ -59,6 +63,16 @@ def resolve_config(platform: Optional[str] = None,
                            ranks_per_channel=ranks_per_channel, cores=cores)
 
 
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """The execution backend for one experiment point.
+
+    Resolution order mirrors :func:`resolve_config`'s platform axis: the
+    explicit ``backend`` argument, then the ``REPRO_BACKEND`` environment
+    variable (empty counts as unset), then the pure-python backend.
+    """
+    return backend or os.environ.get("REPRO_BACKEND") or "python"
+
+
 def build_system(mode: AccessMode, mix: Optional[str],
                  channels: Optional[int] = None,
                  ranks_per_channel: Optional[int] = None,
@@ -67,7 +81,8 @@ def build_system(mode: AccessMode, mix: Optional[str],
                  config: Optional[SystemConfig] = None,
                  cores: Optional[int] = None,
                  engine: str = "event",
-                 platform: Optional[str] = None) -> ChopimSystem:
+                 platform: Optional[str] = None,
+                 backend: Optional[str] = None) -> ChopimSystem:
     """Construct a system for one experiment point.
 
     ``engine`` selects the simulation driver: the event-driven engine
@@ -76,13 +91,15 @@ def build_system(mode: AccessMode, mix: Optional[str],
     names a memory-platform preset (see :mod:`repro.platform`); it is
     ignored when an explicit ``config`` is supplied.  ``channels`` and
     ``ranks_per_channel`` default to the platform's native organization
-    (the paper's 2x2 on the baseline).
+    (the paper's 2x2 on the baseline).  ``backend`` selects the hot-path
+    implementation (``"python"`` or the numpy ``"kernel"``), defaulting to
+    the ``REPRO_BACKEND`` environment variable.
     """
     cfg = config or resolve_config(platform, channels, ranks_per_channel,
                                    cores=cores)
     return ChopimSystem(config=cfg, mode=mode, mix=mix, throttle=throttle,
                         stochastic_probability=stochastic_probability,
-                        engine=engine)
+                        engine=engine, backend=resolve_backend(backend))
 
 
 def run_point(system: ChopimSystem, cycles: int = DEFAULT_CYCLES,

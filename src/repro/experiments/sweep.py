@@ -8,11 +8,16 @@ pipeline:
 * **Parallelism** — points are distributed over a ``multiprocessing`` pool
   (one worker per CPU by default), so full-figure regeneration scales with
   the machine instead of running one point at a time.
-* **Caching** — each point's result row is keyed by the point function and
-  its parameters and stored as JSON on disk; re-running a figure with
-  unchanged parameters replays instantly.  Set the ``REPRO_SWEEP_CACHE``
-  environment variable (or pass ``cache_dir``) to enable it, or set it to
-  an empty string to force it off.
+* **Caching** — each point's result row is keyed by the point function, its
+  parameters, the simulation environment (platform preset, execution
+  backend, burst escape hatch — the ``REPRO_*`` variables that change
+  results or how they are produced) and a content fingerprint of the
+  simulator source, then stored as JSON on disk; re-running a figure with
+  unchanged parameters replays instantly, while changing ``REPRO_PLATFORM``,
+  ``REPRO_BACKEND`` or the simulator code transparently recomputes instead
+  of replaying stale rows.  Set the ``REPRO_SWEEP_CACHE`` environment
+  variable (or pass ``cache_dir``) to enable it, or set it to an empty
+  string to force it off.
 
 Point functions must be module-level callables (picklable by reference)
 taking keyword arguments and returning a JSON-serializable dict; the fig
@@ -26,13 +31,17 @@ import hashlib
 import json
 import os
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import lru_cache
 from multiprocessing import get_context
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 #: Bump when simulator semantics change enough to invalidate cached rows.
-CACHE_VERSION = 1
+#: (Code changes are caught automatically by :func:`code_fingerprint`; this
+#: remains as a manual override for semantic changes outside ``src/repro``,
+#: e.g. a row-schema change made by an experiment script.)
+CACHE_VERSION = 2
 
 #: Environment variable naming the cache directory (empty disables caching).
 CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
@@ -40,13 +49,56 @@ CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
 PointFn = Callable[..., Dict[str, Any]]
 
 
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Content hash of the simulator package source (``src/repro``).
+
+    Any edit to any module invalidates every cached row: a sweep row is a
+    function of (point function, parameters, environment, simulator code),
+    and the first three alone produced stale-replay bugs when the simulator
+    changed between runs.  Hashing ~100 source files costs a few
+    milliseconds once per process — noise against a single sweep point.
+    """
+    package_root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def environment_axes() -> Dict[str, str]:
+    """The ``REPRO_*`` settings a sweep row depends on.
+
+    ``platform`` and ``backend`` retarget every point wholesale without
+    appearing in its parameters, so they must key the cache; the burst
+    escape hatch is included because a row computed with the fast path off
+    should never masquerade as a default-path row (results are equivalent
+    by contract, but a cache hit must not silently hide a divergence the
+    equivalence suites would catch).
+    """
+    return {
+        "platform": os.environ.get("REPRO_PLATFORM") or "",
+        "backend": os.environ.get("REPRO_BACKEND") or "",
+        "disable_burst": os.environ.get("REPRO_DISABLE_BURST") or "",
+    }
+
+
 @dataclass(frozen=True)
 class SweepTask:
-    """One configuration point: a point function plus its keyword arguments."""
+    """One configuration point: a point function plus its keyword arguments.
+
+    ``environment`` and ``code`` are captured at construction so the cache
+    key reflects the state the point will actually run under.
+    """
 
     module: str
     qualname: str
     params: Dict[str, Any]
+    environment: Dict[str, str] = field(default_factory=environment_axes)
+    code: str = field(default_factory=code_fingerprint)
 
     def cache_key(self) -> str:
         payload = json.dumps(
@@ -55,6 +107,8 @@ class SweepTask:
                 "module": self.module,
                 "qualname": self.qualname,
                 "params": self.params,
+                "environment": self.environment,
+                "code": self.code,
             },
             sort_keys=True,
             default=str,
@@ -112,6 +166,8 @@ class SweepCache:
             "module": task.module,
             "qualname": task.qualname,
             "params": task.params,
+            "environment": task.environment,
+            "code": task.code,
             "row": row,
         }
         try:
@@ -195,7 +251,9 @@ __all__ = [
     "CACHE_VERSION",
     "SweepCache",
     "SweepTask",
+    "code_fingerprint",
     "default_cache_dir",
     "default_processes",
+    "environment_axes",
     "run_sweep",
 ]

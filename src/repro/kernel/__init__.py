@@ -1,0 +1,63 @@
+"""Vectorized kernel backend: array-resident timing/scan core.
+
+``ChopimSystem(backend="kernel")`` swaps the flat-list hot-path state of the
+Python backend for preallocated numpy arrays (see ARCHITECTURE.md, "Kernel
+backend"):
+
+* :class:`repro.kernel.timing_kernel.KernelTimingEngine` keeps every bank's
+  timing horizons (and the open-row mirror) in dense int64 arrays, with issue
+  effects applied as masked scatter updates;
+* :class:`repro.kernel.scan.KernelFrFcfsScheduler` probes every bank bucket
+  of a channel queue in one vector pass;
+* :class:`repro.kernel.settle.KernelBurstSettler` evaluates closed-form burst
+  settlement as array arithmetic over all of a channel's live plans.
+
+numpy is an **optional** dependency (``pip install repro[kernel]``): this
+module imports without it, :func:`kernel_available` reports availability, and
+:func:`require_kernel` raises an actionable error when the kernel backend is
+requested without it.  The Python cycle/event engines never import numpy and
+are unaffected.  Setting ``REPRO_FORCE_NO_NUMPY=1`` makes the kernel report
+unavailable even when numpy is importable (used by the CI no-numpy job and
+the fallback tests).
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # pragma: no cover - exercised via kernel_available() in both branches
+    import numpy  # noqa: F401
+
+    _NUMPY_IMPORTABLE = True
+    _NUMPY_ERROR = ""
+except ImportError as exc:  # pragma: no cover - depends on environment
+    _NUMPY_IMPORTABLE = False
+    _NUMPY_ERROR = str(exc)
+
+
+def kernel_available() -> bool:
+    """Whether the kernel backend can run in this environment."""
+    if os.environ.get("REPRO_FORCE_NO_NUMPY", "") in ("1", "true", "yes"):
+        return False
+    return _NUMPY_IMPORTABLE
+
+
+def kernel_unavailable_reason() -> str:
+    """Human-readable reason :func:`kernel_available` is False."""
+    if os.environ.get("REPRO_FORCE_NO_NUMPY", "") in ("1", "true", "yes"):
+        return "REPRO_FORCE_NO_NUMPY is set"
+    if not _NUMPY_IMPORTABLE:
+        return f"numpy is not installed ({_NUMPY_ERROR})"
+    return ""
+
+
+def require_kernel() -> None:
+    """Raise a clean, actionable error when the kernel backend cannot run."""
+    if kernel_available():
+        return
+    raise RuntimeError(
+        "backend='kernel' requires numpy, which is unavailable: "
+        f"{kernel_unavailable_reason()}. Install it with `pip install numpy` "
+        "(or `pip install .[kernel]`), or use backend='python' — the Python "
+        "cycle/event engines produce bit-identical results without numpy."
+    )

@@ -1,0 +1,57 @@
+"""Per-primitive wall-time attribution for the kernel backend.
+
+``bench_engine.py --profile`` (kernel backend) enables this collector and
+reports where kernel time goes, split by vector primitive:
+
+* ``pack``    — spec→array packing and per-scan constraint-table rebuilds;
+* ``scan``    — the batched FR-FCFS vector pass (class masks, horizon max,
+  winner reductions);
+* ``settle``  — closed-form burst settlement arithmetic over whole plans;
+* ``scatter`` — masked scatter application of issue/refresh effects.
+
+The collector is off by default and the hot paths guard every measurement
+with a single attribute check (``if _PROFILE.enabled:``), so the kernel pays
+one branch per primitive call when profiling is disabled.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+PRIMITIVES = ("pack", "scan", "settle", "scatter")
+
+
+class KernelProfile:
+    """Accumulates (calls, seconds) per kernel primitive."""
+
+    __slots__ = ("enabled", "seconds", "calls")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.seconds: Dict[str, float] = {name: 0.0 for name in PRIMITIVES}
+        self.calls: Dict[str, int] = {name: 0 for name in PRIMITIVES}
+
+    def reset(self) -> None:
+        for name in PRIMITIVES:
+            self.seconds[name] = 0.0
+            self.calls[name] = 0
+
+    def add(self, primitive: str, seconds: float) -> None:
+        self.seconds[primitive] += seconds
+        self.calls[primitive] += 1
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {"calls": self.calls[name], "seconds": self.seconds[name]}
+            for name in PRIMITIVES
+        }
+
+
+#: Process-wide collector: every kernel instance reports here.  Benchmarks
+#: enable it around a measured run and read :meth:`KernelProfile.snapshot`.
+PROFILE = KernelProfile()
+
+#: Monotonic clock used for the measurements (alias so the hot paths bind it
+#: locally).
+clock = time.perf_counter

@@ -1,0 +1,318 @@
+"""Batched FR-FCFS: every bank bucket of a channel probed in one vector pass.
+
+:class:`KernelFrFcfsScheduler` replaces the per-bucket Python loop of
+:meth:`repro.memctrl.frfcfs.FrFcfsScheduler._select_bucketed` with array
+arithmetic over **slot arrays**: each :class:`~repro.memctrl.request
+.RequestQueue` of the owning channel gets preallocated per-slot columns
+(bank index, rank, bank-group, row, arrival stamp, direction, liveness),
+maintained incrementally through the queue's ``on_push``/``on_remove``
+observers.  One scan is then:
+
+1. classify every queued request with two gathers against the timing
+   kernel's open-row mirror (hit / closed→ACT / conflict→PRE);
+2. compute every request's earliest issue cycle as an elementwise max
+   (:func:`~repro.kernel.timing_kernel.horizon_max`) of the gathered
+   per-bank horizon arrays and per-(rank, bank-group) constraint tables;
+3. reduce to the FR-FCFS winner (oldest issuable row hit, else oldest
+   issuable ACT/PRE), the horizon (min earliest over non-issuable
+   requests) and the at-horizon winner with masked ``argmin`` reductions.
+
+The constraint tables (column-command base, ACT base, refresh base — the
+bank-independent parts of the scalar law, see ``host_column_base``) are
+rebuilt vectorized and cached against ``DramSystem.channel_issue_version``:
+every mutation of the channel's timing state (command issue or burst
+settlement) bumps that counter, so a cached table is always exact.
+
+Selection is bit-equivalent to the scalar scan: within a bucket the oldest
+request is the lowest ``queue_seq``, so global masked-argmin over ``seq``
+reproduces the bucket-ordered scan's pick (the scalar scan's early break on
+an issuable row hit only skips candidates that could never win and whose
+horizon contribution is never consumed).  The property tests in
+tests/test_kernel_micro.py diff winner, horizon and at-horizon prediction
+against the scalar scheduler on randomized queue/timing state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.dram.commands import Command, CommandType, RequestSource
+from repro.dram.device import DramSystem
+from repro.kernel.profile import PROFILE, clock
+from repro.kernel.timing_kernel import KernelTimingEngine, horizon_max
+from repro.memctrl.frfcfs import NO_EVENT, FrFcfsScheduler
+from repro.memctrl.request import MemoryRequest, RequestQueue
+
+#: Neutral element for max-reductions whose constraint may be absent
+#: (e.g. the tFAW window before four activates have been seen).
+_NEUTRAL = -(1 << 50)
+
+
+class _QueueArrays:
+    """Array-resident slot state of one transaction queue.
+
+    Slots are queue-capacity-sized and recycled through a free list; dead
+    slots keep stale (but in-range) indices so gathers never fault and are
+    masked out by ``alive``.
+    """
+
+    __slots__ = ("bank_idx", "rankbg_idx", "rank_local", "row", "seq",
+                 "is_write", "alive", "requests", "free", "slot_of")
+
+    def __init__(self, capacity: int) -> None:
+        self.bank_idx = np.zeros(capacity, dtype=np.int64)
+        self.rankbg_idx = np.zeros(capacity, dtype=np.int64)
+        self.rank_local = np.zeros(capacity, dtype=np.int64)
+        self.row = np.full(capacity, -2, dtype=np.int64)
+        self.seq = np.zeros(capacity, dtype=np.int64)
+        self.is_write = np.zeros(capacity, dtype=bool)
+        self.alive = np.zeros(capacity, dtype=bool)
+        self.requests: List[Optional[MemoryRequest]] = [None] * capacity
+        self.free = list(range(capacity - 1, -1, -1))
+        self.slot_of = {}
+
+
+class KernelFrFcfsScheduler(FrFcfsScheduler):
+    """FR-FCFS selection through the kernel's batched vector scan."""
+
+    def __init__(self, dram: DramSystem, channel: int) -> None:
+        super().__init__(dram)
+        timing = dram.timing
+        if not isinstance(timing, KernelTimingEngine):
+            raise TypeError(
+                "KernelFrFcfsScheduler requires a KernelTimingEngine "
+                f"(got {type(timing).__name__}); construct the system with "
+                "backend='kernel'"
+            )
+        self.channel = channel
+        self._kt = timing
+        org = dram.org
+        self._R = org.ranks_per_channel
+        self._BG = org.bank_groups
+        self._banks_per_group = org.banks_per_group
+        self._banks_per_rank = org.banks_per_rank
+        first = channel * self._R
+        self._rank_states = timing._ranks[first:first + self._R]
+        self._chan_state = timing._channels[channel]
+        self._issue_version_cell = dram.channel_issue_version
+        # Constraint tables: (R, BG) int64, plus flat views gathered through
+        # each slot's precomputed ``rank * BG + bank_group`` index.
+        shape = (self._R, self._BG)
+        self._act_tbl2d = np.zeros(shape, dtype=np.int64)
+        self._col_rd2d = np.zeros(shape, dtype=np.int64)
+        self._col_wr2d = np.zeros(shape, dtype=np.int64)
+        self._actbg2d = np.zeros(shape, dtype=np.int64)
+        self._act_tbl = self._act_tbl2d.reshape(-1)
+        self._col_rd = self._col_rd2d.reshape(-1)
+        self._col_wr = self._col_wr2d.reshape(-1)
+        self._refresh_tbl = np.zeros(self._R, dtype=np.int64)
+        self._bg_row = np.arange(self._BG, dtype=np.int64)[None, :]
+        self._rank_ids = np.arange(self._R, dtype=np.int64)
+        # Per-rank scalar gather buffers (filled from _RankTiming objects).
+        self._g_last_read = np.zeros(self._R, dtype=np.int64)
+        self._g_last_read_bg = np.zeros(self._R, dtype=np.int64)
+        self._g_last_write = np.zeros(self._R, dtype=np.int64)
+        self._g_last_write_bg = np.zeros(self._R, dtype=np.int64)
+        self._g_host_read = np.zeros(self._R, dtype=np.int64)
+        self._g_nda_read = np.zeros(self._R, dtype=np.int64)
+        self._g_act_rank = np.zeros(self._R, dtype=np.int64)
+        self._tables_version = -1
+
+    # ------------------------------------------------------------------ #
+    # Slot-array maintenance (queue observers)
+    # ------------------------------------------------------------------ #
+
+    def _arrays_for(self, queue: RequestQueue) -> _QueueArrays:
+        arrays = getattr(queue, "kernel_arrays", None)
+        if arrays is None:
+            arrays = _QueueArrays(queue.capacity)
+            queue.kernel_arrays = arrays
+            queue.on_push = lambda request, a=arrays: self._slot_fill(a, request)
+            queue.on_remove = lambda request, a=arrays: self._slot_clear(a, request)
+            for request in queue:  # adopt entries queued before registration
+                self._slot_fill(arrays, request)
+        return arrays
+
+    def _slot_fill(self, arrays: _QueueArrays, request: MemoryRequest) -> None:
+        addr = request.addr
+        bank_index = addr.bank_index
+        if bank_index < 0:
+            rank_index = (addr.channel * self._R + addr.rank)
+            bank_index = (rank_index * self._banks_per_rank
+                          + addr.bank_group * self._banks_per_group + addr.bank)
+        slot = arrays.free.pop()
+        arrays.bank_idx[slot] = bank_index
+        arrays.rank_local[slot] = addr.rank
+        arrays.rankbg_idx[slot] = addr.rank * self._BG + addr.bank_group
+        arrays.row[slot] = addr.row
+        arrays.seq[slot] = request.queue_seq
+        arrays.is_write[slot] = request.is_write
+        arrays.requests[slot] = request
+        arrays.slot_of[request.request_id] = slot
+        arrays.alive[slot] = True
+
+    @staticmethod
+    def _slot_clear(arrays: _QueueArrays, request: MemoryRequest) -> None:
+        slot = arrays.slot_of.pop(request.request_id)
+        arrays.alive[slot] = False
+        arrays.requests[slot] = None
+        arrays.free.append(slot)
+
+    # ------------------------------------------------------------------ #
+    # Constraint tables (cached against the channel issue version)
+    # ------------------------------------------------------------------ #
+
+    def _build_tables(self) -> None:
+        """Vectorized rebuild of the bank-independent constraint tables.
+
+        Lock-step twin of ``TimingEngine.host_column_base`` (column tables)
+        and the rank-level terms of the ACT/PRE branches of
+        ``earliest_issue_at`` — when adding a constraint there, add its
+        array term here (the micro-oracles diff the two per entry).
+        """
+        if PROFILE.enabled:
+            t0 = clock()
+        kt = self._kt
+        tFAW = kt.timing.tFAW
+        refresh = self._refresh_tbl
+        last_read = self._g_last_read
+        last_read_bg = self._g_last_read_bg
+        last_write = self._g_last_write
+        last_write_bg = self._g_last_write_bg
+        host_read = self._g_host_read
+        nda_read = self._g_nda_read
+        act_rank = self._g_act_rank
+        for r, rank in enumerate(self._rank_states):
+            refresh[r] = rank.refreshing_until
+            last_read[r] = rank.last_read_cycle
+            last_read_bg[r] = rank.last_read_bg
+            last_write[r] = rank.last_write_cycle
+            last_write_bg[r] = rank.last_write_bg
+            host_read[r] = rank.last_host_read_cycle
+            nda_read[r] = rank.last_nda_read_cycle
+            faw = (rank.faw_window[0] + tFAW
+                   if len(rank.faw_window) == 4 else _NEUTRAL)
+            base = rank.refreshing_until
+            if rank.act_allowed > base:
+                base = rank.act_allowed
+            if faw > base:
+                base = faw
+            act_rank[r] = base
+            self._actbg2d[r, :] = rank.act_allowed_bg
+        bg = self._bg_row
+        np.maximum(self._actbg2d, act_rank[:, None], out=self._act_tbl2d)
+
+        channel = self._chan_state
+        rf = refresh[:, None]
+        # Read direction: read-after-read spacing, write-to-read turnaround,
+        # data-bus occupancy and rank switching (offsets tCL).
+        rd = np.where(bg == last_read_bg[:, None], kt._tCCDL, kt._tCCDS)
+        rd += last_read[:, None]
+        wtr = np.where(bg == last_write_bg[:, None], kt._tWTRL, kt._tWTRS)
+        wtr += last_write[:, None] + kt._wr_to_rd
+        rd = horizon_max(rd, wtr, rf)
+        np.maximum(rd, channel.data_bus_free - kt._tCL, out=rd)
+        # Write direction: write-after-write spacing, read-to-write
+        # turnaround per data path, bus occupancy (offsets tCWL).
+        wr = np.where(bg == last_write_bg[:, None], kt._tCCDL, kt._tCCDS)
+        wr += last_write[:, None]
+        wr = horizon_max(wr, (host_read + kt._read_to_write)[:, None],
+                         (nda_read + kt._tCCDS)[:, None], rf)
+        np.maximum(wr, channel.data_bus_free - kt._tCWL, out=wr)
+        last_col_rank = channel.last_col_rank
+        if last_col_rank != -1:
+            switch = self._rank_ids != last_col_rank
+            end = channel.last_data_end + kt._tRTRS
+            rd[switch] = np.maximum(rd[switch], end - kt._tCL)
+            wr[switch] = np.maximum(wr[switch], end - kt._tCWL)
+        self._col_rd2d[:, :] = rd
+        self._col_wr2d[:, :] = wr
+        if PROFILE.enabled:
+            PROFILE.add("pack", clock() - t0)
+
+    # ------------------------------------------------------------------ #
+    # The batched scan
+    # ------------------------------------------------------------------ #
+
+    def _select_bucketed(self, queue: RequestQueue, now: int,
+                         ) -> Tuple[Optional[Tuple[MemoryRequest, Command]],
+                                    int,
+                                    Optional[Tuple[MemoryRequest, Command]]]:
+        if not queue:
+            return None, NO_EVENT, None
+        arrays = self._arrays_for(queue)
+        version = self._issue_version_cell[self.channel]
+        if version != self._tables_version:
+            self._build_tables()
+            self._tables_version = version
+        if PROFILE.enabled:
+            t0 = clock()
+        kt = self._kt
+        alive = arrays.alive
+        bank_idx = arrays.bank_idx
+        rankbg = arrays.rankbg_idx
+        is_write = arrays.is_write
+        seq = arrays.seq
+
+        rows_open = kt.open_row[bank_idx]
+        hit = (rows_open == arrays.row) & alive
+        closed = (rows_open == -1) & alive
+
+        act_e = horizon_max(kt.bank_act[bank_idx], self._act_tbl[rankbg])
+        pre_e = horizon_max(kt.bank_pre[bank_idx],
+                            self._refresh_tbl[arrays.rank_local])
+        col_e = horizon_max(
+            np.where(is_write, self._col_wr[rankbg], self._col_rd[rankbg]),
+            np.where(is_write, kt.bank_wr[bank_idx], kt.bank_rd[bank_idx]))
+
+        earliest = np.where(closed, act_e, np.where(hit, col_e, pre_e))
+        np.maximum(earliest, now, out=earliest)
+        earliest = np.where(alive, earliest, NO_EVENT)
+
+        issuable = earliest <= now
+        hit_issuable = issuable & hit
+        if hit_issuable.any():
+            slot = int(np.argmin(np.where(hit_issuable, seq, NO_EVENT)))
+            request = arrays.requests[slot]
+            kind = CommandType.WR if request.is_write else CommandType.RD
+            cmd = Command(kind, request.addr, RequestSource.HOST,
+                          request_id=request.request_id)
+            if PROFILE.enabled:
+                PROFILE.add("scan", clock() - t0)
+            return (request, cmd), NO_EVENT, None
+
+        pending = np.where(issuable, NO_EVENT, earliest)
+        horizon = int(pending.min())
+        fallback = issuable & ~hit
+        if fallback.any():
+            slot = int(np.argmin(np.where(fallback, seq, NO_EVENT)))
+            request = arrays.requests[slot]
+            kind = CommandType.ACT if closed[slot] else CommandType.PRE
+            cmd = Command(kind, request.addr, RequestSource.HOST,
+                          request_id=request.request_id)
+            if PROFILE.enabled:
+                PROFILE.add("scan", clock() - t0)
+            return (request, cmd), horizon, None
+
+        if horizon >= NO_EVENT:
+            if PROFILE.enabled:
+                PROFILE.add("scan", clock() - t0)
+            return None, NO_EVENT, None
+        at_horizon = pending == horizon
+        at_hit = at_horizon & hit
+        pool = at_hit if at_hit.any() else at_horizon
+        slot = int(np.argmin(np.where(pool, seq, NO_EVENT)))
+        request = arrays.requests[slot]
+        if hit[slot]:
+            kind = CommandType.WR if request.is_write else CommandType.RD
+        elif closed[slot]:
+            kind = CommandType.ACT
+        else:
+            kind = CommandType.PRE
+        cmd = Command(kind, request.addr, RequestSource.HOST,
+                      request_id=request.request_id)
+        if PROFILE.enabled:
+            PROFILE.add("scan", clock() - t0)
+        return None, horizon, (request, cmd)

@@ -1,0 +1,110 @@
+"""Closed-form burst settlement as array arithmetic over whole plans.
+
+A burst plan (see :class:`repro.nda.controller._BurstPlan`) schedules ``K``
+NDA column commands at a fixed cadence; settlement applies the timing
+effects of the elapsed prefix in closed form.  The kernel evaluates the
+settlement **across all live plans of a channel at once**:
+
+* :func:`elapsed_commands` — the per-plan count of commands strictly before
+  the settlement boundary, as pure array arithmetic;
+* :func:`settlement_horizons` — the terminal bus-occupancy and
+  precharge-horizon values a settled prefix produces, vectorized over plans;
+* :class:`KernelBurstSettler` — the channel's ``burst_settler`` hook: one
+  vector pass decides which plans have elapsed commands, then each selected
+  plan's state is applied through the *scalar* single-writer
+  (``NdaRankController._apply_settlement``), so the mutation code path is
+  shared with the Python backend and cannot diverge from it.
+
+The pure functions are the micro-oracle surface: tests diff them against a
+brute-force per-command replay and against the scalar settlement's state
+delta on randomized plans.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.kernel.profile import PROFILE, clock
+
+#: Gather sentinel for ranks with no live plan: makes every eligibility
+#: comparison false without a separate mask.
+_NO_PLAN_START = 1 << 62
+
+
+def elapsed_commands(start, step, idx, count, upto):
+    """Per-plan settled command count at boundary ``upto`` (array form).
+
+    A plan's command ``i`` issues at ``start + i * step``; the settled count
+    is how many of its ``count`` commands issue strictly before ``upto``,
+    never less than the already-settled ``idx``.  Mirrors the scalar
+    computation in ``NdaRankController.settle_burst``.
+    """
+    j = (upto - 1 - start) // step + 1
+    return np.maximum(np.minimum(j, count), idx)
+
+
+def settlement_horizons(start, step, j, is_write, *, tCL, tCWL, tBL, tRTP,
+                        write_to_precharge):
+    """Terminal timing horizons of settled plan prefixes (array form).
+
+    Returns ``(c_last, bus_free, pre_allowed)`` per plan: the last settled
+    command's cycle, the rank-internal bus-free horizon it leaves behind and
+    the bank's precharge horizon (tRTP after a read, write recovery after a
+    write).  Only meaningful where ``j > 0``.
+    """
+    c_last = start + (j - 1) * step
+    bus = c_last + np.where(is_write, tCWL, tCL) + tBL
+    pre = c_last + np.where(is_write, write_to_precharge, tRTP)
+    return c_last, bus, pre
+
+
+class KernelBurstSettler:
+    """Vectorized ``burst_settler`` for one channel's NDA rank controllers."""
+
+    __slots__ = ("controllers", "_start", "_step", "_idx", "_count")
+
+    def __init__(self, controllers: List) -> None:
+        self.controllers = list(controllers)
+        n = len(self.controllers)
+        self._start = np.zeros(n, dtype=np.int64)
+        self._step = np.ones(n, dtype=np.int64)
+        self._idx = np.zeros(n, dtype=np.int64)
+        self._count = np.zeros(n, dtype=np.int64)
+
+    def __call__(self, upto: int) -> None:
+        if PROFILE.enabled:
+            t0 = clock()
+        start = self._start
+        step = self._step
+        idx = self._idx
+        count = self._count
+        for k, controller in enumerate(self.controllers):
+            plan = controller._plan
+            if plan is None:
+                start[k] = _NO_PLAN_START
+                step[k] = 1
+                idx[k] = 0
+                count[k] = 0
+            else:
+                start[k] = plan.start
+                step[k] = plan.step
+                idx[k] = plan.idx
+                count[k] = plan.count
+        # Eligibility in one pass: a plan needs settlement iff the boundary
+        # passed its first unsettled command and at least one more command
+        # elapsed.  (No-plan ranks fail both via the sentinel start.)
+        need = upto > start + idx * step
+        if not need.any():
+            if PROFILE.enabled:
+                PROFILE.add("settle", clock() - t0)
+            return
+        j = elapsed_commands(start, step, idx, count, upto)
+        need &= j > idx
+        selected = np.nonzero(need)[0]
+        if PROFILE.enabled:
+            PROFILE.add("settle", clock() - t0)
+        for k in selected:
+            controller = self.controllers[k]
+            controller._apply_settlement(controller._plan, int(j[k]))

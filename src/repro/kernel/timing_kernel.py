@@ -1,0 +1,192 @@
+"""Array-resident DDR4 timing state: the kernel's ``TimingKernel``.
+
+:class:`KernelTimingEngine` subclasses the scalar
+:class:`~repro.dram.timing.TimingEngine` and moves every per-bank timing
+horizon (``act_allowed`` / ``pre_allowed`` / ``rd_allowed`` / ``wr_allowed``)
+out of the flat ``_BankTiming`` object list into four preallocated int64
+arrays (one per field, dense ``bank_index`` order — the packing contract in
+:mod:`repro.platform.packing`).  It also maintains an **open-row mirror**
+(``open_row[bank_index]``, ``-1`` = closed), updated at ACT/PRE issue, so the
+batched FR-FCFS scan classifies every queued request's required command with
+two gathers instead of per-bucket ``Bank`` object reads.
+
+The scalar constraint law is *inherited, not duplicated*: each ``_banks``
+entry becomes an :class:`_ArrayBankView` whose attributes read and write the
+arrays in place, so ``earliest_issue_at`` / ``issue`` / ``host_column_base``
+run the exact oracle code against array-resident state.  Only the refresh
+issue path is overridden, replacing the per-bank Python loop with a masked
+scatter (:func:`scatter_max`) over the rank's array slice.  Rank and channel
+state stay scalar: both are O(ranks) small and are read by NDA hot paths
+that gain nothing from vectorization.
+
+Vector primitives (:func:`horizon_max`, :func:`scatter_max`) are module
+level so the micro-oracle property tests (tests/test_kernel_micro.py) can
+diff them against their scalar counterparts in isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DramOrgConfig, DramTimingConfig
+from repro.dram.commands import Command, CommandType
+from repro.dram.timing import TimingEngine
+from repro.kernel.profile import PROFILE, clock
+from repro.platform.packing import NO_OPEN_ROW, pack_bank_state
+
+
+def horizon_max(*constraints: "np.ndarray") -> "np.ndarray":
+    """Elementwise max over constraint arrays: the earliest-issue reduction.
+
+    The vector twin of the comparison chains in
+    ``TimingEngine.earliest_issue_at`` — an earliest-issue horizon is the
+    maximum of every applicable absolute constraint cycle.  A pairwise fold
+    rather than ``np.maximum.reduce`` so inputs of broadcastable-but-unequal
+    shapes (e.g. per-(rank, bank-group) tables against per-rank columns)
+    compose directly.
+    """
+    result = constraints[0]
+    for constraint in constraints[1:]:
+        result = np.maximum(result, constraint)
+    return result
+
+
+def scatter_max(target: "np.ndarray", index, value) -> None:
+    """Masked scatter ``target[index] = max(target[index], value)`` in place.
+
+    ``index`` may be a slice (contiguous bank ranges, e.g. all banks of a
+    refreshing rank) or an integer index array (e.g. the planned banks of a
+    burst settlement batch); duplicate indices accumulate correctly.  All
+    updates the kernel applies this way are monotone (constraints only move
+    later), matching the guarded assignments of the scalar engine.
+    """
+    if isinstance(index, slice):
+        region = target[index]
+        np.maximum(region, value, out=region)
+    else:
+        np.maximum.at(target, index, value)
+
+
+class _ArrayBankView:
+    """One bank's window into the kernel's per-bank horizon arrays.
+
+    Stands in for the scalar ``_BankTiming`` slots object so every inherited
+    ``TimingEngine`` method (the oracle constraint law) transparently reads
+    and writes the array-resident state.  Values are converted to built-in
+    ``int`` on read so cached horizons and calendar entries stay plain
+    Python ints everywhere outside the arrays.
+    """
+
+    __slots__ = ("_act", "_pre", "_rd", "_wr", "_i")
+
+    def __init__(self, act: "np.ndarray", pre: "np.ndarray", rd: "np.ndarray",
+                 wr: "np.ndarray", index: int) -> None:
+        self._act = act
+        self._pre = pre
+        self._rd = rd
+        self._wr = wr
+        self._i = index
+
+    @property
+    def act_allowed(self) -> int:
+        return int(self._act[self._i])
+
+    @act_allowed.setter
+    def act_allowed(self, value: int) -> None:
+        self._act[self._i] = value
+
+    @property
+    def pre_allowed(self) -> int:
+        return int(self._pre[self._i])
+
+    @pre_allowed.setter
+    def pre_allowed(self, value: int) -> None:
+        self._pre[self._i] = value
+
+    @property
+    def rd_allowed(self) -> int:
+        return int(self._rd[self._i])
+
+    @rd_allowed.setter
+    def rd_allowed(self, value: int) -> None:
+        self._rd[self._i] = value
+
+    @property
+    def wr_allowed(self) -> int:
+        return int(self._wr[self._i])
+
+    @wr_allowed.setter
+    def wr_allowed(self, value: int) -> None:
+        self._wr[self._i] = value
+
+
+class KernelTimingEngine(TimingEngine):
+    """The scalar timing oracle over array-resident per-bank state."""
+
+    def __init__(self, org: DramOrgConfig, timing: DramTimingConfig) -> None:
+        if PROFILE.enabled:
+            t0 = clock()
+        super().__init__(org, timing)
+        arrays = pack_bank_state(org)
+        #: Per-bank earliest-issue horizons, dense ``bank_index`` order.
+        self.bank_act: np.ndarray = arrays["act_allowed"]
+        self.bank_pre: np.ndarray = arrays["pre_allowed"]
+        self.bank_rd: np.ndarray = arrays["rd_allowed"]
+        self.bank_wr: np.ndarray = arrays["wr_allowed"]
+        #: Open-row mirror: ``open_row[bank_index]`` is the latched row, or
+        #: :data:`~repro.platform.packing.NO_OPEN_ROW` when closed.
+        self.open_row: np.ndarray = arrays["open_row"]
+        # Re-seat the flat bank list on the arrays: the state's single home
+        # is the arrays; the views keep every inherited scalar probe exact.
+        self._banks = [
+            _ArrayBankView(self.bank_act, self.bank_pre, self.bank_rd,
+                           self.bank_wr, index)
+            for index in range(len(self._banks))
+        ]
+        if PROFILE.enabled:
+            PROFILE.add("pack", clock() - t0)
+
+    def issue(self, cmd: Command, now: int) -> None:
+        kind = cmd.kind
+        if kind is CommandType.REF:
+            self._issue_refresh(cmd, now)
+            return
+        if kind is CommandType.ACT:
+            _, bank_index = self._indices(cmd.addr)
+            self.open_row[bank_index] = cmd.addr.row
+        elif kind is CommandType.PRE:
+            _, bank_index = self._indices(cmd.addr)
+            self.open_row[bank_index] = NO_OPEN_ROW
+        super().issue(cmd, now)
+
+    def _issue_refresh(self, cmd: Command, now: int) -> None:
+        """REF issue with the per-bank loop replaced by a masked scatter.
+
+        State-identical to the scalar REF branch of ``TimingEngine.issue``
+        (a refresh closes no rows — protocol requires all banks already
+        closed — so the open-row mirror is untouched).
+        """
+        t = self.timing
+        addr = cmd.addr
+        rank_index, _ = self._indices(addr)
+        self._issue_versions[rank_index] += 1
+        self._row_versions[rank_index] += 1
+        if self.busy_observer is not None:
+            self.busy_observer(addr.channel, addr.rank, now)
+        rank = self._ranks[rank_index]
+        rank.refreshing_until = max(rank.refreshing_until, now + t.tRFC)
+        rank.refresh_due += t.tREFI
+        start = rank_index * self._banks_per_rank
+        if PROFILE.enabled:
+            t0 = clock()
+        scatter_max(self.bank_act,
+                    slice(start, start + self._banks_per_rank), now + t.tRFC)
+        if PROFILE.enabled:
+            PROFILE.add("scatter", clock() - t0)
+        rank.busy_until = max(rank.busy_until, now + t.tRFC)
+        ch = addr.channel
+        first = ch * self._ranks_per_channel
+        self._channel_refresh_due[ch] = min(
+            r.refresh_due
+            for r in self._ranks[first:first + self._ranks_per_channel]
+        )

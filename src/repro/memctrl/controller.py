@@ -35,13 +35,19 @@ class ChannelController:
     """FR-FCFS memory controller for one channel."""
 
     def __init__(self, channel: int, dram: DramSystem,
-                 config: Optional[SchedulerConfig] = None) -> None:
+                 config: Optional[SchedulerConfig] = None,
+                 scheduler_factory: Optional[
+                     Callable[[DramSystem, int], FrFcfsScheduler]] = None) -> None:
         self.channel = channel
         self.dram = dram
         self.config = config or SchedulerConfig()
         self.read_queue = RequestQueue(self.config.read_queue_entries)
         self.write_queue = RequestQueue(self.config.write_queue_entries)
-        self.scheduler = FrFcfsScheduler(dram)
+        # ``scheduler_factory`` is the backend hook: the kernel backend
+        # substitutes the batched vector scan (same FR-FCFS selection law;
+        # see repro.kernel.scan) by constructing with ``(dram, channel)``.
+        self.scheduler = (FrFcfsScheduler(dram) if scheduler_factory is None
+                          else scheduler_factory(dram, channel))
         # Integer occupancy thresholds with semantics identical to the
         # float comparisons they replace (computed by evaluating the exact
         # original expression for every possible length).

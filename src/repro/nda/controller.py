@@ -556,6 +556,18 @@ class NdaRankController:
             j = plan.count
         if j <= done:
             return
+        self._apply_settlement(plan, j)
+
+    def _apply_settlement(self, plan: _BurstPlan, j: int) -> None:
+        """Apply the state effects of settling ``plan`` through index ``j``.
+
+        The single writer for settlement effects: :meth:`settle_burst`
+        computes ``j`` scalar-wise, the kernel backend's
+        :class:`~repro.kernel.settle.KernelBurstSettler` computes it as
+        array arithmetic over all of a channel's plans — both apply through
+        here, so the two backends cannot diverge on settlement state.
+        ``j`` must be a settled-command count in ``(plan.idx, plan.count]``.
+        """
         plan.idx = j
         c_last = plan.start + (j - 1) * plan.step
         timing = self.dram.timing

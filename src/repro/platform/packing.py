@@ -1,0 +1,79 @@
+"""Spec→array packing for the kernel backend.
+
+The kernel backend (see :mod:`repro.kernel`) keeps hot-path DRAM state in
+preallocated numpy arrays indexed by the dense ``rank_index``/``bank_index``
+stamped on :class:`~repro.dram.commands.DramAddress`.  This module is the
+packing layer between a platform's :class:`~repro.config.DramOrgConfig` /
+:class:`~repro.config.DramTimingConfig` (whatever preset produced them) and
+that array layout:
+
+* :func:`pack_geometry` — the dense-index geometry (counts and strides);
+* :func:`pack_bank_state` — the preallocated per-bank timing-horizon arrays
+  plus the open-row mirror (dtype/shape contract in ARCHITECTURE.md).
+
+Only imported when the kernel backend is constructed, so numpy stays an
+optional dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+import numpy as np
+
+from repro.config import DramOrgConfig
+
+#: Names of the per-bank timing horizons, in the order they appear in the
+#: scalar :class:`repro.dram.timing._BankTiming` flat list.  The kernel packs
+#: one int64 array per field; keep in lock-step with ``_BankTiming.__slots__``.
+BANK_FIELDS = ("act_allowed", "pre_allowed", "rd_allowed", "wr_allowed")
+
+#: Sentinel row value of a closed bank in the open-row mirror (DRAM rows are
+#: non-negative, so -1 can never match a request's target row).
+NO_OPEN_ROW = -1
+
+
+class Geometry(NamedTuple):
+    """Dense-index geometry of one platform organization."""
+
+    channels: int
+    ranks_per_channel: int
+    bank_groups: int
+    banks_per_group: int
+    banks_per_rank: int
+    total_ranks: int
+    total_banks: int
+
+
+def pack_geometry(org: DramOrgConfig) -> Geometry:
+    """The dense-index geometry the kernel arrays are shaped by."""
+    total_ranks = org.channels * org.ranks_per_channel
+    return Geometry(
+        channels=org.channels,
+        ranks_per_channel=org.ranks_per_channel,
+        bank_groups=org.bank_groups,
+        banks_per_group=org.banks_per_group,
+        banks_per_rank=org.banks_per_rank,
+        total_ranks=total_ranks,
+        total_banks=total_ranks * org.banks_per_rank,
+    )
+
+
+def pack_bank_state(org: DramOrgConfig) -> Dict[str, "np.ndarray"]:
+    """Preallocated per-bank state arrays for ``org``.
+
+    Returns one ``int64`` array of length ``total_banks`` per
+    :data:`BANK_FIELDS` entry (all zero, the scalar engine's initial state)
+    plus ``"open_row"`` initialized to :data:`NO_OPEN_ROW` (all banks
+    closed).  Shapes and dtypes are the kernel's array contract; every
+    consumer (timing kernel, batched scan, burst settlement) indexes these by
+    the dense ``bank_index``.
+    """
+    geometry = pack_geometry(org)
+    arrays: Dict[str, np.ndarray] = {
+        field: np.zeros(geometry.total_banks, dtype=np.int64)
+        for field in BANK_FIELDS
+    }
+    arrays["open_row"] = np.full(geometry.total_banks, NO_OPEN_ROW,
+                                 dtype=np.int64)
+    return arrays

@@ -1,0 +1,115 @@
+"""The benchmark regression gate: per-variant gating and baseline updates.
+
+``benchmarks/`` is not a package, so the gate script is loaded by path and
+driven with synthetic reports — the gate's verdict logic (per-variant hard
+gates, skip semantics for missing variants, ``--update-baseline``) must not
+depend on running the actual benchmark.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+_GATE_PATH = (Path(__file__).resolve().parent.parent / "benchmarks"
+              / "check_bench_regression.py")
+_spec = importlib.util.spec_from_file_location("check_bench_regression",
+                                               _GATE_PATH)
+gate = importlib.util.module_from_spec(_spec)
+# dataclass decoration resolves the defining module through sys.modules, so
+# the path-loaded module must be registered before execution.
+sys.modules[_spec.name] = gate
+_spec.loader.exec_module(gate)
+
+
+def _report(cycle=10000.0, event=20000.0, kernel=15000.0, sweep_seconds=2.0,
+            platforms=True):
+    report = {
+        "largest_point": {
+            "cycle": {"cycles_per_second": cycle},
+            "event": {"cycles_per_second": event},
+        },
+        "fig14_sweep": {
+            "points": 4,
+            "cycles_per_point": 1000,
+            "sweep_runner_event_engine_seconds": sweep_seconds,
+        },
+    }
+    if kernel is not None:
+        report["largest_point"]["kernel"] = {"cycles_per_second": kernel}
+    if platforms:
+        entry = {
+            "cycle": {"cycles_per_second": cycle},
+            "event": {"cycles_per_second": event},
+            "event_vs_cycle_speedup": event / cycle,
+        }
+        if kernel is not None:
+            entry["kernel"] = {"cycles_per_second": kernel}
+        report["platforms"] = {"cycles": 1000, "ddr4-2400": entry}
+    return report
+
+
+class TestGateVerdicts:
+    def test_identical_reports_pass(self):
+        assert gate.check(_report(), _report(), tolerance=0.30) == 0
+
+    def test_cycle_regression_fails(self):
+        fresh = _report(cycle=10000.0 * 0.5)
+        assert gate.check(fresh, _report(), tolerance=0.30) == 1
+
+    def test_kernel_regression_fails_independently(self):
+        # Only the kernel variant dropped; cycle/event are unchanged.
+        fresh = _report(kernel=15000.0 * 0.5)
+        assert gate.check(fresh, _report(), tolerance=0.30) == 1
+
+    def test_platform_variant_gated_independently(self):
+        fresh = _report()
+        fresh["platforms"]["ddr4-2400"]["kernel"]["cycles_per_second"] *= 0.5
+        assert gate.check(fresh, _report(), tolerance=0.30) == 1
+
+    def test_missing_kernel_variant_skipped(self):
+        # A no-numpy environment records no kernel rows; the gate must not
+        # fail against a baseline that has them (and vice versa).
+        assert gate.check(_report(kernel=None), _report(),
+                          tolerance=0.30) == 0
+        assert gate.check(_report(), _report(kernel=None),
+                          tolerance=0.30) == 0
+
+    def test_within_tolerance_passes(self):
+        fresh = _report(cycle=10000.0 * 0.75, event=20000.0 * 0.75,
+                        kernel=15000.0 * 0.75)
+        assert gate.check(fresh, _report(), tolerance=0.30) == 0
+
+
+class TestUpdateBaseline:
+    def test_update_baseline_rewrites_file(self, tmp_path, capsys):
+        fresh_path = tmp_path / "fresh.json"
+        baseline_path = tmp_path / "baseline.json"
+        fresh = _report(event=40000.0)
+        fresh_path.write_text(json.dumps(_report(event=40000.0)))
+        baseline_path.write_text(json.dumps(_report()))
+        status = gate.main(["--fresh", str(fresh_path),
+                            "--baseline", str(baseline_path),
+                            "--update-baseline"])
+        assert status == 0
+        assert json.loads(baseline_path.read_text()) == fresh
+        assert "baseline updated" in capsys.readouterr().out
+
+    def test_update_baseline_creates_missing_file(self, tmp_path):
+        fresh_path = tmp_path / "fresh.json"
+        baseline_path = tmp_path / "baseline.json"
+        fresh_path.write_text(json.dumps(_report()))
+        status = gate.main(["--fresh", str(fresh_path),
+                            "--baseline", str(baseline_path),
+                            "--update-baseline"])
+        assert status == 0
+        assert json.loads(baseline_path.read_text()) == _report()
+
+    def test_regression_still_fails_without_flag(self, tmp_path):
+        fresh_path = tmp_path / "fresh.json"
+        baseline_path = tmp_path / "baseline.json"
+        fresh_path.write_text(json.dumps(_report(event=100.0)))
+        baseline_path.write_text(json.dumps(_report()))
+        status = gate.main(["--fresh", str(fresh_path),
+                            "--baseline", str(baseline_path)])
+        assert status == 1

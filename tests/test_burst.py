@@ -18,18 +18,25 @@ from repro.config import scaled_config
 from repro.core.modes import AccessMode
 from repro.core.system import ChopimSystem
 from repro.dram.commands import DramAddress
+from repro.kernel import kernel_available
 from repro.nda.fsm import ReplicatedFsm
 from repro.nda.isa import NdaOpcode
 from repro.nda.write_buffer import NdaWriteBuffer
 from repro.platform import platform_config
+from repro.platform.packing import BANK_FIELDS
+
+#: Backends the replay oracles cover; the kernel leg drops out with numpy.
+_BACKENDS = ("python", "kernel") if kernel_available() else ("python",)
 
 
 def _build_and_run(mode, opcode, *, mix=None, throttle="issue_if_idle",
                    channels=2, ranks=2, elements=1 << 13, cycles=1500,
-                   warmup=150, config=None, engine="event"):
+                   warmup=150, config=None, engine="event",
+                   backend="python"):
     cfg = config or scaled_config(channels, ranks)
     system = ChopimSystem(config=cfg, mode=mode,
-                          mix=mix, throttle=throttle, engine=engine)
+                          mix=mix, throttle=throttle, engine=engine,
+                          backend=backend)
     system.set_nda_workload(opcode, elements_per_rank=elements)
     result = system.run(cycles=cycles, warmup=warmup)
     return system, result
@@ -42,8 +49,11 @@ def _timing_state(system):
          if slot != "faw_window"} | {"faw_window": list(rank.faw_window)}
         for rank in timing._ranks
     ]
+    # Per-bank horizons are read by field name, not ``__slots__``: on the
+    # kernel backend ``_banks`` holds array views whose public fields are
+    # the same four horizons, so states compare across backends.
     banks = [
-        {slot: getattr(bank, slot) for slot in bank.__slots__}
+        {field: getattr(bank, field) for field in BANK_FIELDS}
         for bank in timing._banks
     ]
     channels = [
@@ -106,10 +116,15 @@ _SCENARIOS = [
 class TestBurstOracle:
     """Burst-on vs burst-off (per-cycle replay) must match state-for-state."""
 
+    @pytest.mark.parametrize("backend", _BACKENDS)
     @pytest.mark.parametrize("name,spec", _SCENARIOS)
-    def test_replay_matches(self, name, spec, monkeypatch):
+    def test_replay_matches(self, name, spec, backend, monkeypatch):
+        # The bursting run uses ``backend``; the per-cycle replay always
+        # uses the pure-python scalar path, so the kernel leg is a combined
+        # cross-backend *and* cross-path oracle (vectorized settlement and
+        # batched scan against the scalar per-cycle ground truth).
         monkeypatch.delenv("REPRO_DISABLE_BURST", raising=False)
-        burst_system, burst_result = _build_and_run(**spec)
+        burst_system, burst_result = _build_and_run(backend=backend, **spec)
         assert burst_system.burst_enabled
         monkeypatch.setenv("REPRO_DISABLE_BURST", "1")
         plain_system, plain_result = _build_and_run(**spec)
@@ -182,14 +197,15 @@ class TestBurstRefreshPressure:
     #: exercised at cadences other than DDR4's 4 (hbm2: 2, ddr5-4800: 8).
     _PLATFORMS = [None, "hbm2", "ddr5-4800"]
 
+    @pytest.mark.parametrize("backend", _BACKENDS)
     @pytest.mark.parametrize("platform", _PLATFORMS)
     @pytest.mark.parametrize("name,spec", _SCENARIOS)
     def test_burst_replay_matches_under_refresh_pressure(self, name, spec,
-                                                         platform,
+                                                         platform, backend,
                                                          monkeypatch):
         monkeypatch.delenv("REPRO_DISABLE_BURST", raising=False)
         burst_system, burst_result = _build_and_run(
-            config=_refresh_heavy_config(platform), **spec)
+            config=_refresh_heavy_config(platform), backend=backend, **spec)
         refreshes = sum(mc.counters.get("refreshes")
                         for mc in burst_system.channel_controllers.values())
         assert refreshes > 0, "scenario exerts no refresh pressure"
@@ -241,11 +257,13 @@ class TestBurstPlatforms:
                                         elements=1 << 13)),
     ]
 
+    @pytest.mark.parametrize("backend", _BACKENDS)
     @pytest.mark.parametrize("name,platform,spec", _SCENARIOS)
-    def test_replay_matches(self, name, platform, spec, monkeypatch):
+    def test_replay_matches(self, name, platform, spec, backend,
+                            monkeypatch):
         monkeypatch.delenv("REPRO_DISABLE_BURST", raising=False)
         burst_system, burst_result = _build_and_run(
-            config=platform_config(platform), **spec)
+            config=platform_config(platform), backend=backend, **spec)
         assert burst_system.burst_enabled
         monkeypatch.setenv("REPRO_DISABLE_BURST", "1")
         plain_system, plain_result = _build_and_run(

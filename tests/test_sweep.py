@@ -71,6 +71,40 @@ class TestSweepCache:
         task_b = SweepTask("m", "g", {"value": 1})
         assert task_a.cache_key() != task_b.cache_key()
 
+    def test_cache_key_distinguishes_platform_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PLATFORM", raising=False)
+        default = SweepTask("m", "f", {"value": 1}).cache_key()
+        monkeypatch.setenv("REPRO_PLATFORM", "hbm2")
+        retargeted = SweepTask("m", "f", {"value": 1}).cache_key()
+        assert default != retargeted
+
+    def test_cache_key_distinguishes_backend_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        default = SweepTask("m", "f", {"value": 1}).cache_key()
+        monkeypatch.setenv("REPRO_BACKEND", "kernel")
+        kernel = SweepTask("m", "f", {"value": 1}).cache_key()
+        assert default != kernel
+
+    def test_cache_key_distinguishes_code_version(self):
+        base = SweepTask("m", "f", {"value": 1})
+        edited = SweepTask("m", "f", {"value": 1},
+                           code="different-fingerprint")
+        assert base.cache_key() != edited.cache_key()
+        assert base.code == sweep.code_fingerprint()
+
+    def test_stale_rows_not_replayed_across_environment(self, tmp_path,
+                                                        monkeypatch):
+        # A row cached under one platform/backend must not satisfy a sweep
+        # run under another: the same params hash to a different key.
+        monkeypatch.delenv("REPRO_PLATFORM", raising=False)
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        run_sweep(_double, [{"value": 4}], cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        monkeypatch.setenv("REPRO_PLATFORM", "ddr5-4800")
+        rows = run_sweep(_double, [{"value": 4}], cache_dir=tmp_path)
+        assert rows[0]["result"] == 8
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
     def test_corrupt_cache_entry_recomputed(self, tmp_path):
         cache = SweepCache(tmp_path)
         task = SweepTask(_double.__module__, _double.__qualname__,
