@@ -13,7 +13,11 @@ Measures
   and a cached regeneration (warm cache replay);
 * **platforms** — the largest point re-run on every registered memory
   platform preset (every variant), so the regression gate can key on
-  ``(platform, variant)`` pairs.
+  ``(platform, variant)`` pairs;
+* **sweep service** — points/sec through the serial, supervised and
+  journaled sweep paths (the supervision and durability overheads), plus a
+  miniature crash/fault/resume drill whose recovery stats (retries,
+  respawns, lease bound) are recorded for the CI log.
 
 Results are written to ``BENCH_engine.json`` at the repository root.
 
@@ -58,7 +62,7 @@ from repro.experiments.common import (
     resolve_config,
 )
 from repro.experiments.fig14_scaling import _point, sweep_params
-from repro.experiments.sweep import run_sweep
+from repro.experiments.sweep import SweepOptions, run_sweep, run_sweep_outcome
 from repro.kernel import kernel_available
 from repro.nda.isa import NdaOpcode
 from repro.platform import DEFAULT_PLATFORM, platform_names
@@ -344,6 +348,66 @@ def bench_fig14_sweep(cycles: int, warmup: int) -> dict:
     }
 
 
+def bench_sweep_service(points: int = 64, spin: int = 20000,
+                        recovery_points: int = 60) -> dict:
+    """Sweep-service overhead plus a miniature recovery drill.
+
+    * throughput of trivial points through the serial in-process path, the
+      supervised worker pool, and the supervised pool with journaling on —
+      the deltas between them are the supervision and durability overheads
+      the service adds on top of raw point execution;
+    * a small crash/fault/resume proof (``sweeprunner.selftest``): injected
+      crashes/hangs/corrupt rows plus a SIGKILLed driver incarnation,
+      resumed to bit-identical rows.  Its stats land in the JSON so CI logs
+      show recovery behaviour (retries, respawns, lease bound) over time.
+    """
+    from repro.experiments.sweeprunner.selftest import (
+        _canonical_point,
+        proof_params,
+        run_proof,
+    )
+
+    point = _canonical_point()
+    params = proof_params(points, spin, sleep=0.0)
+    # At least two workers even on a single-CPU runner: one worker would
+    # take the serial in-process path and measure nothing supervised.
+    workers = max(2, min(4, os.cpu_count() or 1))
+
+    def timed(options: SweepOptions) -> float:
+        start = time.perf_counter()
+        outcome = run_sweep_outcome(point, params, options=options)
+        seconds = time.perf_counter() - start
+        assert outcome.ok and len(outcome.rows) == points
+        return seconds
+
+    serial_seconds = timed(SweepOptions(processes=1, cache_dir="",
+                                        journal=False))
+    supervised_seconds = timed(SweepOptions(processes=workers, cache_dir="",
+                                            journal=False))
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-journal-") as tmp:
+        journaled_seconds = timed(SweepOptions(processes=workers,
+                                               cache_dir=tmp))
+
+    recovery = run_proof(points=recovery_points, fault_rate=0.1, seed=7,
+                         kill_after=8, workers=workers, max_retries=3,
+                         task_timeout=1.5, spin=500, sleep=0.005,
+                         verbose=False)
+    recovery_keys = ("ok", "done_at_kill", "cache_hits_on_resume", "retries",
+                     "worker_respawns", "timeouts", "crashes", "corrupt_rows",
+                     "max_leases_observed", "lease_bound")
+    return {
+        "points": points,
+        "spin": spin,
+        "workers": workers,
+        "serial_points_per_second": points / serial_seconds,
+        "supervised_points_per_second": points / supervised_seconds,
+        "journaled_points_per_second": points / journaled_seconds,
+        "supervision_overhead_seconds": supervised_seconds - serial_seconds,
+        "journal_overhead_seconds": journaled_seconds - supervised_seconds,
+        "recovery": {key: recovery[key] for key in recovery_keys},
+    }
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cycles", type=int, default=DEFAULT_CYCLES,
@@ -382,6 +446,7 @@ def main(argv=None) -> None:
         "largest_point": bench_largest_point(args.cycles, args.warmup,
                                              args.repeats),
         "fig14_sweep": bench_fig14_sweep(args.sweep_cycles, args.sweep_warmup),
+        "sweep_service": bench_sweep_service(),
     }
     if args.platforms is None or args.platforms:
         result["platforms"] = bench_platforms(

@@ -14,11 +14,13 @@ differs).
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Sequence
+import sys
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.config import SystemConfig, scaled_config
 from repro.core.modes import AccessMode
 from repro.core.system import ChopimSystem
+from repro.experiments.sweeprunner import SweepPointsFailed
 from repro.nda.isa import NdaOpcode
 from repro.platform import DEFAULT_PLATFORM, platform_config
 
@@ -134,6 +136,26 @@ def format_table(rows: Sequence[Dict[str, object]],
     for cells in rendered:
         lines.append("  ".join(cells[c].ljust(widths[c]) for c in columns))
     return "\n".join(lines)
+
+
+def run_experiment_cli(main: Callable[[], None]) -> None:
+    """Figure-CLI harness around the sweep service's failure modes.
+
+    * ``Ctrl-C`` exits 130 with the resume hint the sweep driver already
+      printed (workers terminated, completed rows journaled) instead of a
+      raw traceback.
+    * A strict-mode sweep failure (:class:`SweepPointsFailed`) exits 2
+      with the structured failure report — the completed rows were
+      journaled, so fixing the failing points and re-running resumes
+      rather than recomputes.
+    """
+    try:
+        main()
+    except KeyboardInterrupt:
+        raise SystemExit(130) from None
+    except SweepPointsFailed as exc:
+        print(exc.outcome.failure_report(), file=sys.stderr)
+        raise SystemExit(2) from None
 
 
 def opcode_by_name(name: str) -> NdaOpcode:

@@ -12,8 +12,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.modes import AccessMode
-from repro.experiments.common import DEFAULT_CYCLES, DEFAULT_WARMUP, build_system, format_table
-from repro.experiments.sweep import run_sweep
+from repro.experiments.common import (
+    DEFAULT_CYCLES,
+    DEFAULT_WARMUP,
+    build_system,
+    format_table,
+    run_experiment_cli,
+)
+from repro.experiments.sweep import SweepOptions, run_sweep
 from repro.host.mixes import mix_names
 from repro.utils.histogram import IDLE_BUCKET_LABELS
 
@@ -40,11 +46,13 @@ def run_idle_histogram(mixes: Optional[Sequence[str]] = None,
                        cycles: int = DEFAULT_CYCLES,
                        warmup: int = DEFAULT_WARMUP,
                        processes: Optional[int] = None,
-                       cache_dir: Optional[str] = None) -> List[Dict[str, object]]:
+                       cache_dir: Optional[str] = None,
+                       options: Optional[SweepOptions] = None,
+                       ) -> List[Dict[str, object]]:
     """One row per mix: busy fraction plus per-bucket idle fractions."""
     mixes = list(mixes) if mixes is not None else mix_names()
     params = [{"mix": mix, "cycles": cycles, "warmup": warmup} for mix in mixes]
-    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)
+    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir, options=options)
 
 
 def short_idle_fraction(row: Dict[str, object], threshold_label: str = "100-250") -> float:
@@ -68,4 +76,4 @@ def main() -> None:  # pragma: no cover - CLI convenience
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    run_experiment_cli(main)

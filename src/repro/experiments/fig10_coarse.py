@@ -22,8 +22,9 @@ from repro.experiments.common import (
     DEFAULT_WARMUP,
     build_system,
     format_table,
+    run_experiment_cli,
 )
-from repro.experiments.sweep import run_sweep
+from repro.experiments.sweep import SweepOptions, run_sweep
 from repro.nda.isa import NdaOpcode
 
 #: The paper sweeps powers of four from 1 to 4096 cache blocks.
@@ -66,6 +67,7 @@ def run_coarse_grain_sweep(granularities: Sequence[int] = QUICK_GRANULARITIES,
                            elements_per_rank: int = DEFAULT_ELEMENTS_PER_RANK,
                            processes: Optional[int] = None,
                            cache_dir: Optional[str] = None,
+                           options: Optional[SweepOptions] = None,
                            ) -> List[Dict[str, object]]:
     """One row per (rank config, cache blocks per instruction)."""
     params = [
@@ -75,7 +77,7 @@ def run_coarse_grain_sweep(granularities: Sequence[int] = QUICK_GRANULARITIES,
         for channels, ranks in rank_configs
         for cache_blocks in granularities
     ]
-    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)
+    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir, options=options)
 
 
 def coarse_vs_fine_summary(rows: Sequence[Dict[str, object]]) -> Dict[str, float]:
@@ -108,4 +110,4 @@ def main() -> None:  # pragma: no cover - CLI convenience
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    run_experiment_cli(main)

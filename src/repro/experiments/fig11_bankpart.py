@@ -21,8 +21,9 @@ from repro.experiments.common import (
     QUICK_MIXES,
     build_system,
     format_table,
+    run_experiment_cli,
 )
-from repro.experiments.sweep import run_sweep
+from repro.experiments.sweep import SweepOptions, run_sweep
 from repro.nda.isa import NdaOpcode
 
 CONFIGURATIONS = (
@@ -59,6 +60,7 @@ def run_bank_partitioning(mixes: Optional[Sequence[str]] = None,
                           elements_per_rank: int = DEFAULT_ELEMENTS_PER_RANK,
                           processes: Optional[int] = None,
                           cache_dir: Optional[str] = None,
+                          options: Optional[SweepOptions] = None,
                           ) -> List[Dict[str, object]]:
     """One row per (mix, configuration, operation).
 
@@ -75,7 +77,7 @@ def run_bank_partitioning(mixes: Optional[Sequence[str]] = None,
         for config_name, mode in CONFIGURATIONS
         for opcode in OPERATIONS
     ]
-    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)
+    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir, options=options)
 
 
 def partitioning_speedup(rows: Sequence[Dict[str, object]],
@@ -103,4 +105,4 @@ def main() -> None:  # pragma: no cover - CLI convenience
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    run_experiment_cli(main)

@@ -21,8 +21,9 @@ from repro.experiments.common import (
     QUICK_MIXES,
     build_system,
     format_table,
+    run_experiment_cli,
 )
-from repro.experiments.sweep import run_sweep
+from repro.experiments.sweep import SweepOptions, run_sweep
 from repro.nda.isa import NdaOpcode
 
 #: (label, throttle policy name, stochastic probability)
@@ -61,6 +62,7 @@ def run_write_throttling(mixes: Optional[Sequence[str]] = None,
                          opcode: NdaOpcode = NdaOpcode.COPY,
                          processes: Optional[int] = None,
                          cache_dir: Optional[str] = None,
+                         options: Optional[SweepOptions] = None,
                          ) -> List[Dict[str, object]]:
     """One row per (mix, throttling policy)."""
     mixes = list(mixes) if mixes is not None else QUICK_MIXES
@@ -72,7 +74,7 @@ def run_write_throttling(mixes: Optional[Sequence[str]] = None,
         for mix in mixes
         for label, policy, probability in POLICIES
     ]
-    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)
+    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir, options=options)
 
 
 def tradeoff_summary(rows: Sequence[Dict[str, object]]) -> Dict[str, Dict[str, float]]:
@@ -101,4 +103,4 @@ def main() -> None:  # pragma: no cover - CLI convenience
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    run_experiment_cli(main)

@@ -18,8 +18,9 @@ from repro.experiments.common import (
     DEFAULT_WARMUP,
     build_system,
     format_table,
+    run_experiment_cli,
 )
-from repro.experiments.sweep import run_sweep
+from repro.experiments.sweep import SweepOptions, run_sweep
 from repro.nda.isa import NdaOpcode, OPCODE_TRAITS
 
 #: Operand sizes in bytes per rank, as named in the paper.
@@ -87,6 +88,7 @@ def run_operation_size_sweep(operations: Sequence[NdaOpcode] = QUICK_OPERATIONS,
                              large_cap_bytes: int = 1 << 20,
                              processes: Optional[int] = None,
                              cache_dir: Optional[str] = None,
+                             options: Optional[SweepOptions] = None,
                              ) -> List[Dict[str, object]]:
     """One row per (operation, size class [, async]).
 
@@ -105,7 +107,7 @@ def run_operation_size_sweep(operations: Sequence[NdaOpcode] = QUICK_OPERATIONS,
         for opcode in operations
         for size_name, async_launch in cases
     ]
-    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)
+    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir, options=options)
 
 
 def write_intensity_correlation(rows: Sequence[Dict[str, object]],
@@ -139,4 +141,4 @@ def main() -> None:  # pragma: no cover - CLI convenience
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    run_experiment_cli(main)

@@ -25,9 +25,10 @@ from repro.experiments.common import (
     DEFAULT_WARMUP,
     build_system,
     format_table,
+    run_experiment_cli,
 )
 from repro.experiments.fig14_scaling import SCHEMES
-from repro.experiments.sweep import run_sweep
+from repro.experiments.sweep import SweepOptions, run_sweep
 from repro.nda.isa import NdaOpcode
 from repro.platform import platform_names
 
@@ -109,11 +110,12 @@ def run_platform_comparison(platforms: Optional[Sequence[str]] = None,
                             elements_per_rank: int = DEFAULT_ELEMENTS_PER_RANK,
                             processes: Optional[int] = None,
                             cache_dir: Optional[str] = None,
+                            options: Optional[SweepOptions] = None,
                             ) -> List[Dict[str, object]]:
     """One row per (platform, rank config, scheme, workload)."""
     params = sweep_params(platforms, rank_configs, workloads, mix, cycles,
                           warmup, elements_per_rank)
-    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)
+    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir, options=options)
 
 
 def chopim_advantage_by_platform(rows: Sequence[Dict[str, object]],
@@ -164,4 +166,4 @@ def main() -> None:  # pragma: no cover - CLI convenience
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    run_experiment_cli(main)

@@ -21,8 +21,9 @@ from repro.experiments.common import (
     DEFAULT_WARMUP,
     build_system,
     format_table,
+    run_experiment_cli,
 )
-from repro.experiments.sweep import run_sweep
+from repro.experiments.sweep import SweepOptions, run_sweep
 from repro.nda.isa import NdaOpcode
 
 FULL_RANK_CONFIGS: Tuple[Tuple[int, int], ...] = ((2, 2), (2, 4))
@@ -91,11 +92,12 @@ def run_scalability_comparison(rank_configs: Sequence[Tuple[int, int]] = FULL_RA
                                elements_per_rank: int = DEFAULT_ELEMENTS_PER_RANK,
                                processes: Optional[int] = None,
                                cache_dir: Optional[str] = None,
+                               options: Optional[SweepOptions] = None,
                                ) -> List[Dict[str, object]]:
     """One row per (rank config, scheme, workload)."""
     params = sweep_params(rank_configs, workloads, mix, cycles, warmup,
                           elements_per_rank)
-    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)
+    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir, options=options)
 
 
 def chopim_advantage(rows: Sequence[Dict[str, object]]) -> Dict[str, float]:
@@ -134,4 +136,4 @@ def main() -> None:  # pragma: no cover - CLI convenience
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    run_experiment_cli(main)

@@ -26,8 +26,8 @@ from repro.apps.svrg import (
     SvrgVariant,
     measure_svrg_timing,
 )
-from repro.experiments.common import format_table, resolve_config
-from repro.experiments.sweep import run_sweep
+from repro.experiments.common import format_table, resolve_config, run_experiment_cli
+from repro.experiments.sweep import SweepOptions, run_sweep
 
 #: Epoch fractions swept by the paper (N, N/2, N/4).
 EPOCH_FRACTIONS: Tuple[float, ...] = (1.0, 0.5, 0.25)
@@ -154,6 +154,7 @@ def run_svrg_scaling(nda_counts: Sequence[int] = (4, 8, 16),
                      processes: Optional[int] = None,
                      cache_dir: Optional[str] = None,
                      platform: Optional[str] = None,
+                     options: Optional[SweepOptions] = None,
                      ) -> List[Dict[str, object]]:
     """Figure 15b: ACC_Best and DelayedUpdate speedup over host-only per NDA count.
 
@@ -169,7 +170,8 @@ def run_svrg_scaling(nda_counts: Sequence[int] = (4, 8, 16),
          "platform": platform}
         for num_ndas in nda_counts
     ]
-    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)
+    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir,
+                     options=options)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
@@ -178,4 +180,4 @@ def main() -> None:  # pragma: no cover - CLI convenience
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    run_experiment_cli(main)

@@ -21,8 +21,9 @@ from repro.experiments.common import (
     build_system,
     format_table,
     resolve_config,
+    run_experiment_cli,
 )
-from repro.experiments.sweep import run_sweep
+from repro.experiments.sweep import SweepOptions, run_sweep
 
 
 def _point(scenario: str, mix: str, cycles: int,
@@ -61,14 +62,17 @@ def run_power_analysis(mix: str = "mix1",
                        warmup: int = DEFAULT_WARMUP,
                        processes: Optional[int] = None,
                        cache_dir: Optional[str] = None,
-                       platform: Optional[str] = None) -> List[Dict[str, object]]:
+                       platform: Optional[str] = None,
+                       options: Optional[SweepOptions] = None
+                       ) -> List[Dict[str, object]]:
     """Rows: theoretical max, host-only measured, concurrent measured."""
     params = [
         {"scenario": scenario, "mix": mix, "cycles": cycles, "warmup": warmup,
          "platform": platform}
         for scenario in ("theoretical_max", "host_only", "concurrent")
     ]
-    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir)
+    return run_sweep(_point, params, processes=processes, cache_dir=cache_dir,
+                     options=options)
 
 
 def concurrent_below_host_max(rows: List[Dict[str, object]]) -> bool:
@@ -88,4 +92,4 @@ def main() -> None:  # pragma: no cover - CLI convenience
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    run_experiment_cli(main)

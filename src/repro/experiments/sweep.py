@@ -1,259 +1,86 @@
-"""Parallel sweep runner with result caching for figure regeneration.
+"""Parallel sweep runner with result caching — facade over the sweep service.
 
 Every ``experiments/fig*.py`` entry point is a sweep over configuration
 points (mode x mix x rank count x workload x ...), and each point is an
-independent simulation.  This module runs such sweeps through one shared
-pipeline:
+independent simulation.  This module keeps the historical import surface
+(``run_sweep``, ``SweepCache``, ``SweepTask``, ...) while the
+implementation lives in :mod:`repro.experiments.sweeprunner`:
 
-* **Parallelism** — points are distributed over a ``multiprocessing`` pool
-  (one worker per CPU by default), so full-figure regeneration scales with
-  the machine instead of running one point at a time.
-* **Caching** — each point's result row is keyed by the point function, its
-  parameters, the simulation environment (platform preset, execution
-  backend, burst escape hatch — the ``REPRO_*`` variables that change
-  results or how they are produced) and a content fingerprint of the
-  simulator source, then stored as JSON on disk; re-running a figure with
-  unchanged parameters replays instantly, while changing ``REPRO_PLATFORM``,
-  ``REPRO_BACKEND`` or the simulator code transparently recomputes instead
-  of replaying stale rows.  Set the ``REPRO_SWEEP_CACHE`` environment
-  variable (or pass ``cache_dir``) to enable it, or set it to an empty
-  string to force it off.
+* **Parallelism** — points run on supervised worker processes (one per CPU
+  by default).  Unlike the old ``pool.map``, a worker crash, OOM-kill or
+  hang no longer aborts the sweep: the worker is respawned and the point
+  retried (bounded, with exponential backoff), with wall-clock timeouts
+  cutting hung points.
+* **Caching** — each point's result row is keyed by the point function,
+  its parameters, the simulation environment (``REPRO_PLATFORM`` /
+  ``REPRO_BACKEND`` / ``REPRO_DISABLE_BURST``) and a content fingerprint
+  of the simulator source, then stored as JSON in a content-addressed
+  store; re-running a figure with unchanged parameters replays instantly.
+  Set ``REPRO_SWEEP_CACHE`` (or pass ``cache_dir``) to enable it.
+* **Durability** — with a cache directory configured, every sweep journals
+  to an append-only run ledger (fsynced at lease and completion), so a
+  ``kill -9`` of driver or worker resumes exactly where it left off and no
+  point ever executes more than ``1 + max_retries`` times.
+* **Graceful degradation** — points that exhaust their retries surface in
+  a structured failure report; strict mode (the default, or
+  ``REPRO_SWEEP_STRICT=1`` in CI) raises :class:`SweepPointsFailed`
+  instead of returning partial rows silently.
 
-Point functions must be module-level callables (picklable by reference)
-taking keyword arguments and returning a JSON-serializable dict; the fig
-modules define one ``_point`` function each and build their rows with
-:func:`run_sweep`.
+Point functions must be module-level callables taking keyword arguments
+and returning a JSON-serializable dict; the fig modules define one
+``_point`` function each and build their rows with :func:`run_sweep`.
+Pass a :class:`SweepOptions` for the full service surface (retries,
+timeouts, journaling, deterministic fault injection, progress/ETA lines).
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-import sys
-from dataclasses import dataclass, field
-from functools import lru_cache
-from multiprocessing import get_context
-from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence
-
-#: Bump when simulator semantics change enough to invalidate cached rows.
-#: (Code changes are caught automatically by :func:`code_fingerprint`; this
-#: remains as a manual override for semantic changes outside ``src/repro``,
-#: e.g. a row-schema change made by an experiment script.)
-CACHE_VERSION = 2
-
-#: Environment variable naming the cache directory (empty disables caching).
-CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
-
-PointFn = Callable[..., Dict[str, Any]]
-
-
-@lru_cache(maxsize=1)
-def code_fingerprint() -> str:
-    """Content hash of the simulator package source (``src/repro``).
-
-    Any edit to any module invalidates every cached row: a sweep row is a
-    function of (point function, parameters, environment, simulator code),
-    and the first three alone produced stale-replay bugs when the simulator
-    changed between runs.  Hashing ~100 source files costs a few
-    milliseconds once per process — noise against a single sweep point.
-    """
-    package_root = Path(__file__).resolve().parents[1]
-    digest = hashlib.sha256()
-    for path in sorted(package_root.rglob("*.py")):
-        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
-        digest.update(b"\0")
-        digest.update(path.read_bytes())
-        digest.update(b"\0")
-    return digest.hexdigest()
-
-
-def environment_axes() -> Dict[str, str]:
-    """The ``REPRO_*`` settings a sweep row depends on.
-
-    ``platform`` and ``backend`` retarget every point wholesale without
-    appearing in its parameters, so they must key the cache; the burst
-    escape hatch is included because a row computed with the fast path off
-    should never masquerade as a default-path row (results are equivalent
-    by contract, but a cache hit must not silently hide a divergence the
-    equivalence suites would catch).
-    """
-    return {
-        "platform": os.environ.get("REPRO_PLATFORM") or "",
-        "backend": os.environ.get("REPRO_BACKEND") or "",
-        "disable_burst": os.environ.get("REPRO_DISABLE_BURST") or "",
-    }
-
-
-@dataclass(frozen=True)
-class SweepTask:
-    """One configuration point: a point function plus its keyword arguments.
-
-    ``environment`` and ``code`` are captured at construction so the cache
-    key reflects the state the point will actually run under.
-    """
-
-    module: str
-    qualname: str
-    params: Dict[str, Any]
-    environment: Dict[str, str] = field(default_factory=environment_axes)
-    code: str = field(default_factory=code_fingerprint)
-
-    def cache_key(self) -> str:
-        payload = json.dumps(
-            {
-                "version": CACHE_VERSION,
-                "module": self.module,
-                "qualname": self.qualname,
-                "params": self.params,
-                "environment": self.environment,
-                "code": self.code,
-            },
-            sort_keys=True,
-            default=str,
-        )
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
-
-
-def _make_task(fn: PointFn, params: Dict[str, Any]) -> SweepTask:
-    return SweepTask(module=fn.__module__, qualname=fn.__qualname__,
-                     params=dict(params))
-
-
-def _invoke(fn: PointFn, params: Dict[str, Any]) -> Dict[str, Any]:
-    row = fn(**params)
-    if not isinstance(row, dict):
-        raise TypeError(
-            f"sweep point {fn.__qualname__} returned {type(row).__name__}; "
-            "point functions must return a dict row"
-        )
-    return row
-
-
-def _worker(payload):  # pragma: no cover - exercised via the pool
-    fn, params = payload
-    return _invoke(fn, params)
-
-
-class SweepCache:
-    """JSON-file cache of sweep rows, keyed by task fingerprint."""
-
-    def __init__(self, directory: Path) -> None:
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
-
-    def _path(self, task: SweepTask) -> Path:
-        return self.directory / f"{task.cache_key()}.json"
-
-    def load(self, task: SweepTask) -> Optional[Dict[str, Any]]:
-        path = self._path(task)
-        try:
-            with path.open("r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, ValueError):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return entry.get("row")
-
-    def store(self, task: SweepTask, row: Dict[str, Any]) -> None:
-        path = self._path(task)
-        tmp = path.with_suffix(".tmp")
-        entry = {
-            "module": task.module,
-            "qualname": task.qualname,
-            "params": task.params,
-            "environment": task.environment,
-            "code": task.code,
-            "row": row,
-        }
-        try:
-            with tmp.open("w", encoding="utf-8") as handle:
-                json.dump(entry, handle, default=str)
-            tmp.replace(path)
-        except OSError:  # caching is best-effort; never fail the sweep
-            tmp.unlink(missing_ok=True)
-
-
-def default_cache_dir() -> Optional[Path]:
-    """The cache directory from the environment, or None when disabled."""
-    value = os.environ.get(CACHE_ENV_VAR)
-    if not value:
-        return None
-    return Path(value)
-
-
-def default_processes(task_count: int) -> int:
-    """Worker count: one per CPU, capped by the number of points."""
-    cpus = os.cpu_count() or 1
-    return max(1, min(cpus, task_count))
-
-
-def run_sweep(fn: PointFn, param_sets: Sequence[Dict[str, Any]],
-              processes: Optional[int] = None,
-              cache_dir: Optional[os.PathLike] = None,
-              ) -> List[Dict[str, Any]]:
-    """Run ``fn(**params)`` for every parameter set; returns rows in order.
-
-    ``processes`` defaults to one worker per CPU (serial in-process when the
-    machine has a single CPU or only one point, avoiding pool overhead).
-    ``cache_dir`` overrides the ``REPRO_SWEEP_CACHE`` environment variable.
-    """
-    param_sets = [dict(p) for p in param_sets]
-    if not param_sets:
-        return []
-
-    cache: Optional[SweepCache] = None
-    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
-    if directory is not None:
-        try:
-            cache = SweepCache(directory)
-        except OSError as exc:  # caching is best-effort; never fail the sweep
-            print(f"sweep cache disabled ({directory}: {exc})", file=sys.stderr)
-
-    tasks = [_make_task(fn, params) for params in param_sets]
-    rows: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
-    pending: List[int] = []
-    for index, task in enumerate(tasks):
-        if cache is not None:
-            row = cache.load(task)
-            if row is not None:
-                rows[index] = row
-                continue
-        pending.append(index)
-
-    if pending:
-        workers = (default_processes(len(pending))
-                   if processes is None else max(1, processes))
-        if workers <= 1 or len(pending) <= 1:
-            for index in pending:
-                rows[index] = _invoke(fn, tasks[index].params)
-        else:
-            # fork shares the already-imported simulator with the workers;
-            # fall back to spawn on platforms without it.
-            method = "fork" if sys.platform != "win32" else "spawn"
-            with get_context(method).Pool(processes=workers) as pool:
-                payloads = [(fn, tasks[index].params) for index in pending]
-                for index, row in zip(pending, pool.map(_worker, payloads)):
-                    rows[index] = row
-        if cache is not None:
-            for index in pending:
-                cache.store(tasks[index], rows[index])
-
-    return [row for row in rows if row is not None]
-
+from repro.experiments.sweeprunner import (
+    CACHE_ENV_VAR,
+    CACHE_VERSION,
+    FAULT_KINDS_ENV,
+    FAULT_RATE_ENV,
+    FAULT_SEED_ENV,
+    PROGRESS_ENV,
+    STRICT_ENV,
+    FaultPlan,
+    RunLedger,
+    SweepCache,
+    SweepOptions,
+    SweepOutcome,
+    SweepPointsFailed,
+    SweepStats,
+    SweepTask,
+    TaskFailure,
+    code_fingerprint,
+    default_cache_dir,
+    default_processes,
+    environment_axes,
+    run_sweep,
+    run_sweep_outcome,
+)
 
 __all__ = [
     "CACHE_ENV_VAR",
     "CACHE_VERSION",
+    "FAULT_KINDS_ENV",
+    "FAULT_RATE_ENV",
+    "FAULT_SEED_ENV",
+    "PROGRESS_ENV",
+    "STRICT_ENV",
+    "FaultPlan",
+    "RunLedger",
     "SweepCache",
+    "SweepOptions",
+    "SweepOutcome",
+    "SweepPointsFailed",
+    "SweepStats",
     "SweepTask",
+    "TaskFailure",
     "code_fingerprint",
     "default_cache_dir",
     "default_processes",
     "environment_axes",
     "run_sweep",
+    "run_sweep_outcome",
 ]

@@ -1,0 +1,89 @@
+"""Fault-tolerant, resumable sweep service.
+
+The package behind :mod:`repro.experiments.sweep` (kept as the compatible
+facade).  Layering:
+
+* :mod:`.tasks` — task identity: content-addressed keys over
+  (function, params, environment axes, code fingerprint).
+* :mod:`.store` — the content-addressed result store (doubles as the sweep
+  cache); validates entries before counting hits and quarantines corrupt
+  files.
+* :mod:`.ledger` — append-only JSONL run journal (queued/leased/done/
+  failed), fsynced at lease and completion; replays after any crash.
+* :mod:`.faults` — deterministic crash/hang/corrupt-row injection
+  (``REPRO_SWEEP_FAULT_RATE``/``_SEED``/``_KINDS``).
+* :mod:`.supervisor` — async-submit worker processes with crash detection,
+  SIGKILL-on-timeout and respawn.
+* :mod:`.report` — sweep outcomes: rows + structured failure report.
+* :mod:`.progress` — live done/leased/failed, rows/sec, ETA lines.
+* :mod:`.service` — the orchestrator: ``run_sweep`` /
+  ``run_sweep_outcome`` with retries, backoff, resume and strict mode.
+* :mod:`.selftest` — the end-to-end crash/fault/resume proof
+  (``python -m repro.experiments.sweeprunner.selftest proof``).
+"""
+
+from repro.experiments.sweeprunner.faults import (
+    CORRUPT_MARKER,
+    FAULT_KINDS_ENV,
+    FAULT_RATE_ENV,
+    FAULT_SEED_ENV,
+    FaultPlan,
+)
+from repro.experiments.sweeprunner.ledger import RunLedger, lease_counts
+from repro.experiments.sweeprunner.progress import PROGRESS_ENV
+from repro.experiments.sweeprunner.report import (
+    SweepOutcome,
+    SweepPointsFailed,
+    SweepStats,
+    TaskFailure,
+)
+from repro.experiments.sweeprunner.service import (
+    STRICT_ENV,
+    SweepOptions,
+    default_processes,
+    resolve_strict,
+    run_sweep,
+    run_sweep_outcome,
+)
+from repro.experiments.sweeprunner.store import SweepCache, default_cache_dir
+from repro.experiments.sweeprunner.supervisor import Supervisor
+from repro.experiments.sweeprunner.tasks import (
+    CACHE_ENV_VAR,
+    CACHE_VERSION,
+    SweepTask,
+    code_fingerprint,
+    environment_axes,
+    make_task,
+    sweep_id,
+)
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "CACHE_VERSION",
+    "CORRUPT_MARKER",
+    "FAULT_KINDS_ENV",
+    "FAULT_RATE_ENV",
+    "FAULT_SEED_ENV",
+    "PROGRESS_ENV",
+    "STRICT_ENV",
+    "FaultPlan",
+    "RunLedger",
+    "Supervisor",
+    "SweepCache",
+    "SweepOptions",
+    "SweepOutcome",
+    "SweepPointsFailed",
+    "SweepStats",
+    "SweepTask",
+    "TaskFailure",
+    "code_fingerprint",
+    "default_cache_dir",
+    "default_processes",
+    "environment_axes",
+    "lease_counts",
+    "make_task",
+    "resolve_strict",
+    "run_sweep",
+    "run_sweep_outcome",
+    "sweep_id",
+]

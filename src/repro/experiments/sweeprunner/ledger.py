@@ -1,0 +1,191 @@
+"""Append-only JSONL run ledger: the sweep's durable state machine.
+
+One ledger file per sweep identity (see :func:`tasks.sweep_id`), holding one
+JSON object per line.  The task-level state machine is::
+
+    queued -> leased -> done
+                  \\-> failed -> (leased again, while attempts remain)
+                          \\-> exhausted (attempts == 1 + max_retries)
+
+* ``queued`` records are written once, when the ledger is created, and
+  carry the sweep metadata (total points, point function).
+* ``leased`` is appended **and fsynced before** the task is handed to a
+  worker: every execution is journaled first, so after a ``kill -9`` of
+  driver or worker the replay sees the interrupted lease, counts it as a
+  used attempt, and never executes any point more than ``1 + max_retries``
+  times in total across all driver incarnations.
+* ``done`` is appended (and fsynced) after the row has been written to the
+  content-addressed store — the record points into the store by key, it
+  does not carry the row.
+* ``failed`` records carry the failure kind (``crash``, ``timeout``,
+  ``error``, ``corrupt-row``) and a short error description for the
+  failure report.
+
+Replay is tolerant of a torn final line (the driver can die mid-append);
+any line that does not parse is counted and skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List
+
+
+@dataclass
+class TaskRecord:
+    """Replay state of one task key."""
+
+    leases: int = 0
+    done: bool = False
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def interrupted(self) -> bool:
+        """A lease with neither a done nor a failed record: a crashed run."""
+        return not self.done and self.leases > len(self.failures)
+
+
+class RunLedger:
+    """Append-only journal for one sweep; safe to reopen after any crash."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.torn_lines = 0
+        self._records = self._replay()
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    # -- replay ----------------------------------------------------------
+
+    def _replay(self) -> Dict[str, TaskRecord]:
+        records: Dict[str, TaskRecord] = {}
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return records
+        for line in lines:
+            try:
+                event = json.loads(line)
+            except ValueError:
+                self.torn_lines += 1
+                continue
+            if not isinstance(event, dict):
+                self.torn_lines += 1
+                continue
+            key = event.get("key")
+            kind = event.get("event")
+            if not key or kind not in ("queued", "leased", "done", "failed"):
+                continue
+            record = records.setdefault(key, TaskRecord())
+            if kind == "leased":
+                record.leases += 1
+            elif kind == "done":
+                record.done = True
+            elif kind == "failed":
+                record.failures.append({
+                    "attempt": event.get("attempt"),
+                    "kind": event.get("kind", "error"),
+                    "error_type": event.get("error_type", ""),
+                    "message": event.get("message", ""),
+                })
+        return records
+
+    @property
+    def resumed(self) -> bool:
+        """Whether the ledger held prior state when this driver opened it."""
+        return any(r.leases or r.done for r in self._records.values())
+
+    def record(self, key: str) -> TaskRecord:
+        return self._records.setdefault(key, TaskRecord())
+
+    def records(self) -> Dict[str, TaskRecord]:
+        return self._records
+
+    # -- appends ---------------------------------------------------------
+
+    def _append(self, event: Dict[str, Any], sync: bool = True) -> None:
+        self._handle.write(json.dumps(event, default=str) + "\n")
+        self._handle.flush()
+        if sync:
+            os.fsync(self._handle.fileno())
+
+    def append_queued(self, keys: Iterable[str], meta: Dict[str, Any]) -> None:
+        """Journal the work plan (once, for a fresh ledger): one line per key."""
+        keys = list(keys)
+        for key in keys:
+            self._append({"event": "queued", "key": key, **meta}, sync=False)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append_leased(self, key: str, attempt: int, worker: Any = None) -> None:
+        self.record(key).leases += 1
+        self._append({"event": "leased", "key": key, "attempt": attempt,
+                      "worker": worker, "t": time.time()})
+
+    def append_done(self, key: str, attempt: int) -> None:
+        self.record(key).done = True
+        self._append({"event": "done", "key": key, "attempt": attempt,
+                      "t": time.time()})
+
+    def append_failed(self, key: str, attempt: int, kind: str,
+                      error_type: str = "", message: str = "") -> None:
+        self.record(key).failures.append({
+            "attempt": attempt, "kind": kind,
+            "error_type": error_type, "message": message,
+        })
+        self._append({"event": "failed", "key": key, "attempt": attempt,
+                      "kind": kind, "error_type": error_type,
+                      "message": message[:500], "t": time.time()})
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+
+
+def ledger_path(directory: Path, sweep_identity: str) -> Path:
+    return Path(directory) / f"sweep-{sweep_identity}.jsonl"
+
+
+def lease_counts(path: Path) -> Dict[str, int]:
+    """Executions per key, read straight from a ledger file.
+
+    Used by tests and the recovery proof to assert the retry bound: no key
+    may ever show more than ``1 + max_retries`` leases, across every driver
+    incarnation that touched the ledger.
+    """
+    counts: Dict[str, int] = {}
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(event, dict) and event.get("event") == "leased":
+            counts[event["key"]] = counts.get(event["key"], 0) + 1
+    return counts
+
+
+def count_events(path: Path, kind: str) -> int:
+    """Number of ``kind`` events in a ledger file (tolerant of torn lines)."""
+    total = 0
+    try:
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return 0
+    for line in lines:
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(event, dict) and event.get("event") == kind:
+            total += 1
+    return total
+
+
+__all__ = ["RunLedger", "TaskRecord", "ledger_path", "lease_counts",
+           "count_events"]

@@ -1,0 +1,83 @@
+"""Live progress/ETA lines for long sweeps.
+
+Off by default (figure regenerations inside tests and benchmarks must stay
+silent); enabled by passing an interval to :class:`SweepOptions.progress`
+or setting ``REPRO_SWEEP_PROGRESS`` (``1``/``true`` for the default 2 s
+cadence, or a float number of seconds).  Lines go to stderr so piped row
+output stays clean.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Optional, TextIO
+
+PROGRESS_ENV = "REPRO_SWEEP_PROGRESS"
+DEFAULT_INTERVAL = 2.0
+
+
+def resolve_interval(explicit: Optional[float]) -> Optional[float]:
+    """The reporting interval in seconds, or None for silent."""
+    if explicit is not None:
+        return float(explicit) if explicit > 0 else None
+    raw = os.environ.get(PROGRESS_ENV, "").strip().lower()
+    if not raw or raw in ("0", "false", "no", "off"):
+        return None
+    if raw in ("1", "true", "yes", "on"):
+        return DEFAULT_INTERVAL
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_INTERVAL
+    return value if value > 0 else None
+
+
+class ProgressReporter:
+    """Throttled progress printer: done/leased/failed, rows/sec, ETA, cache."""
+
+    def __init__(self, total: int, interval: Optional[float],
+                 stream: Optional[TextIO] = None) -> None:
+        self.total = total
+        self.interval = interval
+        self.stream = stream if stream is not None else sys.stderr
+        self.started = time.monotonic()
+        self._last = 0.0  # always print the first eligible tick
+
+    @property
+    def enabled(self) -> bool:
+        return self.interval is not None
+
+    def maybe_report(self, done: int, leased: int, failed: int,
+                     cache_hits: int, force: bool = False) -> None:
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        if not force and now - self._last < self.interval:
+            return
+        self._last = now
+        elapsed = max(now - self.started, 1e-9)
+        computed = max(done - cache_hits, 0)
+        rate = computed / elapsed
+        remaining = self.total - done - failed
+        if remaining > 0 and rate > 0:
+            eta = f"eta {remaining / rate:.0f}s"
+        elif remaining > 0:
+            eta = "eta ?"
+        else:
+            eta = "finishing"
+        hit_rate = (100.0 * cache_hits / done) if done else 0.0
+        print(f"sweep {done}/{self.total} done, {leased} leased, "
+              f"{failed} failed | {rate:.1f} rows/s | "
+              f"cache {cache_hits} hits ({hit_rate:.0f}%) | {eta}",
+              file=self.stream, flush=True)
+
+    def final(self, done: int, failed: int, cache_hits: int) -> None:
+        if not self.enabled:
+            return
+        self.maybe_report(done, 0, failed, cache_hits, force=True)
+
+
+__all__ = ["DEFAULT_INTERVAL", "PROGRESS_ENV", "ProgressReporter",
+           "resolve_interval"]

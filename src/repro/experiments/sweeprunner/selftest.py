@@ -1,0 +1,269 @@
+"""End-to-end recovery proof for the sweep service.
+
+The proof the ISSUE/CI demand, runnable as one command::
+
+    python -m repro.experiments.sweeprunner.selftest proof \
+        --points 200 --fault-rate 0.05 --kill-after 25
+
+1. A clean **serial** run of a deterministic point function produces the
+   expected rows (no faults, no cache — the ground truth).
+2. A **child driver** runs the same sweep supervised, with crash/hang/
+   corrupt faults injected at the given rate, journaling to a store; the
+   parent watches the ledger and ``SIGKILL``'s the child mid-run.
+3. The sweep is **resumed** in-process against the same store/plan and
+   runs to completion.
+4. Verification: final rows bit-identical (JSON) to the clean run, every
+   row done before the kill replayed from the store (not recomputed), no
+   key leased more than ``1 + max_retries`` times across both driver
+   incarnations, and zero exhausted points.
+
+``drive`` is the child-driver entry point (also handy for manual kill -9
+experiments); ``proof`` orchestrates the whole thing and exits non-zero on
+any violated property.  The point function is pure integer math so the
+proof runs anywhere in seconds, including the no-numpy CI legs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.sweeprunner import ledger as ledger_module
+from repro.experiments.sweeprunner.faults import (
+    FAULT_RATE_ENV,
+    FAULT_SEED_ENV,
+    FaultPlan,
+)
+from repro.experiments.sweeprunner.service import (
+    SweepOptions,
+    run_sweep_outcome,
+)
+from repro.experiments.sweeprunner.tasks import make_task
+
+
+def checksum_point(value: int, spin: int = 2000,
+                   sleep: float = 0.0) -> Dict[str, Any]:
+    """A deterministic, JSON-pure sweep point: an LCG checksum of ``value``.
+
+    ``spin`` sets the work per point, ``sleep`` stretches wall-clock so a
+    parent has time to kill a driver mid-sweep.
+    """
+    acc = value & 0xFFFFFFFFFFFFFFFF
+    for _ in range(spin):
+        acc = (acc * 6364136223846793005 + 1442695040888963407) \
+            & 0xFFFFFFFFFFFFFFFF
+    if sleep > 0:
+        time.sleep(sleep)
+    return {"value": value, "checksum": acc, "spin": spin}
+
+
+def _canonical_point():
+    """``checksum_point`` from the canonically-imported module.
+
+    Task keys embed the point function's module name.  When this file runs
+    as ``python -m ...selftest`` the in-file reference would be
+    ``__main__.checksum_point`` while an in-process caller (pytest, the
+    resume leg) sees ``repro...selftest.checksum_point`` — different keys,
+    so a resume would never match the child driver's store.  Resolving
+    through :mod:`importlib` gives every incarnation the same identity.
+    """
+    import importlib
+
+    module = importlib.import_module(
+        "repro.experiments.sweeprunner.selftest")
+    return module.checksum_point
+
+
+def proof_params(points: int, spin: int, sleep: float) -> List[Dict[str, Any]]:
+    return [{"value": v, "spin": spin, "sleep": sleep}
+            for v in range(points)]
+
+
+def _normalized(rows: List[Dict[str, Any]]) -> str:
+    """JSON normal form, so store-replayed and fresh rows compare equal."""
+    return json.dumps(rows, sort_keys=True, default=str)
+
+
+def drive(store: Path, points: int, spin: int, sleep: float,
+          fault_plan: Optional[FaultPlan], workers: int, max_retries: int,
+          task_timeout: float, progress: Optional[float] = None):
+    """One driver incarnation over the proof sweep (killable, resumable)."""
+    options = SweepOptions(
+        processes=workers, cache_dir=store, max_retries=max_retries,
+        task_timeout=task_timeout, retry_backoff=0.05,
+        fault_plan=fault_plan, progress=progress)
+    return run_sweep_outcome(_canonical_point(),
+                             proof_params(points, spin, sleep),
+                             options=options)
+
+
+def _ledger_file(store: Path) -> Optional[Path]:
+    candidates = sorted((store / "ledger").glob("sweep-*.jsonl"))
+    return candidates[0] if candidates else None
+
+
+def _spawn_child_driver(store: Path, args, env_plan: FaultPlan
+                        ) -> subprocess.Popen:
+    env = dict(os.environ)
+    env.update(env_plan.to_env())
+    src_root = str(Path(__file__).resolve().parents[3])
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    command = [
+        sys.executable, "-m", "repro.experiments.sweeprunner.selftest",
+        "drive", "--store", str(store), "--points", str(args.points),
+        "--spin", str(args.spin), "--sleep", str(args.sleep),
+        "--workers", str(args.workers),
+        "--max-retries", str(args.max_retries),
+        "--task-timeout", str(args.task_timeout),
+    ]
+    return subprocess.Popen(command, env=env,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+
+
+def _kill_mid_run(child: subprocess.Popen, store: Path, kill_after: int,
+                  deadline_seconds: float = 120.0) -> int:
+    """SIGKILL the child once its ledger shows ``kill_after`` done rows."""
+    started = time.monotonic()
+    done = 0
+    while time.monotonic() - started < deadline_seconds:
+        if child.poll() is not None:
+            return done  # finished before we could kill it — still a run
+        path = _ledger_file(store)
+        if path is not None:
+            done = ledger_module.count_events(path, "done")
+            if done >= kill_after:
+                child.send_signal(signal.SIGKILL)
+                child.wait(timeout=30)
+                return done
+        time.sleep(0.02)
+    child.kill()
+    child.wait(timeout=30)
+    return done
+
+
+def run_proof(points: int = 200, fault_rate: float = 0.05, seed: int = 7,
+              kill_after: int = 25, workers: int = 4, max_retries: int = 3,
+              task_timeout: float = 2.0, spin: int = 2000,
+              sleep: float = 0.01, store_dir: Optional[Path] = None,
+              verbose: bool = True) -> Dict[str, Any]:
+    """The full crash/fault/resume proof; returns a verdict report dict."""
+    import tempfile
+
+    plan = FaultPlan(rate=fault_rate, seed=seed)
+    point = _canonical_point()
+    clean = run_sweep_outcome(
+        point, proof_params(points, spin, sleep=0.0),
+        options=SweepOptions(processes=1, cache_dir="", journal=False,
+                             fault_plan=FaultPlan(rate=0.0)))
+    assert clean.ok and len(clean.rows) == points
+    # sleep only pads the faulty run's wall clock; rows don't include it.
+    expected = _normalized(clean.rows)
+
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-proof-") as tmp:
+        store = Path(store_dir) if store_dir is not None else Path(tmp)
+        args = argparse.Namespace(points=points, spin=spin, sleep=sleep,
+                                  workers=workers, max_retries=max_retries,
+                                  task_timeout=task_timeout)
+        child = _spawn_child_driver(store, args, plan)
+        done_at_kill = _kill_mid_run(child, store, kill_after)
+        child_finished = child.returncode == 0
+
+        resumed = drive(store, points, spin, sleep, plan, workers,
+                        max_retries, task_timeout)
+
+        ledger_path = _ledger_file(store)
+        leases = (ledger_module.lease_counts(ledger_path)
+                  if ledger_path is not None else {})
+        tasks = [make_task(point, p)
+                 for p in proof_params(points, spin, sleep)]
+        keys = {t.cache_key() for t in tasks}
+
+        report = {
+            "points": points,
+            "fault_rate": fault_rate,
+            "seed": seed,
+            "done_at_kill": done_at_kill,
+            "child_finished_before_kill": child_finished,
+            "rows_match": _normalized(resumed.rows) == expected,
+            "failures": len(resumed.failures),
+            "resumed_flag": resumed.stats.resumed,
+            "cache_hits_on_resume": resumed.stats.cache_hits,
+            "recovered_at_least_kill_count":
+                resumed.stats.cache_hits >= min(done_at_kill, points),
+            "max_leases_observed": max(leases.values()) if leases else 0,
+            "lease_bound": 1 + max_retries,
+            "lease_bound_held":
+                all(count <= 1 + max_retries for count in leases.values()),
+            "leases_on_known_keys": all(key in keys for key in leases),
+            "retries": resumed.stats.retries,
+            "worker_respawns": resumed.stats.worker_respawns,
+            "timeouts": resumed.stats.timeouts,
+            "crashes": resumed.stats.crashes,
+            "corrupt_rows": resumed.stats.corrupt_rows,
+        }
+        report["ok"] = bool(
+            report["rows_match"]
+            and report["failures"] == 0
+            and report["lease_bound_held"]
+            and report["leases_on_known_keys"]
+            and (child_finished or report["resumed_flag"])
+            and (child_finished or report["recovered_at_least_kill_count"]))
+    if verbose:
+        print(json.dumps(report, indent=2))
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    proof = sub.add_parser("proof", help="full crash/fault/resume proof")
+    proof.add_argument("--points", type=int, default=200)
+    proof.add_argument("--fault-rate", type=float,
+                       default=float(os.environ.get(FAULT_RATE_ENV) or 0.05))
+    proof.add_argument("--seed", type=int,
+                       default=int(os.environ.get(FAULT_SEED_ENV) or 7))
+    proof.add_argument("--kill-after", type=int, default=25,
+                       help="done rows in the ledger before the driver "
+                            "is SIGKILLed")
+    proof.add_argument("--workers", type=int, default=4)
+    proof.add_argument("--max-retries", type=int, default=3)
+    proof.add_argument("--task-timeout", type=float, default=2.0)
+    proof.add_argument("--spin", type=int, default=2000)
+    proof.add_argument("--sleep", type=float, default=0.01)
+
+    driver = sub.add_parser("drive", help="one killable driver incarnation")
+    driver.add_argument("--store", type=Path, required=True)
+    driver.add_argument("--points", type=int, default=200)
+    driver.add_argument("--spin", type=int, default=2000)
+    driver.add_argument("--sleep", type=float, default=0.01)
+    driver.add_argument("--workers", type=int, default=4)
+    driver.add_argument("--max-retries", type=int, default=3)
+    driver.add_argument("--task-timeout", type=float, default=2.0)
+
+    args = parser.parse_args(argv)
+    if args.command == "proof":
+        report = run_proof(
+            points=args.points, fault_rate=args.fault_rate, seed=args.seed,
+            kill_after=args.kill_after, workers=args.workers,
+            max_retries=args.max_retries, task_timeout=args.task_timeout,
+            spin=args.spin, sleep=args.sleep)
+        return 0 if report["ok"] else 1
+    outcome = drive(args.store, args.points, args.spin, args.sleep,
+                    FaultPlan.from_env(), args.workers, args.max_retries,
+                    args.task_timeout, progress=1.0)
+    print(f"drive: {outcome.stats.completed} completed, "
+          f"{len(outcome.failures)} failed")
+    return 0 if outcome.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    sys.exit(main())

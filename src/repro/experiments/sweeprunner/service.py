@@ -1,0 +1,551 @@
+"""The sweep service: durable, supervised, resumable sweep execution.
+
+:func:`run_sweep` keeps the facade contract every ``experiments/fig*.py``
+entry point has always used (rows in parameter order), on top of a very
+different execution core:
+
+* every pending point is journaled to the run ledger (``leased`` fsynced
+  before dispatch, ``done``/``failed`` after), so a ``kill -9`` of driver
+  or worker resumes exactly where it left off — completed rows replay from
+  the content-addressed store, interrupted leases count against the retry
+  budget, and no point ever executes more than ``1 + max_retries`` times;
+* workers are supervised processes (see :mod:`.supervisor`): crashes and
+  OOM-kills surface as retryable failures and the worker is respawned,
+  hangs are cut by the per-task wall-clock timeout;
+* retries back off exponentially with deterministic jitter;
+* a sweep whose points exhaust their retries **degrades gracefully**: the
+  completed rows come back plus a structured failure report.  Strict mode
+  (``strict=True``, the library default, or ``REPRO_SWEEP_STRICT=1``)
+  raises :class:`SweepPointsFailed` instead — the mode CI runs in.
+
+Durability requires a directory: the journal lives next to the result
+store (``<cache_dir>/ledger/``) whenever caching is on, or under an
+explicit ``SweepOptions.ledger_dir``.  Without either, the sweep runs
+memory-only exactly as before (still supervised, still retried).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import os
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.sweeprunner import ledger as ledger_module
+from repro.experiments.sweeprunner.faults import (
+    CORRUPT_MARKER,
+    DEFAULT_HANG_TIMEOUT,
+    FaultPlan,
+    corrupt_row,
+)
+from repro.experiments.sweeprunner.progress import (
+    ProgressReporter,
+    resolve_interval,
+)
+from repro.experiments.sweeprunner.report import (
+    SweepOutcome,
+    SweepPointsFailed,
+    SweepStats,
+    TaskFailure,
+)
+from repro.experiments.sweeprunner.store import SweepCache, default_cache_dir
+from repro.experiments.sweeprunner.supervisor import Supervisor
+from repro.experiments.sweeprunner.tasks import (
+    PointFn,
+    SweepTask,
+    make_task,
+    sweep_id,
+)
+
+#: Strict-mode default for library callers; ``REPRO_SWEEP_STRICT`` flips the
+#: default for whole processes (CI sets it to 1 explicitly, figure CLIs may
+#: set it to 0 for graceful regeneration).
+STRICT_ENV = "REPRO_SWEEP_STRICT"
+
+
+@dataclass(frozen=True)
+class SweepOptions:
+    """Service knobs beyond the classic (processes, cache_dir) pair."""
+
+    processes: Optional[int] = None
+    cache_dir: Optional[os.PathLike] = None
+    #: Journal directory; defaults to ``<cache_dir>/ledger`` when caching is
+    #: on.  Set ``journal=False`` to run memory-only even with a cache.
+    ledger_dir: Optional[os.PathLike] = None
+    journal: bool = True
+    #: Executions per point are bounded by ``1 + max_retries``.
+    max_retries: int = 2
+    #: Wall-clock seconds per task execution (supervised mode only; the
+    #: serial in-process path cannot preempt a running point).
+    task_timeout: Optional[float] = None
+    #: Exponential-backoff base delay between retries, seconds.
+    retry_backoff: float = 0.25
+    #: Fractional jitter on top of the backoff (deterministic per key).
+    retry_jitter: float = 0.25
+    #: None resolves via REPRO_SWEEP_STRICT, then True.
+    strict: Optional[bool] = None
+    #: Progress-line interval in seconds; None resolves REPRO_SWEEP_PROGRESS.
+    progress: Optional[float] = None
+    start_method: Optional[str] = None
+    #: None resolves from the REPRO_SWEEP_FAULT_* environment.
+    fault_plan: Optional[FaultPlan] = None
+
+
+def default_processes(task_count: int) -> int:
+    """Worker count: one per CPU, capped by the number of points."""
+    cpus = os.cpu_count() or 1
+    return max(1, min(cpus, task_count))
+
+
+def resolve_strict(explicit: Optional[bool]) -> bool:
+    if explicit is not None:
+        return bool(explicit)
+    raw = os.environ.get(STRICT_ENV, "").strip().lower()
+    if raw:
+        return raw not in ("0", "false", "no", "off")
+    return True
+
+
+def _validate_row(fn_label: str, row: Any) -> Optional[Tuple[str, str]]:
+    """(error_type, message) when the row must not enter the store."""
+    if not isinstance(row, dict):
+        return ("TypeError",
+                f"sweep point {fn_label} returned {type(row).__name__}; "
+                "point functions must return a dict row")
+    if CORRUPT_MARKER in row:
+        return ("CorruptRow",
+                "row failed integrity validation (corrupt-row marker)")
+    return None
+
+
+def _backoff_delay(options: SweepOptions, key: str, attempt: int) -> float:
+    """Exponential backoff with deterministic per-(key, attempt) jitter."""
+    base = options.retry_backoff * (2.0 ** max(attempt - 1, 0))
+    digest = hashlib.sha256(f"backoff:{key}:{attempt}".encode()).digest()
+    unit = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+    return min(base * (1.0 + options.retry_jitter * unit), 60.0)
+
+
+class _PointState:
+    """Driver-side state of one unique task key."""
+
+    __slots__ = ("key", "task", "indices", "attempts", "row", "done",
+                 "failure", "from_cache")
+
+    def __init__(self, key: str, task: SweepTask) -> None:
+        self.key = key
+        self.task = task
+        self.indices: List[int] = []
+        self.attempts = 0       # leases used, including prior incarnations
+        self.row: Optional[Dict[str, Any]] = None
+        self.done = False
+        self.failure: Optional[TaskFailure] = None
+        self.from_cache = False
+
+
+class _SweepRun:
+    """One run_sweep call: owns cache, ledger, scheduler state."""
+
+    def __init__(self, fn: PointFn, param_sets: Sequence[Dict[str, Any]],
+                 options: SweepOptions) -> None:
+        self.fn = fn
+        self.fn_label = getattr(fn, "__qualname__", repr(fn))
+        self.options = options
+        self.param_sets = [dict(p) for p in param_sets]
+        self.tasks = [make_task(fn, p) for p in self.param_sets]
+        self.stats = SweepStats(total_points=len(self.tasks))
+        self.fault_plan = (options.fault_plan if options.fault_plan is not None
+                           else FaultPlan.from_env())
+        self.task_timeout = options.task_timeout
+        if (self.task_timeout is None and self.fault_plan is not None
+                and self.fault_plan.active and "hang" in self.fault_plan.kinds):
+            self.task_timeout = DEFAULT_HANG_TIMEOUT
+        self.max_leases = 1 + max(0, options.max_retries)
+
+        # Unique-key states; duplicated parameter sets share one execution.
+        self.states: Dict[str, _PointState] = {}
+        self.order: List[str] = []  # key per index
+        for index, task in enumerate(self.tasks):
+            key = task.cache_key()
+            state = self.states.get(key)
+            if state is None:
+                state = self.states[key] = _PointState(key, task)
+            state.indices.append(index)
+            self.order.append(key)
+
+        self.cache = self._open_cache()
+        self.ledger = self._open_ledger()
+
+    # -- durability ------------------------------------------------------
+
+    def _open_cache(self) -> Optional[SweepCache]:
+        if self.options.cache_dir is not None:
+            # An explicit empty string forces caching off even when the
+            # REPRO_SWEEP_CACHE environment variable is set.
+            directory = (Path(self.options.cache_dir)
+                         if str(self.options.cache_dir) else None)
+        else:
+            directory = default_cache_dir()
+        if directory is None and self.options.ledger_dir is not None \
+                and self.options.journal:
+            # Journaling without a cache still needs durable rows: the
+            # ledger's done records point into this store.
+            directory = Path(self.options.ledger_dir) / "store"
+        if directory is None:
+            return None
+        try:
+            return SweepCache(directory, fsync=self.options.journal)
+        except OSError as exc:  # caching is best-effort; never fail the sweep
+            print(f"sweep cache disabled ({directory}: {exc})",
+                  file=sys.stderr)
+            return None
+
+    def _open_ledger(self) -> Optional[ledger_module.RunLedger]:
+        if not self.options.journal or not self.states:
+            return None
+        if self.options.ledger_dir is not None:
+            directory = Path(self.options.ledger_dir)
+        elif self.cache is not None:
+            directory = self.cache.directory / "ledger"
+        else:
+            return None
+        path = ledger_module.ledger_path(directory, sweep_id(self.tasks))
+        fresh = not path.exists()
+        try:
+            journal = ledger_module.RunLedger(path)
+        except OSError as exc:
+            print(f"sweep ledger disabled ({path}: {exc})", file=sys.stderr)
+            return None
+        if fresh:
+            journal.append_queued(
+                self.states.keys(),
+                {"fn": f"{self.fn.__module__}.{self.fn_label}",
+                 "points": len(self.states),
+                 "max_retries": self.options.max_retries})
+        else:
+            self.stats.resumed = journal.resumed
+        return journal
+
+    # -- scheduling ------------------------------------------------------
+
+    def _prefill(self) -> List[str]:
+        """Resolve cache hits and ledger history; return pending keys."""
+        pending: List[str] = []
+        for key, state in self.states.items():
+            if self.cache is not None:
+                row = self.cache.load(state.task)
+                if row is not None:
+                    state.row = row
+                    state.done = True
+                    state.from_cache = True
+                    continue
+            if self.ledger is not None:
+                record = self.ledger.record(key)
+                if record.done:
+                    # Journal says done but the store lost the row (eviction,
+                    # tampering): recompute with a fresh attempt budget.
+                    state.attempts = 0
+                else:
+                    state.attempts = record.leases
+                if state.attempts >= self.max_leases:
+                    self._exhaust(state, record)
+                    continue
+            pending.append(key)
+        return pending
+
+    def _exhaust(self, state: _PointState,
+                 record: Optional[ledger_module.TaskRecord]) -> None:
+        """Mark a point failed-for-good from its (possibly replayed) history."""
+        last = record.failures[-1] if record is not None and record.failures \
+            else None
+        if last is None:
+            kind, error_type, message = "crash", "", \
+                "lease interrupted by a driver crash"
+        else:
+            kind = str(last.get("kind", "error"))
+            error_type = str(last.get("error_type", ""))
+            message = str(last.get("message", ""))
+        state.failure = TaskFailure(
+            key=state.key, params=dict(state.task.params),
+            attempts=state.attempts, kind=kind,
+            error_type=error_type, message=message)
+
+    def _record_failure(self, state: _PointState, kind: str,
+                        error_type: str, message: str) -> Optional[float]:
+        """Journal one failed attempt; return a retry delay or None."""
+        if kind == "timeout":
+            self.stats.timeouts += 1
+        elif kind == "crash":
+            self.stats.crashes += 1
+        elif kind == "corrupt-row":
+            self.stats.corrupt_rows += 1
+        if self.ledger is not None:
+            self.ledger.append_failed(state.key, state.attempts, kind,
+                                      error_type, message)
+        if state.attempts < self.max_leases:
+            return _backoff_delay(self.options, state.key, state.attempts)
+        state.failure = TaskFailure(
+            key=state.key, params=dict(state.task.params),
+            attempts=state.attempts, kind=kind,
+            error_type=error_type, message=message)
+        return None
+
+    def _lease(self, state: _PointState, worker: Any = None) -> int:
+        state.attempts += 1
+        self.stats.executed += 1
+        if state.attempts > 1:
+            self.stats.retries += 1
+        if self.ledger is not None:
+            self.ledger.append_leased(state.key, state.attempts, worker)
+        return state.attempts
+
+    def _complete(self, state: _PointState, row: Dict[str, Any]) -> None:
+        state.row = row
+        state.done = True
+        if self.cache is not None:
+            self.cache.store(state.task, row)
+        if self.ledger is not None:
+            self.ledger.append_done(state.key, state.attempts)
+
+    # -- execution paths -------------------------------------------------
+
+    def _run_serial(self, pending: List[str]) -> None:
+        """In-process execution: journaled and retried, but not preemptible.
+
+        Faults are simulated as failures (an injected crash must not kill
+        the driver it is supposed to be protecting); timeouts cannot be
+        enforced without a worker process and are documented as such.
+        Retries are immediate — backoff exists to ride out transient
+        resource pressure, which in-process execution cannot create.
+        """
+        queue = deque(pending)
+        while queue:
+            key = queue.popleft()
+            state = self.states[key]
+            attempt = self._lease(state)
+            fault = (self.fault_plan.decide(key, attempt)
+                     if self.fault_plan is not None else None)
+            kind = error_type = message = ""
+            if fault == "crash":
+                kind, message = "crash", "injected crash (serial path)"
+            elif fault == "hang":
+                kind, message = "timeout", "injected hang (serial path)"
+            else:
+                try:
+                    row = self.fn(**state.task.params)
+                    if fault == "corrupt":
+                        row = corrupt_row(row)
+                    invalid = _validate_row(self.fn_label, row)
+                    if invalid is None:
+                        self._complete(state, row)
+                        self._tick_progress()
+                        continue
+                    kind, (error_type, message) = "corrupt-row", invalid
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    kind = "error"
+                    error_type, message = type(exc).__name__, str(exc)
+            if self._record_failure(state, kind, error_type, message) \
+                    is not None:
+                queue.append(key)
+            self._tick_progress()
+
+    def _run_supervised(self, pending: List[str], workers: int) -> None:
+        supervisor = Supervisor(
+            self.fn, workers=workers,
+            start_method=self.options.start_method,
+            fault_plan=self.fault_plan,
+            task_timeout=self.task_timeout)
+        try:
+            ready = deque(pending)
+            retry_heap: List[Tuple[float, int, str]] = []
+            retry_seq = 0
+            in_flight = 0
+            while ready or retry_heap or in_flight:
+                now = time.monotonic()
+                while retry_heap and retry_heap[0][0] <= now:
+                    ready.append(heapq.heappop(retry_heap)[2])
+                while ready and supervisor.idle_count() > 0:
+                    key = ready.popleft()
+                    state = self.states[key]
+                    attempt = self._lease(state)
+                    supervisor.submit(state.indices[0], key, attempt,
+                                      state.task.params)
+                    in_flight += 1
+                if not (ready or retry_heap or in_flight):
+                    break
+                wait = 0.05
+                if not ready and retry_heap and not in_flight:
+                    wait = max(min(retry_heap[0][0] - time.monotonic(), 0.5),
+                               0.001)
+                for event in supervisor.poll(timeout=wait):
+                    in_flight -= 1
+                    state = self.states[event.assignment.key]
+                    delay = self._handle_event(state, event)
+                    if delay is not None:
+                        retry_seq += 1
+                        heapq.heappush(
+                            retry_heap,
+                            (time.monotonic() + delay, retry_seq, state.key))
+                self._tick_progress(leased=in_flight)
+            self.stats.worker_respawns = supervisor.respawns
+        except BaseException:
+            self.stats.worker_respawns = supervisor.respawns
+            supervisor.shutdown(kill=True)
+            raise
+        supervisor.shutdown()
+
+    def _handle_event(self, state: _PointState, event) -> Optional[float]:
+        """Returns a retry delay when the attempt failed but may run again."""
+        if event.kind == "row":
+            invalid = _validate_row(self.fn_label, event.payload)
+            if invalid is None:
+                self._complete(state, event.payload)
+                return None
+            return self._record_failure(state, "corrupt-row", *invalid)
+        if event.kind == "error":
+            info = event.payload or {}
+            return self._record_failure(state, "error",
+                                        str(info.get("error_type", "")),
+                                        str(info.get("message", "")))
+        if event.kind == "crash":
+            return self._record_failure(
+                state, "crash", "",
+                f"worker died without reporting (exit code {event.payload})")
+        if event.kind == "timeout":
+            return self._record_failure(
+                state, "timeout", "",
+                f"exceeded {self.task_timeout:.1f}s wall clock")
+        raise AssertionError(f"unknown supervision event {event.kind!r}")
+
+    # -- progress --------------------------------------------------------
+
+    def _tick_progress(self, leased: int = 0) -> None:
+        if self.progress is None:
+            return
+        done = sum(len(s.indices) for s in self.states.values() if s.done)
+        failed = sum(len(s.indices) for s in self.states.values()
+                     if s.failure is not None)
+        hits = self.cache.hits if self.cache is not None else 0
+        self.progress.maybe_report(done, leased, failed, hits)
+
+    # -- top level -------------------------------------------------------
+
+    def run(self) -> SweepOutcome:
+        started = time.monotonic()
+        interval = resolve_interval(self.options.progress)
+        self.progress = (ProgressReporter(len(self.param_sets), interval)
+                         if interval is not None else None)
+        try:
+            pending = self._prefill()
+            if pending:
+                workers = (default_processes(len(pending))
+                           if self.options.processes is None
+                           else max(1, self.options.processes))
+                if workers <= 1 or len(pending) <= 1:
+                    self._run_serial(pending)
+                else:
+                    self._run_supervised(pending, min(workers, len(pending)))
+        except KeyboardInterrupt:
+            self._on_interrupt()
+            raise
+        finally:
+            if self.ledger is not None:
+                self.ledger.close()
+        return self._finalize(started)
+
+    def _on_interrupt(self) -> None:
+        """Clean Ctrl-C: completed rows are already durable; say how to resume."""
+        done = sum(len(s.indices) for s in self.states.values() if s.done)
+        total = len(self.param_sets)
+        if self.ledger is not None:
+            hint = (f"sweep interrupted — {done}/{total} rows journaled; "
+                    f"re-run the same command to resume from "
+                    f"{self.ledger.path}")
+        else:
+            hint = (f"sweep interrupted — {done}/{total} rows completed but "
+                    "not journaled (set REPRO_SWEEP_CACHE or pass cache_dir "
+                    "to make sweeps resumable)")
+        print(hint, file=sys.stderr, flush=True)
+
+    def _finalize(self, started: float) -> SweepOutcome:
+        stats = self.stats
+        stats.duration_seconds = time.monotonic() - started
+        if self.cache is not None:
+            stats.cache_hits = self.cache.hits
+            stats.cache_misses = self.cache.misses
+        failures: List[TaskFailure] = []
+        rows: List[Dict[str, Any]] = []
+        for key in self.order:
+            state = self.states[key]
+            if state.done and state.row is not None:
+                rows.append(state.row)
+        for state in self.states.values():
+            if state.failure is not None:
+                failures.append(state.failure)
+                stats.failed_points += len(state.indices)
+        stats.completed = len(rows)
+        if self.progress is not None:
+            self.progress.final(stats.completed, stats.failed_points,
+                                stats.cache_hits)
+        return SweepOutcome(
+            rows=rows, failures=failures, stats=stats,
+            ledger_path=self.ledger.path if self.ledger is not None else None)
+
+
+def _merged_options(processes: Optional[int],
+                    cache_dir: Optional[os.PathLike],
+                    options: Optional[SweepOptions]) -> SweepOptions:
+    merged = options if options is not None else SweepOptions()
+    if processes is not None:
+        merged = replace(merged, processes=processes)
+    if cache_dir is not None:
+        merged = replace(merged, cache_dir=cache_dir)
+    return merged
+
+
+def run_sweep_outcome(fn: PointFn, param_sets: Sequence[Dict[str, Any]],
+                      processes: Optional[int] = None,
+                      cache_dir: Optional[os.PathLike] = None,
+                      options: Optional[SweepOptions] = None) -> SweepOutcome:
+    """Run the sweep; never raises on point failure (graceful degradation)."""
+    if not param_sets:
+        return SweepOutcome()
+    merged = _merged_options(processes, cache_dir, options)
+    return _SweepRun(fn, param_sets, merged).run()
+
+
+def run_sweep(fn: PointFn, param_sets: Sequence[Dict[str, Any]],
+              processes: Optional[int] = None,
+              cache_dir: Optional[os.PathLike] = None,
+              options: Optional[SweepOptions] = None) -> List[Dict[str, Any]]:
+    """Run ``fn(**params)`` for every parameter set; returns rows in order.
+
+    ``processes`` defaults to one worker per CPU (serial in-process when the
+    machine has a single CPU or only one point, avoiding process overhead).
+    ``cache_dir`` overrides the ``REPRO_SWEEP_CACHE`` environment variable.
+    ``options`` exposes the full sweep-service surface (retries, timeouts,
+    journaling, fault injection, progress).
+
+    In strict mode (the default) a point that exhausts its retries raises
+    :class:`SweepPointsFailed` carrying the full outcome; with
+    ``strict=False`` (or ``REPRO_SWEEP_STRICT=0``) the completed rows are
+    returned and the failure report is printed to stderr.
+    """
+    merged = _merged_options(processes, cache_dir, options)
+    outcome = run_sweep_outcome(fn, param_sets, options=merged)
+    if outcome.failures:
+        if resolve_strict(merged.strict):
+            raise SweepPointsFailed(outcome)
+        print(outcome.failure_report(), file=sys.stderr, flush=True)
+    return outcome.rows
+
+
+__all__ = ["STRICT_ENV", "SweepOptions", "default_processes",
+           "resolve_strict", "run_sweep", "run_sweep_outcome"]

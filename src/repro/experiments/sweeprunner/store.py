@@ -1,0 +1,99 @@
+"""Content-addressed result store: one JSON file per sweep row.
+
+The store is addressed by :meth:`SweepTask.cache_key`, so it doubles as the
+sweep cache (unchanged parameters replay instantly) and as the durable row
+storage the run ledger points into (a ``done`` ledger record means "the row
+for this key is in the store").
+
+Load validation happens **before** the hit counter: an entry that is not a
+``{"row": {...}}`` object — a ``{"row": null}`` left by an old bug, a
+truncated write, a hand-edited file — is a miss, and the offending file is
+quarantined (renamed to ``*.corrupt``, deleted if the rename fails) so it
+cannot fail every future load of the same key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.experiments.sweeprunner.tasks import CACHE_ENV_VAR, SweepTask
+
+
+class SweepCache:
+    """JSON-file store of sweep rows, keyed by task fingerprint."""
+
+    def __init__(self, directory: Path, fsync: bool = False) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.hits = 0
+        self.misses = 0
+        self.quarantined = 0
+
+    def _path(self, task: SweepTask) -> Path:
+        return self.directory / f"{task.cache_key()}.json"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry out of the key namespace (delete as fallback)."""
+        self.quarantined += 1
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def load(self, task: SweepTask) -> Optional[Dict[str, Any]]:
+        path = self._path(task)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except OSError:
+            self.misses += 1
+            return None
+        except ValueError:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        row = entry.get("row") if isinstance(entry, dict) else None
+        if not isinstance(row, dict):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return row
+
+    def store(self, task: SweepTask, row: Dict[str, Any]) -> bool:
+        path = self._path(task)
+        tmp = path.with_suffix(".tmp")
+        entry = {
+            "module": task.module,
+            "qualname": task.qualname,
+            "params": task.params,
+            "environment": task.environment,
+            "code": task.code,
+            "row": row,
+        }
+        try:
+            with tmp.open("w", encoding="utf-8") as handle:
+                json.dump(entry, handle, default=str)
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            tmp.replace(path)
+            return True
+        except OSError:  # caching is best-effort; never fail the sweep
+            tmp.unlink(missing_ok=True)
+            return False
+
+
+def default_cache_dir() -> Optional[Path]:
+    """The cache directory from the environment, or None when disabled."""
+    value = os.environ.get(CACHE_ENV_VAR)
+    if not value:
+        return None
+    return Path(value)

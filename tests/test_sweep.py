@@ -26,8 +26,14 @@ class TestRunSweep:
         assert run_sweep(_double, []) == []
 
     def test_non_dict_row_rejected(self):
-        with pytest.raises(TypeError):
-            run_sweep(_bad_point, [{"value": 1}])
+        # Strict mode (the default) surfaces the bad row as a sweep failure
+        # carrying the original TypeError diagnosis.
+        with pytest.raises(sweep.SweepPointsFailed) as excinfo:
+            run_sweep(_bad_point, [{"value": 1}],
+                      options=sweep.SweepOptions(max_retries=0))
+        failure = excinfo.value.outcome.failures[0]
+        assert failure.error_type == "TypeError"
+        assert "must return a dict row" in failure.message
 
     def test_explicit_process_count(self):
         rows = run_sweep(_double, [{"value": v} for v in range(4)],
