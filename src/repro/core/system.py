@@ -148,6 +148,7 @@ class ChopimSystem:
         self.nda_host: Optional[NdaHostController] = None
         self._throttle_name = throttle
         self._stochastic_probability = stochastic_probability
+        self._launch_packets_use_channel = launch_packets_use_channel
         if mode.has_nda_traffic:
             self._build_nda(throttle, stochastic_probability, launch_packets_use_channel)
 
@@ -160,6 +161,8 @@ class ChopimSystem:
         self._nda_sequence_continuous = True
         self.now = 0
         self._measure_start = 0
+        self._run_end: Optional[int] = None
+        self._run_cycles = 0
 
         # ---- simulation engine -------------------------------------------
         # Schedulable units run in this (slot) order on every processed
@@ -500,12 +503,19 @@ class ChopimSystem:
         self.engine.process_cycle(now)
         self.now = now + 1
 
-    def run(self, cycles: int, warmup: int = 0) -> SimulationResult:
+    def run(self, cycles: int, warmup: int = 0,
+            checkpoint_hook=None, checkpoint_every: int = 0) -> SimulationResult:
         """Run for ``warmup + cycles`` DRAM cycles and summarize the last ``cycles``.
 
         The configured engine drives the loop: ``engine="cycle"`` processes
         every DRAM cycle (the regression baseline), ``engine="event"``
         fast-forwards over provably idle cycles with identical results.
+
+        When ``checkpoint_hook`` is given with a positive
+        ``checkpoint_every``, the measured window runs in chunks of at most
+        that many cycles and the hook is called with the system at every
+        inter-chunk safe point (see repro.snapshot).  A system restored from
+        such a checkpoint finishes the run by calling :meth:`finish_run`.
         """
         # Eager completion application (see HostComponent) is bounded by the
         # run target; moving the bound can surface deferred completions, so
@@ -515,10 +525,33 @@ class ChopimSystem:
         self.engine.invalidate_wakes()
         self.now = self.engine.run_until(self.now, target)
         self._reset_measurement()
-        target = self.now + cycles
+        self._run_end = self.now + cycles
+        self._run_cycles = cycles
+        return self.finish_run(checkpoint_hook, checkpoint_every)
+
+    def finish_run(self, checkpoint_hook=None,
+                   checkpoint_every: int = 0) -> SimulationResult:
+        """Run the measured window to its recorded end and summarize it.
+
+        Called by :meth:`run` and, after a checkpoint restore, directly: the
+        run target travels inside the snapshot (``_run_end``), so resuming is
+        just finishing the same measured window.
+        """
+        if self._run_end is None:
+            raise RuntimeError("finish_run() requires an in-progress run()")
+        target = self._run_end
+        # The completion bound stays at the FULL run end for every chunk —
+        # chunking must not change which completions apply eagerly.
         self._host_component.completion_bound = target
-        self.now = self.engine.run_until(self.now, target)
-        return self._result(cycles)
+        if checkpoint_every <= 0 or checkpoint_hook is None:
+            self.now = self.engine.run_until(self.now, target)
+            return self._result(self._run_cycles)
+        while self.now < target:
+            chunk_end = min(target, self.now + checkpoint_every)
+            self.now = self.engine.run_until(self.now, chunk_end)
+            if self.now < target:
+                checkpoint_hook(self)
+        return self._result(self._run_cycles)
 
     def _reset_measurement(self) -> None:
         """Reset *all* measurement state at the warmup boundary.

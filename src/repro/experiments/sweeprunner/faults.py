@@ -12,7 +12,7 @@ Environment knobs (all optional; no faults when the rate is unset/zero)::
 
     REPRO_SWEEP_FAULT_RATE    probability per execution, e.g. "0.05"
     REPRO_SWEEP_FAULT_SEED    integer seed (default 0)
-    REPRO_SWEEP_FAULT_KINDS   csv subset of "crash,hang,corrupt"
+    REPRO_SWEEP_FAULT_KINDS   csv subset of "crash,hang,corrupt,die"
 
 Fault kinds:
 
@@ -25,6 +25,11 @@ Fault kinds:
   kills and replaces it.  Serially it raises :class:`InjectedHang`.
 * ``corrupt`` — the row is replaced with a poisoned payload that row
   validation must catch before it reaches the store.
+* ``die`` — the worker dies *mid-point*, right after its first durable
+  checkpoint save (see :mod:`.checkpoint`), exercising the
+  resume-from-checkpoint path; a point that never checkpoints dies at
+  completion instead, degenerating to a plain crash.  Serially it is
+  reported as an injected crash, like ``crash``.
 """
 
 from __future__ import annotations
@@ -39,7 +44,7 @@ FAULT_RATE_ENV = "REPRO_SWEEP_FAULT_RATE"
 FAULT_SEED_ENV = "REPRO_SWEEP_FAULT_SEED"
 FAULT_KINDS_ENV = "REPRO_SWEEP_FAULT_KINDS"
 
-FAULT_KINDS: Tuple[str, ...] = ("crash", "hang", "corrupt")
+FAULT_KINDS: Tuple[str, ...] = ("crash", "hang", "corrupt", "die")
 
 #: Marker key planted by corrupt-row faults; row validation rejects any row
 #: carrying it, proving the validation path rather than trusting it.

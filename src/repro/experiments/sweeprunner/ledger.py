@@ -42,6 +42,8 @@ class TaskRecord:
     leases: int = 0
     done: bool = False
     failures: List[Dict[str, Any]] = field(default_factory=list)
+    #: Leases that resumed from a mid-point checkpoint (see .checkpoint).
+    resumed: int = 0
 
     @property
     def interrupted(self) -> bool:
@@ -76,13 +78,27 @@ class RunLedger:
             if not isinstance(event, dict):
                 self.torn_lines += 1
                 continue
-            key = event.get("key")
             kind = event.get("event")
+            if kind == "snapshot":
+                # A compacted journal: one record carrying the replay state
+                # of every key (see :meth:`compact`).
+                tasks = event.get("tasks")
+                if isinstance(tasks, dict):
+                    for key, state in tasks.items():
+                        records[key] = TaskRecord(
+                            leases=int(state.get("leases", 0)),
+                            done=bool(state.get("done", False)),
+                            failures=list(state.get("failures", [])),
+                            resumed=int(state.get("resumed", 0)))
+                continue
+            key = event.get("key")
             if not key or kind not in ("queued", "leased", "done", "failed"):
                 continue
             record = records.setdefault(key, TaskRecord())
             if kind == "leased":
                 record.leases += 1
+                if event.get("checkpoint") == "resume":
+                    record.resumed += 1
             elif kind == "done":
                 record.done = True
             elif kind == "failed":
@@ -121,10 +137,18 @@ class RunLedger:
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
-    def append_leased(self, key: str, attempt: int, worker: Any = None) -> None:
-        self.record(key).leases += 1
+    def append_leased(self, key: str, attempt: int, worker: Any = None,
+                      checkpoint: str = "fresh") -> None:
+        """Journal a lease; ``checkpoint`` records the execution's provenance:
+        ``"fresh"`` (from cycle zero) or ``"resume"`` (from a checkpoint left
+        by an earlier, interrupted attempt)."""
+        record = self.record(key)
+        record.leases += 1
+        if checkpoint == "resume":
+            record.resumed += 1
         self._append({"event": "leased", "key": key, "attempt": attempt,
-                      "worker": worker, "t": time.time()})
+                      "worker": worker, "checkpoint": checkpoint,
+                      "t": time.time()})
 
     def append_done(self, key: str, attempt: int) -> None:
         self.record(key).done = True
@@ -140,6 +164,56 @@ class RunLedger:
         self._append({"event": "failed", "key": key, "attempt": attempt,
                       "kind": kind, "error_type": error_type,
                       "message": message[:500], "t": time.time()})
+
+    def compact(self) -> bool:
+        """Collapse the journal into a single snapshot record.
+
+        Safe only when no lease is outstanding — i.e. after the run loop has
+        drained — so it is called at clean sweep completion.  The replay
+        state (leases, done flags, failure history) is preserved exactly;
+        only the event-by-event history is dropped.  The old journal is kept
+        as ``<name>.bak`` until the compacted file is durably in place, then
+        removed best-effort.  Returns False (journal untouched) on any I/O
+        error.
+        """
+        snapshot = {"event": "snapshot", "t": time.time(),
+                    "tasks": {key: {"leases": record.leases,
+                                    "done": record.done,
+                                    "failures": record.failures,
+                                    "resumed": record.resumed}
+                              for key, record in self._records.items()}}
+        tmp = self.path.with_name(
+            f"{self.path.name}.{os.getpid()}.compact.tmp")
+        backup = self.path.with_name(self.path.name + ".bak")
+        moved_aside = False
+        try:
+            with tmp.open("w", encoding="utf-8") as handle:
+                handle.write(json.dumps(snapshot, default=str) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._handle.close()
+            os.replace(self.path, backup)
+            moved_aside = True
+            os.replace(tmp, self.path)
+        except OSError:
+            if moved_aside:
+                # Put the original journal back so no state is lost.
+                try:
+                    os.replace(backup, self.path)
+                except OSError:
+                    pass
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            self._handle = self.path.open("a", encoding="utf-8")
+            return False
+        self._handle = self.path.open("a", encoding="utf-8")
+        try:
+            backup.unlink()
+        except OSError:
+            pass
+        return True
 
     def close(self) -> None:
         try:
@@ -165,7 +239,47 @@ def lease_counts(path: Path) -> Dict[str, int]:
             event = json.loads(line)
         except ValueError:
             continue
-        if isinstance(event, dict) and event.get("event") == "leased":
+        if not isinstance(event, dict):
+            continue
+        if event.get("event") == "snapshot":
+            # Compacted journal: the snapshot carries the summed leases.
+            tasks = event.get("tasks")
+            if isinstance(tasks, dict):
+                for key, state in tasks.items():
+                    leased = int(state.get("leases", 0))
+                    if leased:  # parity with replay: no zero-count keys
+                        counts[key] = counts.get(key, 0) + leased
+            continue
+        if event.get("event") == "leased":
+            counts[event["key"]] = counts.get(event["key"], 0) + 1
+    return counts
+
+
+def resume_counts(path: Path) -> Dict[str, int]:
+    """Resumed-from-checkpoint leases per key (snapshot-aware).
+
+    Used by the checkpoint recovery proof: a killed-mid-point key must show
+    at least one ``checkpoint="resume"`` lease, and the count must survive
+    ledger compaction.
+    """
+    counts: Dict[str, int] = {}
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(event, dict):
+            continue
+        if event.get("event") == "snapshot":
+            tasks = event.get("tasks")
+            if isinstance(tasks, dict):
+                for key, state in tasks.items():
+                    resumed = int(state.get("resumed", 0))
+                    if resumed:  # parity with replay: no zero-count keys
+                        counts[key] = counts.get(key, 0) + resumed
+            continue
+        if event.get("event") == "leased" \
+                and event.get("checkpoint") == "resume":
             counts[event["key"]] = counts.get(event["key"], 0) + 1
     return counts
 
@@ -188,4 +302,4 @@ def count_events(path: Path, kind: str) -> int:
 
 
 __all__ = ["RunLedger", "TaskRecord", "ledger_path", "lease_counts",
-           "count_events"]
+           "count_events", "resume_counts"]

@@ -21,6 +21,15 @@ The proof the ISSUE/CI demand, runnable as one command::
 experiments); ``proof`` orchestrates the whole thing and exits non-zero on
 any violated property.  The point function is pure integer math so the
 proof runs anywhere in seconds, including the no-numpy CI legs.
+
+``ckpt-proof`` is the checkpoint-recovery variant: one *real simulator*
+point (a ChopimSystem run made preemptible via
+:func:`..checkpoint.run_with_checkpoint`), a child driver that is
+SIGKILL'd as soon as its first mid-point checkpoint lands on disk, and a
+resume that must (a) journal a ``checkpoint="resume"`` lease and (b)
+produce a row bit-identical to an uninterrupted run.  The parent also
+restores the orphaned checkpoint file directly and finishes it in-process,
+pinning the bit-exactness of the very snapshot the kill interrupted.
 """
 
 from __future__ import annotations
@@ -86,6 +95,43 @@ def proof_params(points: int, spin: int, sleep: float) -> List[Dict[str, Any]]:
             for v in range(points)]
 
 
+def _result_row(result, cycles: int, elements: int, seed: int
+                ) -> Dict[str, Any]:
+    """Flatten a SimulationResult into a JSON-pure row with a full-state
+    digest, so "bit-identical" covers every field, not just the flat ones."""
+    import dataclasses
+    import hashlib
+
+    state = dataclasses.asdict(result)
+    digest = hashlib.sha256(
+        repr(sorted(state.items())).encode("utf-8")).hexdigest()
+    row = {key: value for key, value in state.items()
+           if isinstance(value, (int, float, str, bool))}
+    row.update(cycles=cycles, elements=elements, seed=seed, digest=digest)
+    return row
+
+
+def simulation_point(cycles: int, elements: int,
+                     seed: int = 12345) -> Dict[str, Any]:
+    """A real-simulator sweep point, preemptible when checkpointing is on."""
+    from repro.config import default_config
+    from repro.core.modes import AccessMode
+    from repro.core.system import ChopimSystem
+    from repro.experiments.sweeprunner.checkpoint import run_with_checkpoint
+    from repro.nda.isa import NdaOpcode
+
+    def build():
+        config = default_config()
+        config.seed = seed
+        system = ChopimSystem(config=config, mode=AccessMode.BANK_PARTITIONED,
+                              mix="mix5")
+        system.set_nda_workload(NdaOpcode.AXPY, elements_per_rank=elements)
+        return system
+
+    result = run_with_checkpoint(build, cycles, warmup=100)
+    return _result_row(result, cycles, elements, seed)
+
+
 def _normalized(rows: List[Dict[str, Any]]) -> str:
     """JSON normal form, so store-replayed and fresh rows compare equal."""
     return json.dumps(rows, sort_keys=True, default=str)
@@ -102,6 +148,38 @@ def drive(store: Path, points: int, spin: int, sleep: float,
     return run_sweep_outcome(_canonical_point(),
                              proof_params(points, spin, sleep),
                              options=options)
+
+
+def _reset_sim_watermarks() -> None:
+    """Zero the global id counters so in-process simulator runs are
+    reproducible regardless of what ran earlier in this process."""
+    from repro.memctrl.request import set_request_id_watermark
+    from repro.nda.isa import set_instruction_id_watermark
+    from repro.nda.launch import set_operation_id_watermark
+
+    set_request_id_watermark(0)
+    set_instruction_id_watermark(0)
+    set_operation_id_watermark(0)
+
+
+def _canonical_sim_point():
+    """``simulation_point`` under its canonical module identity."""
+    import importlib
+
+    module = importlib.import_module(
+        "repro.experiments.sweeprunner.selftest")
+    return module.simulation_point
+
+
+def drive_ckpt(store: Path, cycles: int, elements: int, seed: int,
+               max_retries: int = 3):
+    """One driver incarnation over the single checkpoint-proof point."""
+    options = SweepOptions(processes=1, cache_dir=store,
+                           max_retries=max_retries, retry_backoff=0.05)
+    return run_sweep_outcome(
+        _canonical_sim_point(),
+        [{"cycles": cycles, "elements": elements, "seed": seed}],
+        options=options)
 
 
 def _ledger_file(store: Path) -> Optional[Path]:
@@ -221,6 +299,123 @@ def run_proof(points: int = 200, fault_rate: float = 0.05, seed: int = 7,
     return report
 
 
+def run_ckpt_proof(cycles: int = 12000, elements: int = 1 << 12,
+                   seed: int = 12345, every: int = 400,
+                   max_retries: int = 3, store_dir: Optional[Path] = None,
+                   verbose: bool = True) -> Dict[str, Any]:
+    """Kill a driver mid-point, resume from its checkpoint, prove bit-exactness."""
+    import tempfile
+
+    from repro.experiments.sweeprunner.checkpoint import CHECKPOINT_EVERY_ENV
+    from repro.snapshot import SnapshotError, read_snapshot, restore_system
+
+    point = _canonical_sim_point()
+    # Direct call, no slot armed: the uninterrupted ground truth.
+    _reset_sim_watermarks()
+    baseline = point(cycles=cycles, elements=elements, seed=seed)
+
+    with tempfile.TemporaryDirectory(prefix="repro-ckpt-proof-") as tmp:
+        store = Path(store_dir) if store_dir is not None else Path(tmp)
+        ckpt_dir = store / "checkpoints"
+
+        env = dict(os.environ)
+        env[CHECKPOINT_EVERY_ENV] = str(every)
+        src_root = str(Path(__file__).resolve().parents[3])
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        child = subprocess.Popen(
+            [sys.executable, "-m",
+             "repro.experiments.sweeprunner.selftest", "drive-ckpt",
+             "--store", str(store), "--cycles", str(cycles),
+             "--elements", str(elements), "--seed", str(seed),
+             "--max-retries", str(max_retries)],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+        # Kill the driver the moment its first mid-point checkpoint is
+        # durable — the sharpest possible "crashed mid-point" cut.
+        started = time.monotonic()
+        killed = False
+        while time.monotonic() - started < 180.0:
+            if child.poll() is not None:
+                break
+            if ckpt_dir.is_dir() and any(ckpt_dir.glob("*.ckpt")):
+                child.send_signal(signal.SIGKILL)
+                child.wait(timeout=30)
+                killed = True
+                break
+            time.sleep(0.01)
+        else:
+            child.kill()
+            child.wait(timeout=30)
+        child_finished = child.returncode == 0
+
+        # Leg 1: restore the orphaned checkpoint file directly and finish
+        # it in-process — the snapshot itself must be bit-exact.
+        direct_match = None
+        orphan = sorted(ckpt_dir.glob("*.ckpt")) if ckpt_dir.is_dir() else []
+        if orphan:
+            try:
+                restored = restore_system(read_snapshot(orphan[0]))
+                direct_row = _result_row(restored.finish_run(),
+                                         cycles, elements, seed)
+                direct_match = direct_row == baseline
+            except SnapshotError as exc:
+                direct_match = False
+                if verbose:
+                    print(f"direct restore failed: {exc}", file=sys.stderr)
+
+        # Leg 2: resume through the sweep service.
+        previous_every = os.environ.get(CHECKPOINT_EVERY_ENV)
+        os.environ[CHECKPOINT_EVERY_ENV] = str(every)
+        _reset_sim_watermarks()  # restore overrides these; fresh runs need 0
+        try:
+            resumed = drive_ckpt(store, cycles, elements, seed, max_retries)
+        finally:
+            if previous_every is None:
+                os.environ.pop(CHECKPOINT_EVERY_ENV, None)
+            else:
+                os.environ[CHECKPOINT_EVERY_ENV] = previous_every
+
+        ledger_path = _ledger_file(store)
+        leases = (ledger_module.lease_counts(ledger_path)
+                  if ledger_path is not None else {})
+        resumes = (ledger_module.resume_counts(ledger_path)
+                   if ledger_path is not None else {})
+
+        report = {
+            "cycles": cycles,
+            "checkpoint_every": every,
+            "child_finished_before_kill": child_finished,
+            "killed_mid_point": killed and not child_finished,
+            "checkpoint_seen": bool(orphan),
+            "direct_restore_match": direct_match,
+            "rows_match": _normalized(resumed.rows) == _normalized([baseline]),
+            "failures": len(resumed.failures),
+            "resumed_leases": max(resumes.values()) if resumes else 0,
+            "max_leases_observed": max(leases.values()) if leases else 0,
+            "lease_bound": 1 + max_retries,
+            "lease_bound_held":
+                all(count <= 1 + max_retries for count in leases.values()),
+            "checkpoint_cleaned":
+                not (ckpt_dir.is_dir() and any(ckpt_dir.glob("*.ckpt"))),
+            "ledger_compacted":
+                ledger_path is not None
+                and ledger_module.count_events(ledger_path, "snapshot") == 1,
+        }
+        report["ok"] = bool(
+            report["rows_match"]
+            and report["failures"] == 0
+            and report["lease_bound_held"]
+            and report["ledger_compacted"]
+            and (child_finished
+                 or (report["checkpoint_seen"]
+                     and report["direct_restore_match"]
+                     and report["resumed_leases"] >= 1
+                     and report["checkpoint_cleaned"])))
+    if verbose:
+        print(json.dumps(report, indent=2))
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -249,20 +444,53 @@ def main(argv=None) -> int:
     driver.add_argument("--max-retries", type=int, default=3)
     driver.add_argument("--task-timeout", type=float, default=2.0)
 
+    ckpt = sub.add_parser("ckpt-proof",
+                          help="kill-mid-point checkpoint/resume proof")
+    ckpt.add_argument("--cycles", type=int, default=12000)
+    ckpt.add_argument("--elements", type=int, default=1 << 12)
+    ckpt.add_argument("--seed", type=int, default=12345)
+    ckpt.add_argument("--every", type=int, default=400,
+                      help="checkpoint interval in simulated cycles")
+    ckpt.add_argument("--max-retries", type=int, default=3)
+
+    ckpt_driver = sub.add_parser(
+        "drive-ckpt", help="one killable driver over the checkpoint point")
+    ckpt_driver.add_argument("--store", type=Path, required=True)
+    ckpt_driver.add_argument("--cycles", type=int, default=12000)
+    ckpt_driver.add_argument("--elements", type=int, default=1 << 12)
+    ckpt_driver.add_argument("--seed", type=int, default=12345)
+    ckpt_driver.add_argument("--max-retries", type=int, default=3)
+
     args = parser.parse_args(argv)
-    if args.command == "proof":
-        report = run_proof(
-            points=args.points, fault_rate=args.fault_rate, seed=args.seed,
-            kill_after=args.kill_after, workers=args.workers,
-            max_retries=args.max_retries, task_timeout=args.task_timeout,
-            spin=args.spin, sleep=args.sleep)
-        return 0 if report["ok"] else 1
-    outcome = drive(args.store, args.points, args.spin, args.sleep,
-                    FaultPlan.from_env(), args.workers, args.max_retries,
-                    args.task_timeout, progress=1.0)
-    print(f"drive: {outcome.stats.completed} completed, "
-          f"{len(outcome.failures)} failed")
-    return 0 if outcome.ok else 1
+    try:
+        if args.command == "proof":
+            report = run_proof(
+                points=args.points, fault_rate=args.fault_rate,
+                seed=args.seed, kill_after=args.kill_after,
+                workers=args.workers, max_retries=args.max_retries,
+                task_timeout=args.task_timeout,
+                spin=args.spin, sleep=args.sleep)
+            return 0 if report["ok"] else 1
+        if args.command == "ckpt-proof":
+            report = run_ckpt_proof(
+                cycles=args.cycles, elements=args.elements, seed=args.seed,
+                every=args.every, max_retries=args.max_retries)
+            return 0 if report["ok"] else 1
+        if args.command == "drive-ckpt":
+            outcome = drive_ckpt(args.store, args.cycles, args.elements,
+                                 args.seed, args.max_retries)
+            print(f"drive-ckpt: {outcome.stats.completed} completed, "
+                  f"{len(outcome.failures)} failed")
+            return 0 if outcome.ok else 1
+        outcome = drive(args.store, args.points, args.spin, args.sleep,
+                        FaultPlan.from_env(), args.workers, args.max_retries,
+                        args.task_timeout, progress=1.0)
+        print(f"drive: {outcome.stats.completed} completed, "
+              f"{len(outcome.failures)} failed")
+        return 0 if outcome.ok else 1
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI

@@ -29,13 +29,16 @@ from __future__ import annotations
 import hashlib
 import heapq
 import os
+import signal
 import sys
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.sweeprunner import checkpoint as checkpoint_module
 from repro.experiments.sweeprunner import ledger as ledger_module
 from repro.experiments.sweeprunner.faults import (
     CORRUPT_MARKER,
@@ -94,6 +97,10 @@ class SweepOptions:
     start_method: Optional[str] = None
     #: None resolves from the REPRO_SWEEP_FAULT_* environment.
     fault_plan: Optional[FaultPlan] = None
+    #: Directory for mid-point checkpoints of preemptible points (see
+    #: :mod:`.checkpoint`); defaults to ``<cache_dir>/checkpoints`` when
+    #: caching is on.  An explicit empty string disables checkpointing.
+    checkpoint_dir: Optional[os.PathLike] = None
 
 
 def default_processes(task_count: int) -> int:
@@ -180,6 +187,8 @@ class _SweepRun:
 
         self.cache = self._open_cache()
         self.ledger = self._open_ledger()
+        self.checkpoint_dir = self._resolve_checkpoint_dir()
+        self._interrupted = threading.Event()
 
     # -- durability ------------------------------------------------------
 
@@ -230,6 +239,29 @@ class _SweepRun:
         else:
             self.stats.resumed = journal.resumed
         return journal
+
+    def _resolve_checkpoint_dir(self) -> Optional[Path]:
+        if self.options.checkpoint_dir is not None:
+            directory = (Path(self.options.checkpoint_dir)
+                         if str(self.options.checkpoint_dir) else None)
+        elif self.cache is not None:
+            directory = self.cache.directory / "checkpoints"
+        else:
+            directory = None
+        if directory is None:
+            return None
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:  # best-effort, like the cache
+            print(f"sweep checkpoints disabled ({directory}: {exc})",
+                  file=sys.stderr)
+            return None
+        return directory
+
+    def _checkpoint_path(self, key: str) -> Optional[Path]:
+        if self.checkpoint_dir is None:
+            return None
+        return checkpoint_module.checkpoint_file(self.checkpoint_dir, key)
 
     # -- scheduling ------------------------------------------------------
 
@@ -301,7 +333,11 @@ class _SweepRun:
         if state.attempts > 1:
             self.stats.retries += 1
         if self.ledger is not None:
-            self.ledger.append_leased(state.key, state.attempts, worker)
+            ckpt = self._checkpoint_path(state.key)
+            provenance = ("resume" if ckpt is not None and ckpt.exists()
+                          else "fresh")
+            self.ledger.append_leased(state.key, state.attempts, worker,
+                                      checkpoint=provenance)
         return state.attempts
 
     def _complete(self, state: _PointState, row: Dict[str, Any]) -> None:
@@ -311,6 +347,13 @@ class _SweepRun:
             self.cache.store(state.task, row)
         if self.ledger is not None:
             self.ledger.append_done(state.key, state.attempts)
+        ckpt = self._checkpoint_path(state.key)
+        if ckpt is not None:
+            # The row is durable; its resume file is dead weight now.
+            try:
+                ckpt.unlink()
+            except OSError:
+                pass
 
     # -- execution paths -------------------------------------------------
 
@@ -331,11 +374,18 @@ class _SweepRun:
             fault = (self.fault_plan.decide(key, attempt)
                      if self.fault_plan is not None else None)
             kind = error_type = message = ""
-            if fault == "crash":
-                kind, message = "crash", "injected crash (serial path)"
+            if fault in ("crash", "die"):
+                # A die cannot kill the in-process driver; both report as
+                # the crash they would have been.
+                kind, message = "crash", f"injected {fault} (serial path)"
             elif fault == "hang":
                 kind, message = "timeout", "injected hang (serial path)"
             else:
+                slot = None
+                if self.checkpoint_dir is not None:
+                    slot = checkpoint_module.CheckpointSlot(
+                        self.checkpoint_dir, key, attempt)
+                    checkpoint_module.activate(slot)
                 try:
                     row = self.fn(**state.task.params)
                     if fault == "corrupt":
@@ -351,6 +401,9 @@ class _SweepRun:
                 except Exception as exc:
                     kind = "error"
                     error_type, message = type(exc).__name__, str(exc)
+                finally:
+                    if slot is not None:
+                        checkpoint_module.deactivate()
             if self._record_failure(state, kind, error_type, message) \
                     is not None:
                 queue.append(key)
@@ -361,7 +414,8 @@ class _SweepRun:
             self.fn, workers=workers,
             start_method=self.options.start_method,
             fault_plan=self.fault_plan,
-            task_timeout=self.task_timeout)
+            task_timeout=self.task_timeout,
+            checkpoint_dir=self.checkpoint_dir)
         try:
             ready = deque(pending)
             retry_heap: List[Tuple[float, int, str]] = []
@@ -380,11 +434,15 @@ class _SweepRun:
                     in_flight += 1
                 if not (ready or retry_heap or in_flight):
                     break
-                wait = 0.05
                 if not ready and retry_heap and not in_flight:
-                    wait = max(min(retry_heap[0][0] - time.monotonic(), 0.5),
-                               0.001)
-                for event in supervisor.poll(timeout=wait):
+                    # Pure backoff: nothing is running, we are only waiting
+                    # out a retry delay.  An Event wait (not a sleep) makes
+                    # Ctrl-C cut it short instead of riding it out.
+                    delay = max(retry_heap[0][0] - time.monotonic(), 0.0)
+                    if delay > 0 and self._interrupted.wait(min(delay, 0.5)):
+                        raise KeyboardInterrupt
+                    continue
+                for event in supervisor.poll(timeout=0.05):
                     in_flight -= 1
                     state = self.states[event.assignment.key]
                     delay = self._handle_event(state, event)
@@ -442,6 +500,7 @@ class _SweepRun:
         interval = resolve_interval(self.options.progress)
         self.progress = (ProgressReporter(len(self.param_sets), interval)
                          if interval is not None else None)
+        previous_sigint = self._install_sigint()
         try:
             pending = self._prefill()
             if pending:
@@ -452,13 +511,39 @@ class _SweepRun:
                     self._run_serial(pending)
                 else:
                     self._run_supervised(pending, min(workers, len(pending)))
+            if self.ledger is not None \
+                    and all(s.done for s in self.states.values()):
+                # Clean completion: collapse the journal to one snapshot
+                # record (replay state preserved; history dropped).
+                self.ledger.compact()
         except KeyboardInterrupt:
             self._on_interrupt()
             raise
         finally:
+            if previous_sigint is not None:
+                signal.signal(signal.SIGINT, previous_sigint)
             if self.ledger is not None:
                 self.ledger.close()
         return self._finalize(started)
+
+    def _install_sigint(self) -> Optional[Any]:
+        """Route SIGINT through the interrupt event (main thread only).
+
+        The event is what lets a pure-backoff wait end early; the handler
+        still raises KeyboardInterrupt so every other blocking point keeps
+        its prompt Ctrl-C behavior.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return None
+
+        def _handler(signum, frame):
+            self._interrupted.set()
+            raise KeyboardInterrupt
+
+        try:
+            return signal.signal(signal.SIGINT, _handler)
+        except (ValueError, OSError):
+            return None
 
     def _on_interrupt(self) -> None:
         """Clean Ctrl-C: completed rows are already durable; say how to resume."""

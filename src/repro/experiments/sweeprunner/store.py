@@ -14,12 +14,18 @@ cannot fail every future load of the same key.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.experiments.sweeprunner.tasks import CACHE_ENV_VAR, SweepTask
+
+#: Per-process temp-name ticket: two writers of the same key must never
+#: share a temp file (a shared name lets writer A replace writer B's
+#: half-written temp mid-write, landing a torn entry in the store).
+_temp_tickets = itertools.count()
 
 
 class SweepCache:
@@ -69,7 +75,8 @@ class SweepCache:
 
     def store(self, task: SweepTask, row: Dict[str, Any]) -> bool:
         path = self._path(task)
-        tmp = path.with_suffix(".tmp")
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{next(_temp_tickets)}.tmp")
         entry = {
             "module": task.module,
             "qualname": task.qualname,

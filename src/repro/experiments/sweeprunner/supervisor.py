@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional
 
 from multiprocessing import get_context
 
+from repro.experiments.sweeprunner import checkpoint as checkpoint_module
 from repro.experiments.sweeprunner.faults import (
     CRASH_EXIT_CODE,
     FaultPlan,
@@ -84,7 +85,8 @@ def _describe_error(exc: BaseException) -> Dict[str, str]:
     }
 
 
-def _worker_main(worker_id, fn, inbox, outbox, fault_plan, parent_pid):
+def _worker_main(worker_id, fn, inbox, outbox, fault_plan, parent_pid,
+                 checkpoint_dir):
     """Worker loop: lease → (maybe fault) → run → report.
 
     Runs in a child process.  Fault decisions replay the deterministic
@@ -107,8 +109,24 @@ def _worker_main(worker_id, fn, inbox, outbox, fault_plan, parent_pid):
             os._exit(CRASH_EXIT_CODE)
         if fault == "hang":
             hang_forever(parent_pid)
+        slot = None
+        if checkpoint_dir is not None:
+            slot = checkpoint_module.CheckpointSlot(checkpoint_dir, key,
+                                                    attempt)
+            if fault == "die":
+                slot.arm_die()
+            checkpoint_module.activate(slot)
+        elif fault == "die":
+            os._exit(CRASH_EXIT_CODE)  # no checkpointing: die is a crash
         try:
             row = fn(**params)
+            if slot is not None:
+                checkpoint_module.deactivate()
+            if fault == "die":
+                # The point never checkpointed (armed saves would have
+                # exited already); die at completion so the fault still
+                # costs this attempt.
+                os._exit(CRASH_EXIT_CODE)
             if fault == "corrupt":
                 row = corrupt_row(row)
             # The queue's feeder thread pickles asynchronously — an
@@ -119,6 +137,8 @@ def _worker_main(worker_id, fn, inbox, outbox, fault_plan, parent_pid):
         except KeyboardInterrupt:
             return
         except BaseException as exc:  # noqa: BLE001 - report, don't die
+            if slot is not None:
+                checkpoint_module.deactivate()
             try:
                 outbox.put((worker_id, ticket, "error", _describe_error(exc)))
             except Exception:
@@ -126,13 +146,15 @@ def _worker_main(worker_id, fn, inbox, outbox, fault_plan, parent_pid):
 
 
 class _WorkerHandle:
-    def __init__(self, ctx, worker_id: int, fn, outbox, fault_plan) -> None:
+    def __init__(self, ctx, worker_id: int, fn, outbox, fault_plan,
+                 checkpoint_dir) -> None:
         self.worker_id = worker_id
         self.inbox = ctx.Queue()
         self.assignment: Optional[Assignment] = None
         self.process = ctx.Process(
             target=_worker_main,
-            args=(worker_id, fn, self.inbox, outbox, fault_plan, os.getpid()),
+            args=(worker_id, fn, self.inbox, outbox, fault_plan, os.getpid(),
+                  checkpoint_dir),
             daemon=True,
         )
         self.process.start()
@@ -168,17 +190,20 @@ class Supervisor:
     def __init__(self, fn, workers: int,
                  start_method: Optional[str] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 task_timeout: Optional[float] = None) -> None:
+                 task_timeout: Optional[float] = None,
+                 checkpoint_dir=None) -> None:
         self._ctx = get_context(start_method or default_start_method())
         self._fn = fn
         self._fault_plan = fault_plan
+        self._checkpoint_dir = checkpoint_dir
         self.task_timeout = task_timeout
         self.outbox = self._ctx.Queue()
         self.respawns = 0
         self._next_ticket = 0
         self._live_tickets: Dict[int, _WorkerHandle] = {}
         self._handles: List[_WorkerHandle] = [
-            _WorkerHandle(self._ctx, i, fn, self.outbox, fault_plan)
+            _WorkerHandle(self._ctx, i, fn, self.outbox, fault_plan,
+                          checkpoint_dir)
             for i in range(max(1, workers))
         ]
 
@@ -263,7 +288,7 @@ class Supervisor:
         self.respawns += 1
         self._handles[slot] = _WorkerHandle(
             self._ctx, self._handles[slot].worker_id, self._fn,
-            self.outbox, self._fault_plan)
+            self.outbox, self._fault_plan, self._checkpoint_dir)
 
     # -- shutdown --------------------------------------------------------
 

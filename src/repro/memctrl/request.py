@@ -9,6 +9,25 @@ from repro.dram.commands import DramAddress
 
 _request_ids = itertools.count()
 
+
+def get_request_id_watermark() -> int:
+    """Next request id the global counter would hand out (checkpointing).
+
+    Peek-then-rearm: ``itertools.count`` cannot be inspected without
+    consuming, so read one value and rebind the counter at that value.
+    """
+    global _request_ids
+    value = next(_request_ids)
+    _request_ids = itertools.count(value)
+    return value
+
+
+def set_request_id_watermark(value: int) -> None:
+    """Restore the global request-id counter (checkpoint restore)."""
+    global _request_ids
+    _request_ids = itertools.count(value)
+
+
 #: Bucket key identifying a bank within one channel's queue.
 _BankKey = Tuple[int, int, int]
 

@@ -90,6 +90,10 @@ class RankWorkItem:
     on_complete: Optional[Callable[[int], None]] = None
     launched_cycle: int = 0
     completed_cycle: Optional[int] = None
+    #: Id of the owning :class:`~repro.nda.launch.NdaOperation` (``-1`` for
+    #: directly enqueued test work).  Checkpoint restore uses it to rebuild
+    #: ``on_complete`` from the operation table.
+    operation_id: int = -1
 
 
 class _ExecutionState:

@@ -78,6 +78,20 @@ OPCODE_TRAITS: Dict[NdaOpcode, OpcodeTraits] = {
 _instruction_ids = itertools.count()
 
 
+def get_instruction_id_watermark() -> int:
+    """Next instruction id the global counter would hand out (checkpointing)."""
+    global _instruction_ids
+    value = next(_instruction_ids)
+    _instruction_ids = itertools.count(value)
+    return value
+
+
+def set_instruction_id_watermark(value: int) -> None:
+    """Restore the global instruction-id counter (checkpoint restore)."""
+    global _instruction_ids
+    _instruction_ids = itertools.count(value)
+
+
 @dataclass
 class NdaInstruction:
     """One NDA instruction targeting the portion of its operands in one rank.

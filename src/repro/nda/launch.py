@@ -32,6 +32,20 @@ from repro.nda.isa import NdaInstruction, NdaOpcode, OPCODE_TRAITS
 _operation_ids = itertools.count()
 
 
+def get_operation_id_watermark() -> int:
+    """Next operation id the global counter would hand out (checkpointing)."""
+    global _operation_ids
+    value = next(_operation_ids)
+    _operation_ids = itertools.count(value)
+    return value
+
+
+def set_operation_id_watermark(value: int) -> None:
+    """Restore the global operation-id counter (checkpoint restore)."""
+    global _operation_ids
+    _operation_ids = itertools.count(value)
+
+
 @dataclass
 class NdaPacket:
     """A launch packet written to a rank's NDA control registers."""
@@ -113,6 +127,11 @@ class NdaHostController:
             for key, rc in rank_controllers.items()
         }
         self._control_column = 0
+        #: Launch-packet writes currently in flight in a channel write queue,
+        #: keyed by the carrying request's id.  Maintained so checkpointing
+        #: can serialize the packet an in-flight control write delivers (the
+        #: request's ``on_complete`` closure is rebuilt from this at restore).
+        self._inflight: Dict[int, NdaPacket] = {}
         self.operations_launched = 0
         self.operations_completed = 0
         self.packets_sent = 0
@@ -229,6 +248,24 @@ class NdaHostController:
         if traits.output_vectors:
             output_bank, output_row = placer.place(rows_per_operand)
 
+        return RankWorkItem(
+            instruction=instruction,
+            operand_banks=operand_banks,
+            operand_base_rows=operand_rows,
+            output_bank=output_bank,
+            output_base_row=output_row,
+            on_complete=self._piece_completion_callback(operation),
+            operation_id=operation.operation_id,
+        )
+
+    def _piece_completion_callback(self, operation: NdaOperation):
+        """The per-piece completion hook bound to ``operation``.
+
+        A named constructor (rather than an inline closure in ``_bind``) so
+        checkpoint restore can rebuild the hook for a deserialized work item
+        from its ``operation_id`` alone.
+        """
+
         def _on_piece_complete(cycle: int, op=operation) -> None:
             op.outstanding_instructions -= 1
             if op.outstanding_instructions <= 0 and op.completed_cycle is None:
@@ -239,14 +276,7 @@ class NdaHostController:
                 if op.on_complete is not None:
                     op.on_complete(cycle)
 
-        return RankWorkItem(
-            instruction=instruction,
-            operand_banks=operand_banks,
-            operand_base_rows=operand_rows,
-            output_bank=output_bank,
-            output_base_row=output_row,
-            on_complete=_on_piece_complete,
-        )
+        return _on_piece_complete
 
     def _control_register_address(self, key: Tuple[int, int]) -> DramAddress:
         """Address of the rank's NDA control registers (a reserved row)."""
@@ -280,6 +310,7 @@ class NdaHostController:
             )
             if controller.enqueue(request, now):
                 self.packets_sent += 1
+                self._inflight[request.request_id] = packet
             else:
                 remaining.append(packet)
                 break  # preserve order; retry next cycle
@@ -288,6 +319,10 @@ class NdaHostController:
 
     def _deliver(self, packet: NdaPacket, cycle: int) -> None:
         """The packet write completed: hand the work to the rank controller."""
+        for request_id, inflight in self._inflight.items():
+            if inflight is packet:
+                del self._inflight[request_id]
+                break
         self.rank_controllers[(packet.channel, packet.rank)].enqueue(packet.work, cycle)
 
     # ------------------------------------------------------------------ #

@@ -80,3 +80,11 @@ class DeterministicRng:
     def numpy_seed(self) -> int:
         """A 32-bit seed suitable for ``numpy.random.default_rng``."""
         return _derive_seed(self.base_seed, self.stream) & 0xFFFFFFFF
+
+    def getstate(self):
+        """The underlying Mersenne Twister state (checkpointing)."""
+        return self._rng.getstate()
+
+    def setstate(self, state) -> None:
+        """Restore a state captured by :meth:`getstate`."""
+        self._rng.setstate(state)
