@@ -16,12 +16,23 @@ facade).  Layering:
   SIGKILL-on-timeout and respawn.
 * :mod:`.report` — sweep outcomes: rows + structured failure report.
 * :mod:`.progress` — live done/leased/failed, rows/sec, ETA lines.
+* :mod:`.cluster` — multi-host sharding: fenced epoch-file leases,
+  heartbeat liveness, lease stealing with checkpoint migration, and the
+  per-host store shards merged on read (``SweepOptions.cluster``).
 * :mod:`.service` — the orchestrator: ``run_sweep`` /
   ``run_sweep_outcome`` with retries, backoff, resume and strict mode.
-* :mod:`.selftest` — the end-to-end crash/fault/resume proof
-  (``python -m repro.experiments.sweeprunner.selftest proof``).
+* :mod:`.selftest` — the end-to-end crash/fault/resume proofs
+  (``python -m repro.experiments.sweeprunner.selftest proof`` /
+  ``ckpt-proof`` / ``shard-proof``).
 """
 
+from repro.experiments.sweeprunner.cluster import (
+    HOST_ENV,
+    ClusterOptions,
+    FederatedStore,
+    ShardCoordinator,
+    resolve_host,
+)
 from repro.experiments.sweeprunner.faults import (
     CORRUPT_MARKER,
     FAULT_KINDS_ENV,
@@ -29,7 +40,14 @@ from repro.experiments.sweeprunner.faults import (
     FAULT_SEED_ENV,
     FaultPlan,
 )
-from repro.experiments.sweeprunner.ledger import RunLedger, lease_counts
+from repro.experiments.sweeprunner.ledger import (
+    RunLedger,
+    lease_counts,
+    merged_counts,
+    migrate_counts,
+    resume_counts,
+    sweep_ledger_paths,
+)
 from repro.experiments.sweeprunner.progress import PROGRESS_ENV
 from repro.experiments.sweeprunner.report import (
     SweepOutcome,
@@ -45,7 +63,11 @@ from repro.experiments.sweeprunner.service import (
     run_sweep,
     run_sweep_outcome,
 )
-from repro.experiments.sweeprunner.store import SweepCache, default_cache_dir
+from repro.experiments.sweeprunner.store import (
+    SweepCache,
+    collect_garbage,
+    default_cache_dir,
+)
 from repro.experiments.sweeprunner.supervisor import Supervisor
 from repro.experiments.sweeprunner.tasks import (
     CACHE_ENV_VAR,
@@ -64,10 +86,14 @@ __all__ = [
     "FAULT_KINDS_ENV",
     "FAULT_RATE_ENV",
     "FAULT_SEED_ENV",
+    "HOST_ENV",
     "PROGRESS_ENV",
     "STRICT_ENV",
+    "ClusterOptions",
     "FaultPlan",
+    "FederatedStore",
     "RunLedger",
+    "ShardCoordinator",
     "Supervisor",
     "SweepCache",
     "SweepOptions",
@@ -77,12 +103,17 @@ __all__ = [
     "SweepTask",
     "TaskFailure",
     "code_fingerprint",
+    "collect_garbage",
     "default_cache_dir",
     "default_processes",
     "environment_axes",
     "lease_counts",
     "make_task",
+    "merged_counts",
+    "migrate_counts",
+    "resolve_host",
     "resolve_strict",
+    "resume_counts",
     "run_sweep",
     "run_sweep_outcome",
     "sweep_id",

@@ -63,6 +63,32 @@ def checkpoint_file(directory: Union[str, Path], key: str) -> Path:
     return Path(directory) / f"{key}.ckpt"
 
 
+def peek_fraction(path: Union[str, Path]) -> float:
+    """How much of its run a checkpoint has already simulated, in [0, 1].
+
+    Progress/ETA accounting credits a resumed point for the cycles its
+    checkpoint carries (a resumed point only *computes* the remainder, so
+    counting it as a full row of work would skew the measured rate and the
+    ETA).  Reads the snapshot's ``now``/``run_end``/``run_cycles`` fields;
+    anything unreadable or incompatible is worth zero credit — the point
+    then just counts as fresh, which is always a safe estimate.
+    """
+    try:
+        payload = read_snapshot(Path(path))
+    except (OSError, SnapshotError):
+        return 0.0
+    if not isinstance(payload, dict):
+        return 0.0
+    now = payload.get("now")
+    run_end = payload.get("run_end")
+    run_cycles = payload.get("run_cycles")
+    if not all(isinstance(v, int) for v in (now, run_end, run_cycles)) \
+            or run_cycles <= 0:
+        return 0.0
+    remaining = max(run_end - now, 0)
+    return min(max(1.0 - remaining / run_cycles, 0.0), 1.0)
+
+
 class CheckpointSlot:
     """One point execution's handle on its checkpoint file."""
 
@@ -158,6 +184,6 @@ def run_with_checkpoint(build: Callable[[], Any], cycles: int,
 
 __all__ = [
     "CHECKPOINT_EVERY_ENV", "CheckpointSlot", "activate", "active_slot",
-    "checkpoint_every", "checkpoint_file", "deactivate",
+    "checkpoint_every", "checkpoint_file", "deactivate", "peek_fraction",
     "run_with_checkpoint",
 ]

@@ -30,6 +30,19 @@ Fault kinds:
   resume-from-checkpoint path; a point that never checkpoints dies at
   completion instead, degenerating to a plain crash.  Serially it is
   reported as an injected crash, like ``crash``.
+
+Cluster fault kinds (see :mod:`.cluster`) are host-level rather than
+worker-level, are **not** part of the default schedule (naming them in
+``REPRO_SWEEP_FAULT_KINDS`` or ``FaultPlan(kinds=...)`` opts in), and are
+no-ops on single-host sweeps:
+
+* ``netsplit`` — the executing host freezes its heartbeats for the
+  duration of the point while it keeps computing; peers declare it dead,
+  steal the lease, and the fencing check discards the split host's late
+  writes.
+* ``steal-race`` — hosts that observe an expired lease skip the usual
+  deterministic steal stagger, so every candidate rushes the
+  ``O_CREAT|O_EXCL`` claim at once and exactly one wins.
 """
 
 from __future__ import annotations
@@ -45,6 +58,14 @@ FAULT_SEED_ENV = "REPRO_SWEEP_FAULT_SEED"
 FAULT_KINDS_ENV = "REPRO_SWEEP_FAULT_KINDS"
 
 FAULT_KINDS: Tuple[str, ...] = ("crash", "hang", "corrupt", "die")
+
+#: Host-level fault kinds understood by the shard coordinator.  Kept out of
+#: :data:`FAULT_KINDS` (the default schedule) so existing single-host fault
+#: schedules — and the CI proof runs pinned against them — are unchanged;
+#: plans opt in by naming them explicitly.
+CLUSTER_FAULT_KINDS: Tuple[str, ...] = ("netsplit", "steal-race")
+
+ALL_FAULT_KINDS: Tuple[str, ...] = FAULT_KINDS + CLUSTER_FAULT_KINDS
 
 #: Marker key planted by corrupt-row faults; row validation rejects any row
 #: carrying it, proving the validation path rather than trusting it.
@@ -116,7 +137,7 @@ class FaultPlan:
             seed = 0
         kinds_raw = environ.get(FAULT_KINDS_ENV) or ""
         kinds = tuple(k.strip() for k in kinds_raw.split(",")
-                      if k.strip() in FAULT_KINDS) or FAULT_KINDS
+                      if k.strip() in ALL_FAULT_KINDS) or FAULT_KINDS
         return cls(rate=min(rate, 1.0), seed=seed, kinds=kinds)
 
 
@@ -138,7 +159,8 @@ def hang_forever(parent_pid: int, poll_seconds: float = 0.2) -> None:
 
 
 __all__ = [
-    "CORRUPT_MARKER", "CRASH_EXIT_CODE", "DEFAULT_HANG_TIMEOUT",
+    "ALL_FAULT_KINDS", "CLUSTER_FAULT_KINDS", "CORRUPT_MARKER",
+    "CRASH_EXIT_CODE", "DEFAULT_HANG_TIMEOUT",
     "FAULT_KINDS", "FAULT_KINDS_ENV", "FAULT_RATE_ENV", "FAULT_SEED_ENV",
     "FaultPlan", "InjectedCrash", "InjectedHang", "corrupt_row",
     "hang_forever",

@@ -23,16 +23,24 @@ JSON object per line.  The task-level state machine is::
 
 Replay is tolerant of a torn final line (the driver can die mid-append);
 any line that does not parse is counted and skipped.
+
+Cluster sweeps (see :mod:`.cluster`) give each host its **own** ledger
+file (``sweep-<id>.<host>.jsonl``) — append-only JSONL has exactly one
+writer per file, always — and audits merge every host's journal:
+:func:`merged_counts` sums a per-file counter (e.g. :func:`lease_counts`)
+over all ``sweep-*.jsonl`` files in a directory, which is how the shard
+proof asserts the global lease bound across hosts.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Optional
 
 
 @dataclass
@@ -44,6 +52,9 @@ class TaskRecord:
     failures: List[Dict[str, Any]] = field(default_factory=list)
     #: Leases that resumed from a mid-point checkpoint (see .checkpoint).
     resumed: int = 0
+    #: Resumed leases whose checkpoint was migrated from another host's
+    #: shard after a lease steal (see .cluster; counted in ``resumed`` too).
+    migrated: int = 0
 
     @property
     def interrupted(self) -> bool:
@@ -89,7 +100,8 @@ class RunLedger:
                             leases=int(state.get("leases", 0)),
                             done=bool(state.get("done", False)),
                             failures=list(state.get("failures", [])),
-                            resumed=int(state.get("resumed", 0)))
+                            resumed=int(state.get("resumed", 0)),
+                            migrated=int(state.get("migrated", 0)))
                 continue
             key = event.get("key")
             if not key or kind not in ("queued", "leased", "done", "failed"):
@@ -97,8 +109,10 @@ class RunLedger:
             record = records.setdefault(key, TaskRecord())
             if kind == "leased":
                 record.leases += 1
-                if event.get("checkpoint") == "resume":
+                if event.get("checkpoint") in ("resume", "migrated"):
                     record.resumed += 1
+                if event.get("checkpoint") == "migrated":
+                    record.migrated += 1
             elif kind == "done":
                 record.done = True
             elif kind == "failed":
@@ -140,12 +154,15 @@ class RunLedger:
     def append_leased(self, key: str, attempt: int, worker: Any = None,
                       checkpoint: str = "fresh") -> None:
         """Journal a lease; ``checkpoint`` records the execution's provenance:
-        ``"fresh"`` (from cycle zero) or ``"resume"`` (from a checkpoint left
-        by an earlier, interrupted attempt)."""
+        ``"fresh"`` (from cycle zero), ``"resume"`` (from a checkpoint left
+        by an earlier, interrupted attempt), or ``"migrated"`` (from a
+        checkpoint shipped from another host's shard after a lease steal)."""
         record = self.record(key)
         record.leases += 1
-        if checkpoint == "resume":
+        if checkpoint in ("resume", "migrated"):
             record.resumed += 1
+        if checkpoint == "migrated":
+            record.migrated += 1
         self._append({"event": "leased", "key": key, "attempt": attempt,
                       "worker": worker, "checkpoint": checkpoint,
                       "t": time.time()})
@@ -180,7 +197,8 @@ class RunLedger:
                     "tasks": {key: {"leases": record.leases,
                                     "done": record.done,
                                     "failures": record.failures,
-                                    "resumed": record.resumed}
+                                    "resumed": record.resumed,
+                                    "migrated": record.migrated}
                               for key, record in self._records.items()}}
         tmp = self.path.with_name(
             f"{self.path.name}.{os.getpid()}.compact.tmp")
@@ -222,8 +240,32 @@ class RunLedger:
             pass
 
 
-def ledger_path(directory: Path, sweep_identity: str) -> Path:
+def ledger_path(directory: Path, sweep_identity: str,
+                host: Optional[str] = None) -> Path:
+    """The journal file for one sweep — per-host in cluster mode, so every
+    append-only file has exactly one writer."""
+    if host:
+        safe = re.sub(r"[^A-Za-z0-9_.-]+", "-", host)
+        return Path(directory) / f"sweep-{sweep_identity}.{safe}.jsonl"
     return Path(directory) / f"sweep-{sweep_identity}.jsonl"
+
+
+def sweep_ledger_paths(directory: Path) -> List[Path]:
+    """Every ledger file in a directory (all hosts, all sweeps), sorted."""
+    try:
+        return sorted(Path(directory).glob("sweep-*.jsonl"))
+    except OSError:
+        return []
+
+
+def merged_counts(directory: Path, counter) -> Dict[str, int]:
+    """Sum a per-file counter (e.g. :func:`lease_counts`) across every
+    ledger file in ``directory`` — the cross-host audit primitive."""
+    totals: Dict[str, int] = {}
+    for path in sweep_ledger_paths(directory):
+        for key, count in counter(path).items():
+            totals[key] = totals.get(key, 0) + count
+    return totals
 
 
 def lease_counts(path: Path) -> Dict[str, int]:
@@ -279,7 +321,36 @@ def resume_counts(path: Path) -> Dict[str, int]:
                         counts[key] = counts.get(key, 0) + resumed
             continue
         if event.get("event") == "leased" \
-                and event.get("checkpoint") == "resume":
+                and event.get("checkpoint") in ("resume", "migrated"):
+            counts[event["key"]] = counts.get(event["key"], 0) + 1
+    return counts
+
+
+def migrate_counts(path: Path) -> Dict[str, int]:
+    """Migrated-checkpoint leases per key (snapshot-aware).
+
+    Used by the shard proof: a key stolen from a SIGKILLed host with a
+    durable checkpoint must show a ``checkpoint="migrated"`` lease in the
+    stealing host's ledger.
+    """
+    counts: Dict[str, int] = {}
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(event, dict):
+            continue
+        if event.get("event") == "snapshot":
+            tasks = event.get("tasks")
+            if isinstance(tasks, dict):
+                for key, state in tasks.items():
+                    migrated = int(state.get("migrated", 0))
+                    if migrated:  # parity with replay: no zero-count keys
+                        counts[key] = counts.get(key, 0) + migrated
+            continue
+        if event.get("event") == "leased" \
+                and event.get("checkpoint") == "migrated":
             counts[event["key"]] = counts.get(event["key"], 0) + 1
     return counts
 
@@ -301,5 +372,6 @@ def count_events(path: Path, kind: str) -> int:
     return total
 
 
-__all__ = ["RunLedger", "TaskRecord", "ledger_path", "lease_counts",
-           "count_events", "resume_counts"]
+__all__ = ["RunLedger", "TaskRecord", "count_events", "lease_counts",
+           "ledger_path", "merged_counts", "migrate_counts",
+           "resume_counts", "sweep_ledger_paths"]

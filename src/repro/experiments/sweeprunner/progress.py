@@ -35,7 +35,18 @@ def resolve_interval(explicit: Optional[float]) -> Optional[float]:
 
 
 class ProgressReporter:
-    """Throttled progress printer: done/leased/failed, rows/sec, ETA, cache."""
+    """Throttled progress printer: done/leased/failed, rows/sec, ETA, cache.
+
+    The rate and ETA are computed over **work units**, not raw row counts:
+    a point resumed from a mid-run checkpoint only computes the cycles the
+    checkpoint did not already carry, so the service credits it as a
+    fractional unit via ``computed_work`` (and discounts its in-flight
+    remainder via ``in_flight_credit``).  Counting a resumed point as a
+    full unit made the measured rate — and therefore the ETA for the
+    remaining, mostly-fresh points — wrong by exactly the resumed prefix.
+    ``computed_work=None`` falls back to ``done - cache_hits``, the
+    pre-checkpoint behavior.
+    """
 
     def __init__(self, total: int, interval: Optional[float],
                  stream: Optional[TextIO] = None) -> None:
@@ -50,7 +61,9 @@ class ProgressReporter:
         return self.interval is not None
 
     def maybe_report(self, done: int, leased: int, failed: int,
-                     cache_hits: int, force: bool = False) -> None:
+                     cache_hits: int, force: bool = False,
+                     computed_work: Optional[float] = None,
+                     in_flight_credit: float = 0.0) -> None:
         if not self.enabled:
             return
         now = time.monotonic()
@@ -58,11 +71,13 @@ class ProgressReporter:
             return
         self._last = now
         elapsed = max(now - self.started, 1e-9)
-        computed = max(done - cache_hits, 0)
-        rate = computed / elapsed
+        if computed_work is None:
+            computed_work = max(done - cache_hits, 0)
+        rate = computed_work / elapsed
         remaining = self.total - done - failed
+        remaining_work = max(remaining - in_flight_credit, 0.0)
         if remaining > 0 and rate > 0:
-            eta = f"eta {remaining / rate:.0f}s"
+            eta = f"eta {remaining_work / rate:.0f}s"
         elif remaining > 0:
             eta = "eta ?"
         else:
@@ -73,10 +88,12 @@ class ProgressReporter:
               f"cache {cache_hits} hits ({hit_rate:.0f}%) | {eta}",
               file=self.stream, flush=True)
 
-    def final(self, done: int, failed: int, cache_hits: int) -> None:
+    def final(self, done: int, failed: int, cache_hits: int,
+              computed_work: Optional[float] = None) -> None:
         if not self.enabled:
             return
-        self.maybe_report(done, 0, failed, cache_hits, force=True)
+        self.maybe_report(done, 0, failed, cache_hits, force=True,
+                          computed_work=computed_work)
 
 
 __all__ = ["DEFAULT_INTERVAL", "PROGRESS_ENV", "ProgressReporter",

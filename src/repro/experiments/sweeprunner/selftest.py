@@ -30,6 +30,16 @@ resume that must (a) journal a ``checkpoint="resume"`` lease and (b)
 produce a row bit-identical to an uninterrupted run.  The parent also
 restores the orphaned checkpoint file directly and finishes it in-process,
 pinning the bit-exactness of the very snapshot the kill interrupted.
+
+``shard-proof`` is the multi-host variant (see :mod:`.cluster`): three
+driver processes with distinct host identities share one sweep directory
+over real simulator points; the parent SIGKILLs one host right after its
+first mid-point checkpoint lands, the survivors steal its lease (shipping
+the orphaned checkpoint across shards), and the verdict demands rows
+bit-identical to a clean single-host run, the global lease bound held
+across every host's ledger, at least one ``checkpoint="migrated"`` lease,
+and a final in-process verifier pass that executes nothing (every row
+served by the federated store).
 """
 
 from __future__ import annotations
@@ -45,6 +55,8 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.experiments.sweeprunner import ledger as ledger_module
+from repro.experiments.sweeprunner.checkpoint import CHECKPOINT_EVERY_ENV
+from repro.experiments.sweeprunner.cluster import ClusterOptions
 from repro.experiments.sweeprunner.faults import (
     FAULT_RATE_ENV,
     FAULT_SEED_ENV,
@@ -55,6 +67,27 @@ from repro.experiments.sweeprunner.service import (
     run_sweep_outcome,
 )
 from repro.experiments.sweeprunner.tasks import make_task
+
+
+def wait_until(condition, timeout: float, initial: float = 0.005,
+               factor: float = 1.5, max_interval: float = 0.25) -> bool:
+    """Deadline-bounded condition polling with exponential backoff.
+
+    Returns True the moment ``condition()`` does, False once ``timeout``
+    seconds have elapsed without it.  The backoff starts tight (so fast
+    transitions are caught fast) and decays toward ``max_interval`` (so a
+    long wait does not busy-spin the way a fixed short sleep would).
+    """
+    deadline = time.monotonic() + timeout
+    interval = initial
+    while True:
+        if condition():
+            return True
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return False
+        time.sleep(min(interval, remaining, max_interval))
+        interval = min(interval * factor, max_interval)
 
 
 def checksum_point(value: int, spin: int = 2000,
@@ -119,6 +152,11 @@ def simulation_point(cycles: int, elements: int,
     from repro.core.system import ChopimSystem
     from repro.experiments.sweeprunner.checkpoint import run_with_checkpoint
     from repro.nda.isa import NdaOpcode
+
+    # Fresh executions must be self-deterministic no matter what ran in
+    # this process before (multi-point shard sweeps execute several points
+    # back to back); a checkpoint restore re-overrides the watermarks.
+    _reset_sim_watermarks()
 
     def build():
         config = default_config()
@@ -209,20 +247,21 @@ def _spawn_child_driver(store: Path, args, env_plan: FaultPlan
 def _kill_mid_run(child: subprocess.Popen, store: Path, kill_after: int,
                   deadline_seconds: float = 120.0) -> int:
     """SIGKILL the child once its ledger shows ``kill_after`` done rows."""
-    started = time.monotonic()
     done = 0
-    while time.monotonic() - started < deadline_seconds:
+
+    def ripe() -> bool:
+        nonlocal done
         if child.poll() is not None:
-            return done  # finished before we could kill it — still a run
+            return True  # finished before we could kill it — still a run
         path = _ledger_file(store)
         if path is not None:
             done = ledger_module.count_events(path, "done")
-            if done >= kill_after:
-                child.send_signal(signal.SIGKILL)
-                child.wait(timeout=30)
-                return done
-        time.sleep(0.02)
-    child.kill()
+            return done >= kill_after
+        return False
+
+    wait_until(ripe, deadline_seconds, initial=0.01, max_interval=0.05)
+    if child.poll() is None:
+        child.send_signal(signal.SIGKILL)
     child.wait(timeout=30)
     return done
 
@@ -306,7 +345,6 @@ def run_ckpt_proof(cycles: int = 12000, elements: int = 1 << 12,
     """Kill a driver mid-point, resume from its checkpoint, prove bit-exactness."""
     import tempfile
 
-    from repro.experiments.sweeprunner.checkpoint import CHECKPOINT_EVERY_ENV
     from repro.snapshot import SnapshotError, read_snapshot, restore_system
 
     point = _canonical_sim_point()
@@ -332,20 +370,13 @@ def run_ckpt_proof(cycles: int = 12000, elements: int = 1 << 12,
 
         # Kill the driver the moment its first mid-point checkpoint is
         # durable — the sharpest possible "crashed mid-point" cut.
-        started = time.monotonic()
-        killed = False
-        while time.monotonic() - started < 180.0:
-            if child.poll() is not None:
-                break
-            if ckpt_dir.is_dir() and any(ckpt_dir.glob("*.ckpt")):
-                child.send_signal(signal.SIGKILL)
-                child.wait(timeout=30)
-                killed = True
-                break
-            time.sleep(0.01)
-        else:
-            child.kill()
-            child.wait(timeout=30)
+        wait_until(lambda: child.poll() is not None
+                   or (ckpt_dir.is_dir() and any(ckpt_dir.glob("*.ckpt"))),
+                   180.0, initial=0.005, max_interval=0.05)
+        killed = child.poll() is None
+        if killed:
+            child.send_signal(signal.SIGKILL)
+        child.wait(timeout=30)
         child_finished = child.returncode == 0
 
         # Leg 1: restore the orphaned checkpoint file directly and finish
@@ -416,6 +447,165 @@ def run_ckpt_proof(cycles: int = 12000, elements: int = 1 << 12,
     return report
 
 
+def shard_params(points: int, cycles: int, elements: int,
+                 seed: int) -> List[Dict[str, Any]]:
+    """Distinct real-simulator points (per-point seeds) for the shard proof."""
+    return [{"cycles": cycles, "elements": elements, "seed": seed + i}
+            for i in range(points)]
+
+
+def drive_shard(store: Path, host: str, points: int, cycles: int,
+                elements: int, seed: int, max_retries: int = 3,
+                staleness: float = 1.0, heartbeat: float = 0.1,
+                poll: float = 0.1,
+                fault_plan: Optional[FaultPlan] = None):
+    """One host's driver incarnation over the shared shard-proof sweep."""
+    options = SweepOptions(
+        processes=1, cache_dir=store, max_retries=max_retries,
+        retry_backoff=0.05, fault_plan=fault_plan,
+        cluster=ClusterOptions(host=host, heartbeat_interval=heartbeat,
+                               staleness=staleness, steal_stagger=0.25,
+                               poll_interval=poll))
+    return run_sweep_outcome(_canonical_sim_point(),
+                             shard_params(points, cycles, elements, seed),
+                             options=options)
+
+
+def run_shard_proof(points: int = 4, cycles: int = 9000,
+                    elements: int = 1 << 11, seed: int = 12345,
+                    every: int = 300, hosts: int = 3, max_retries: int = 3,
+                    staleness: float = 1.0, fault_rate: float = 0.1,
+                    fault_seed: int = 7, store_dir: Optional[Path] = None,
+                    verbose: bool = True) -> Dict[str, Any]:
+    """Kill one of N cooperating hosts mid-point; prove the survivors win.
+
+    The verdict (``report["ok"]``) requires rows bit-identical to a clean
+    single-host run, zero failed points, the global lease bound held over
+    the merged per-host ledgers, at least one migrated-checkpoint lease
+    (unless the victim finished before the kill could land), survivors
+    exiting cleanly, and a final verifier host that executes nothing.
+    """
+    import tempfile
+
+    plan = (FaultPlan(rate=fault_rate, seed=fault_seed,
+                      kinds=("netsplit", "steal-race"))
+            if fault_rate > 0 else FaultPlan(rate=0.0))
+    point = _canonical_sim_point()
+    params = shard_params(points, cycles, elements, seed)
+    clean = run_sweep_outcome(
+        point, params,
+        options=SweepOptions(processes=1, cache_dir="", journal=False,
+                             fault_plan=FaultPlan(rate=0.0)))
+    assert clean.ok and len(clean.rows) == points
+    expected = _normalized(clean.rows)
+
+    with tempfile.TemporaryDirectory(prefix="repro-shard-proof-") as tmp:
+        store = Path(store_dir) if store_dir is not None else Path(tmp)
+        ckpt_root = store / "checkpoints"
+
+        env = dict(os.environ)
+        env.update(plan.to_env())
+        env[CHECKPOINT_EVERY_ENV] = str(every)
+        src_root = str(Path(__file__).resolve().parents[3])
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        children: Dict[str, subprocess.Popen] = {}
+        for n in range(hosts):
+            host = f"shard{n}"
+            children[host] = subprocess.Popen(
+                [sys.executable, "-m",
+                 "repro.experiments.sweeprunner.selftest", "drive-shard",
+                 "--store", str(store), "--host", host,
+                 "--points", str(points), "--cycles", str(cycles),
+                 "--elements", str(elements), "--seed", str(seed),
+                 "--max-retries", str(max_retries),
+                 "--staleness", str(staleness)],
+                env=env, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL)
+
+        # SIGKILL the first host whose mid-point checkpoint lands: its
+        # claim outlives it, and a survivor must steal + migrate.
+        victim: Optional[str] = None
+
+        def checkpoint_seen() -> bool:
+            nonlocal victim
+            if all(c.poll() is not None for c in children.values()):
+                return True  # everyone finished before any checkpoint
+            for host, child in children.items():
+                shard = ckpt_root / host
+                if child.poll() is None and shard.is_dir() \
+                        and any(shard.glob("*.ckpt")):
+                    victim = host
+                    return True
+            return False
+
+        wait_until(checkpoint_seen, 240.0, initial=0.005, max_interval=0.05)
+        if victim is not None:
+            children[victim].send_signal(signal.SIGKILL)
+            children[victim].wait(timeout=30)
+
+        survivors_ok = True
+        for host, child in children.items():
+            if host == victim:
+                continue
+            try:
+                child.wait(timeout=300)
+            except subprocess.TimeoutExpired:
+                child.kill()
+                child.wait(timeout=30)
+            survivors_ok = survivors_ok and child.returncode == 0
+
+        # Verifier host: every row must come back from the federated store
+        # without executing anything — cross-host results are first-class.
+        verifier = run_sweep_outcome(
+            point, params,
+            options=SweepOptions(
+                processes=1, cache_dir=store, max_retries=max_retries,
+                retry_backoff=0.05,
+                cluster=ClusterOptions(host="verifier",
+                                       heartbeat_interval=0.1,
+                                       staleness=staleness,
+                                       poll_interval=0.05)))
+
+        ledger_dir = store / "ledger"
+        leases = ledger_module.merged_counts(ledger_dir,
+                                             ledger_module.lease_counts)
+        migrated = ledger_module.merged_counts(ledger_dir,
+                                               ledger_module.migrate_counts)
+        keys = {make_task(point, p).cache_key() for p in params}
+
+        report = {
+            "points": points,
+            "hosts": hosts,
+            "victim": victim,
+            "killed_mid_point": victim is not None,
+            "survivors_ok": survivors_ok,
+            "rows_match": _normalized(verifier.rows) == expected,
+            "failures": len(verifier.failures),
+            "verifier_executed": verifier.stats.executed,
+            "verifier_peer_rows": verifier.stats.peer_rows,
+            "ledger_files": len(
+                ledger_module.sweep_ledger_paths(ledger_dir)),
+            "max_leases_observed": max(leases.values()) if leases else 0,
+            "lease_bound": 1 + max_retries,
+            "lease_bound_held":
+                all(count <= 1 + max_retries for count in leases.values()),
+            "leases_on_known_keys": all(key in keys for key in leases),
+            "migrated_leases": sum(migrated.values()),
+        }
+        report["ok"] = bool(
+            report["rows_match"]
+            and report["failures"] == 0
+            and report["survivors_ok"]
+            and report["verifier_executed"] == 0
+            and report["lease_bound_held"]
+            and report["leases_on_known_keys"]
+            and (report["migrated_leases"] >= 1
+                 or not report["killed_mid_point"]))
+    if verbose:
+        print(json.dumps(report, indent=2))
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -461,6 +651,33 @@ def main(argv=None) -> int:
     ckpt_driver.add_argument("--seed", type=int, default=12345)
     ckpt_driver.add_argument("--max-retries", type=int, default=3)
 
+    shard = sub.add_parser(
+        "shard-proof", help="multi-host steal/migrate/federation proof")
+    shard.add_argument("--points", type=int, default=4)
+    shard.add_argument("--cycles", type=int, default=9000)
+    shard.add_argument("--elements", type=int, default=1 << 11)
+    shard.add_argument("--seed", type=int, default=12345)
+    shard.add_argument("--every", type=int, default=300,
+                       help="checkpoint interval in simulated cycles")
+    shard.add_argument("--hosts", type=int, default=3)
+    shard.add_argument("--max-retries", type=int, default=3)
+    shard.add_argument("--staleness", type=float, default=1.0)
+    shard.add_argument("--fault-rate", type=float, default=0.1,
+                       help="rate for the netsplit/steal-race schedule "
+                            "the child hosts run under (0 disables)")
+    shard.add_argument("--fault-seed", type=int, default=7)
+
+    shard_driver = sub.add_parser(
+        "drive-shard", help="one killable host over the shared shard sweep")
+    shard_driver.add_argument("--store", type=Path, required=True)
+    shard_driver.add_argument("--host", required=True)
+    shard_driver.add_argument("--points", type=int, default=4)
+    shard_driver.add_argument("--cycles", type=int, default=9000)
+    shard_driver.add_argument("--elements", type=int, default=1 << 11)
+    shard_driver.add_argument("--seed", type=int, default=12345)
+    shard_driver.add_argument("--max-retries", type=int, default=3)
+    shard_driver.add_argument("--staleness", type=float, default=1.0)
+
     args = parser.parse_args(argv)
     try:
         if args.command == "proof":
@@ -480,6 +697,25 @@ def main(argv=None) -> int:
             outcome = drive_ckpt(args.store, args.cycles, args.elements,
                                  args.seed, args.max_retries)
             print(f"drive-ckpt: {outcome.stats.completed} completed, "
+                  f"{len(outcome.failures)} failed")
+            return 0 if outcome.ok else 1
+        if args.command == "shard-proof":
+            report = run_shard_proof(
+                points=args.points, cycles=args.cycles,
+                elements=args.elements, seed=args.seed, every=args.every,
+                hosts=args.hosts, max_retries=args.max_retries,
+                staleness=args.staleness, fault_rate=args.fault_rate,
+                fault_seed=args.fault_seed)
+            return 0 if report["ok"] else 1
+        if args.command == "drive-shard":
+            outcome = drive_shard(args.store, args.host, args.points,
+                                  args.cycles, args.elements, args.seed,
+                                  args.max_retries, args.staleness,
+                                  fault_plan=FaultPlan.from_env())
+            print(f"drive-shard[{args.host}]: "
+                  f"{outcome.stats.completed} completed, "
+                  f"{outcome.stats.executed} executed, "
+                  f"{outcome.stats.steals} stolen, "
                   f"{len(outcome.failures)} failed")
             return 0 if outcome.ok else 1
         outcome = drive(args.store, args.points, args.spin, args.sleep,

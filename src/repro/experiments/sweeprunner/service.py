@@ -40,6 +40,16 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.sweeprunner import checkpoint as checkpoint_module
 from repro.experiments.sweeprunner import ledger as ledger_module
+from repro.experiments.sweeprunner import store as store_module
+from repro.experiments.sweeprunner.cluster import (
+    BUSY,
+    EXHAUSTED,
+    ClusterOptions,
+    FederatedStore,
+    Lease,
+    ShardCoordinator,
+    resolve_host,
+)
 from repro.experiments.sweeprunner.faults import (
     CORRUPT_MARKER,
     DEFAULT_HANG_TIMEOUT,
@@ -101,6 +111,13 @@ class SweepOptions:
     #: :mod:`.checkpoint`); defaults to ``<cache_dir>/checkpoints`` when
     #: caching is on.  An explicit empty string disables checkpointing.
     checkpoint_dir: Optional[os.PathLike] = None
+    #: Multi-host sharding (see :mod:`.cluster`); requires a cache
+    #: directory, which becomes the shared coordination root.
+    cluster: Optional[ClusterOptions] = None
+    #: Retention window for quarantined ``*.corrupt`` store files; a GC
+    #: pass runs after clean sweep completion (see
+    #: :func:`.store.collect_garbage`).  None disables the pass.
+    gc_retention: Optional[float] = store_module.DEFAULT_CORRUPT_RETENTION
 
 
 def default_processes(task_count: int) -> int:
@@ -142,7 +159,7 @@ class _PointState:
     """Driver-side state of one unique task key."""
 
     __slots__ = ("key", "task", "indices", "attempts", "row", "done",
-                 "failure", "from_cache")
+                 "failure", "from_cache", "lease_epoch", "resume_credit")
 
     def __init__(self, key: str, task: SweepTask) -> None:
         self.key = key
@@ -153,6 +170,8 @@ class _PointState:
         self.done = False
         self.failure: Optional[TaskFailure] = None
         self.from_cache = False
+        self.lease_epoch = 0    # cluster fencing token of the live lease
+        self.resume_credit = 0.0  # checkpoint fraction of the live lease
 
 
 class _SweepRun:
@@ -185,9 +204,18 @@ class _SweepRun:
             state.indices.append(index)
             self.order.append(key)
 
+        self.cluster = options.cluster
+        self.host = (resolve_host(self.cluster.host)
+                     if self.cluster is not None else None)
         self.cache = self._open_cache()
+        self.coordinator: Optional[ShardCoordinator] = None
+        if self.cluster is not None:
+            self.coordinator = ShardCoordinator(
+                self.cache.root, self.host, self.max_leases,
+                self.cluster, fault_plan=self.fault_plan)
         self.ledger = self._open_ledger()
         self.checkpoint_dir = self._resolve_checkpoint_dir()
+        self._computed_work = 0.0  # fractional units actually simulated
         self._interrupted = threading.Event()
 
     # -- durability ------------------------------------------------------
@@ -205,6 +233,15 @@ class _SweepRun:
             # Journaling without a cache still needs durable rows: the
             # ledger's done records point into this store.
             directory = Path(self.options.ledger_dir) / "store"
+        if self.cluster is not None:
+            # Sharding coordinates entirely through the cache directory;
+            # without one there is nothing for the hosts to share.
+            if directory is None:
+                raise ValueError(
+                    "SweepOptions.cluster requires a cache directory "
+                    "(cache_dir, REPRO_SWEEP_CACHE, or ledger_dir)")
+            return FederatedStore(directory, self.host,
+                                  fsync=self.options.journal)
         if directory is None:
             return None
         try:
@@ -220,10 +257,11 @@ class _SweepRun:
         if self.options.ledger_dir is not None:
             directory = Path(self.options.ledger_dir)
         elif self.cache is not None:
-            directory = self.cache.directory / "ledger"
+            directory = self.cache.root / "ledger"
         else:
             return None
-        path = ledger_module.ledger_path(directory, sweep_id(self.tasks))
+        path = ledger_module.ledger_path(directory, sweep_id(self.tasks),
+                                         host=self.host)
         fresh = not path.exists()
         try:
             journal = ledger_module.RunLedger(path)
@@ -244,8 +282,12 @@ class _SweepRun:
         if self.options.checkpoint_dir is not None:
             directory = (Path(self.options.checkpoint_dir)
                          if str(self.options.checkpoint_dir) else None)
+        elif self.coordinator is not None:
+            # Per-host checkpoint shard: steals migrate files between
+            # shards, so each host only ever writes its own.
+            directory = self.coordinator.checkpoint_dir()
         elif self.cache is not None:
-            directory = self.cache.directory / "checkpoints"
+            directory = self.cache.root / "checkpoints"
         else:
             directory = None
         if directory is None:
@@ -276,7 +318,7 @@ class _SweepRun:
                     state.done = True
                     state.from_cache = True
                     continue
-            if self.ledger is not None:
+            if self.ledger is not None and self.coordinator is None:
                 record = self.ledger.record(key)
                 if record.done:
                     # Journal says done but the store lost the row (eviction,
@@ -287,6 +329,9 @@ class _SweepRun:
                 if state.attempts >= self.max_leases:
                     self._exhaust(state, record)
                     continue
+            # Cluster mode replays nothing here: the claim files are the
+            # global attempt counter, and a key at its budget may still be
+            # completed by the live holder — acquire() decides per poll.
             pending.append(key)
         return pending
 
@@ -310,6 +355,14 @@ class _SweepRun:
     def _record_failure(self, state: _PointState, kind: str,
                         error_type: str, message: str) -> Optional[float]:
         """Journal one failed attempt; return a retry delay or None."""
+        state.resume_credit = 0.0
+        if self.coordinator is not None \
+                and not self.coordinator.still_holds(state.key,
+                                                     state.lease_epoch):
+            # Fenced: a peer already stole this lease, so the outcome is
+            # theirs to decide — record nothing, just poll for their row.
+            self.stats.fenced_writes += 1
+            return self.cluster.poll_interval
         if kind == "timeout":
             self.stats.timeouts += 1
         elif kind == "crash":
@@ -319,6 +372,11 @@ class _SweepRun:
         if self.ledger is not None:
             self.ledger.append_failed(state.key, state.attempts, kind,
                                       error_type, message)
+        if self.coordinator is not None:
+            # Release the lease: peers may mint the next epoch immediately
+            # instead of waiting out the staleness window.
+            self.coordinator.mark_failed(state.key, state.attempts, kind,
+                                         error_type, message)
         if state.attempts < self.max_leases:
             return _backoff_delay(self.options, state.key, state.attempts)
         state.failure = TaskFailure(
@@ -327,22 +385,47 @@ class _SweepRun:
             error_type=error_type, message=message)
         return None
 
-    def _lease(self, state: _PointState, worker: Any = None) -> int:
-        state.attempts += 1
+    def _lease(self, state: _PointState, worker: Any = None,
+               lease: Optional[Lease] = None) -> int:
+        ckpt = self._checkpoint_path(state.key)
+        if lease is not None:
+            # Cluster: the minted epoch IS the global attempt number, and
+            # the coordinator already decided the provenance (a steal may
+            # have migrated a dead host's checkpoint into our shard).
+            state.attempts = lease.epoch
+            state.lease_epoch = lease.epoch
+            provenance = lease.provenance
+        else:
+            state.attempts += 1
+            provenance = ("resume" if ckpt is not None and ckpt.exists()
+                          else "fresh")
+        state.resume_credit = (
+            checkpoint_module.peek_fraction(ckpt)
+            if ckpt is not None and provenance in ("resume", "migrated")
+            else 0.0)
         self.stats.executed += 1
         if state.attempts > 1:
             self.stats.retries += 1
         if self.ledger is not None:
-            ckpt = self._checkpoint_path(state.key)
-            provenance = ("resume" if ckpt is not None and ckpt.exists()
-                          else "fresh")
             self.ledger.append_leased(state.key, state.attempts, worker,
                                       checkpoint=provenance)
         return state.attempts
 
-    def _complete(self, state: _PointState, row: Dict[str, Any]) -> None:
+    def _complete(self, state: _PointState, row: Dict[str, Any]) -> bool:
+        """Land a completed row; False when the lease was fenced off."""
+        if self.coordinator is not None \
+                and not self.coordinator.still_holds(state.key,
+                                                     state.lease_epoch):
+            # A peer declared us dead (e.g. a netsplit froze our
+            # heartbeats) and stole the lease: our row must not land over
+            # the newer epoch's outcome.
+            self.stats.fenced_writes += 1
+            state.resume_credit = 0.0
+            return False
         state.row = row
         state.done = True
+        self._computed_work += max(1.0 - state.resume_credit, 0.0)
+        state.resume_credit = 0.0
         if self.cache is not None:
             self.cache.store(state.task, row)
         if self.ledger is not None:
@@ -354,6 +437,36 @@ class _SweepRun:
                 ckpt.unlink()
             except OSError:
                 pass
+        return True
+
+    def _peer_done(self, state: _PointState) -> bool:
+        """Whether another host's row for this key landed in the store."""
+        if self.cache is None:
+            return False
+        row = self.cache.load(state.task)
+        if row is None:
+            return False
+        state.row = row
+        state.done = True
+        state.resume_credit = 0.0
+        self.stats.peer_rows += 1
+        return True
+
+    def _exhaust_cluster(self, state: _PointState) -> None:
+        """The cross-host lease budget is spent and the final holder is
+        gone (dead, or released after failing): the point is dead sweep-wide.
+        The failed-lease marker, when one exists, carries the real error."""
+        if self._peer_done(state):  # raced a late completion: not dead
+            return
+        epoch = self.coordinator.current_epoch(state.key)
+        state.attempts = epoch
+        info = self.coordinator.failure_info(state.key, epoch) or {}
+        state.failure = TaskFailure(
+            key=state.key, params=dict(state.task.params), attempts=epoch,
+            kind=str(info.get("kind") or "crash"),
+            error_type=str(info.get("error_type") or ""),
+            message=str(info.get("message") or
+                        "lease budget exhausted across hosts"))
 
     # -- execution paths -------------------------------------------------
 
@@ -365,48 +478,99 @@ class _SweepRun:
         enforced without a worker process and are documented as such.
         Retries are immediate — backoff exists to ride out transient
         resource pressure, which in-process execution cannot create.
+
+        Cluster mode turns the queue into a deferred heap: a key someone
+        else holds comes back after ``poll_interval``, a failed own attempt
+        after its backoff delay (peers can pick it up meanwhile), and the
+        loop only ends when every key is done or dead sweep-wide.
         """
-        queue = deque(pending)
-        while queue:
-            key = queue.popleft()
+        heap: List[Tuple[float, int, str]] = []
+        seq = 0
+
+        def defer(key: str, delay: float) -> None:
+            nonlocal seq
+            seq += 1
+            heapq.heappush(heap, (time.monotonic() + delay, seq, key))
+
+        for key in pending:
+            defer(key, 0.0)
+        poll = self.cluster.poll_interval if self.cluster is not None else 0.0
+        while heap:
+            due = heap[0][0]
+            now = time.monotonic()
+            if due > now:
+                # Only cluster polling and backoff defer into the future;
+                # an Event wait keeps Ctrl-C prompt.
+                if self._interrupted.wait(min(due - now, 0.5)):
+                    raise KeyboardInterrupt
+                continue
+            key = heapq.heappop(heap)[2]
             state = self.states[key]
-            attempt = self._lease(state)
+            lease = None
+            if self.coordinator is not None:
+                if self._peer_done(state):
+                    self._tick_progress()
+                    continue
+                claim = self.coordinator.acquire(key)
+                if claim is BUSY:
+                    defer(key, poll)
+                    continue
+                if claim is EXHAUSTED:
+                    self._exhaust_cluster(state)
+                    self._tick_progress()
+                    continue
+                lease = claim
+            attempt = self._lease(state, lease=lease)
             fault = (self.fault_plan.decide(key, attempt)
                      if self.fault_plan is not None else None)
+            netsplit = fault == "netsplit" and self.coordinator is not None
+            if netsplit:
+                # The host keeps computing but goes silent to its peers —
+                # the lease becomes stealable mid-execution, and the late
+                # completion must die on the fencing check.
+                self.coordinator.suppress_heartbeats()
             kind = error_type = message = ""
-            if fault in ("crash", "die"):
-                # A die cannot kill the in-process driver; both report as
-                # the crash they would have been.
-                kind, message = "crash", f"injected {fault} (serial path)"
-            elif fault == "hang":
-                kind, message = "timeout", "injected hang (serial path)"
-            else:
-                slot = None
-                if self.checkpoint_dir is not None:
-                    slot = checkpoint_module.CheckpointSlot(
-                        self.checkpoint_dir, key, attempt)
-                    checkpoint_module.activate(slot)
-                try:
-                    row = self.fn(**state.task.params)
-                    if fault == "corrupt":
-                        row = corrupt_row(row)
-                    invalid = _validate_row(self.fn_label, row)
-                    if invalid is None:
-                        self._complete(state, row)
-                        self._tick_progress()
-                        continue
-                    kind, (error_type, message) = "corrupt-row", invalid
-                except KeyboardInterrupt:
-                    raise
-                except Exception as exc:
-                    kind = "error"
-                    error_type, message = type(exc).__name__, str(exc)
-                finally:
-                    if slot is not None:
-                        checkpoint_module.deactivate()
-            if self._record_failure(state, kind, error_type, message) \
-                    is not None:
-                queue.append(key)
+            try:
+                if fault in ("crash", "die"):
+                    # A die cannot kill the in-process driver; both report
+                    # as the crash they would have been.
+                    kind, message = "crash", f"injected {fault} (serial path)"
+                elif fault == "hang":
+                    kind, message = "timeout", "injected hang (serial path)"
+                else:
+                    slot = None
+                    if self.checkpoint_dir is not None:
+                        slot = checkpoint_module.CheckpointSlot(
+                            self.checkpoint_dir, key, attempt)
+                        checkpoint_module.activate(slot)
+                    try:
+                        row = self.fn(**state.task.params)
+                        if fault == "corrupt":
+                            row = corrupt_row(row)
+                        invalid = _validate_row(self.fn_label, row)
+                        if invalid is None:
+                            if self._complete(state, row):
+                                self._tick_progress()
+                            else:
+                                defer(key, poll)  # fenced: thief owns it now
+                            continue
+                        kind, (error_type, message) = "corrupt-row", invalid
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:
+                        kind = "error"
+                        error_type, message = type(exc).__name__, str(exc)
+                    finally:
+                        if slot is not None:
+                            checkpoint_module.deactivate()
+            finally:
+                if netsplit:
+                    self.coordinator.resume_heartbeats()
+            delay = self._record_failure(state, kind, error_type, message)
+            if delay is not None:
+                # Classic serial retries stay immediate; cluster retries
+                # honor the delay so peers get a fair shot at the steal.
+                defer(key, delay if self.coordinator is not None else 0.0)
             self._tick_progress()
 
     def _run_supervised(self, pending: List[str], workers: int) -> None:
@@ -421,6 +585,16 @@ class _SweepRun:
             retry_heap: List[Tuple[float, int, str]] = []
             retry_seq = 0
             in_flight = 0
+            netsplit_keys: set = set()
+            poll_delay = (self.cluster.poll_interval
+                          if self.cluster is not None else 0.0)
+
+            def requeue(key: str, delay: float) -> None:
+                nonlocal retry_seq
+                retry_seq += 1
+                heapq.heappush(retry_heap,
+                               (time.monotonic() + delay, retry_seq, key))
+
             while ready or retry_heap or in_flight:
                 now = time.monotonic()
                 while retry_heap and retry_heap[0][0] <= now:
@@ -428,7 +602,28 @@ class _SweepRun:
                 while ready and supervisor.idle_count() > 0:
                     key = ready.popleft()
                     state = self.states[key]
-                    attempt = self._lease(state)
+                    if self.coordinator is not None:
+                        if self._peer_done(state):
+                            continue
+                        claim = self.coordinator.acquire(key)
+                        if claim is BUSY:
+                            requeue(key, poll_delay)
+                            continue
+                        if claim is EXHAUSTED:
+                            self._exhaust_cluster(state)
+                            continue
+                        attempt = self._lease(state, lease=claim)
+                    else:
+                        attempt = self._lease(state)
+                    if self.coordinator is not None \
+                            and self.fault_plan is not None \
+                            and self.fault_plan.decide(key, attempt) \
+                            == "netsplit":
+                        # The worker runs the point normally (unknown kinds
+                        # are clean runs); the *driver* goes silent so the
+                        # lease is stealable while the work is in flight.
+                        self.coordinator.suppress_heartbeats()
+                        netsplit_keys.add(key)
                     supervisor.submit(state.indices[0], key, attempt,
                                       state.task.params)
                     in_flight += 1
@@ -444,13 +639,14 @@ class _SweepRun:
                     continue
                 for event in supervisor.poll(timeout=0.05):
                     in_flight -= 1
-                    state = self.states[event.assignment.key]
+                    key = event.assignment.key
+                    if key in netsplit_keys:
+                        netsplit_keys.discard(key)
+                        self.coordinator.resume_heartbeats()
+                    state = self.states[key]
                     delay = self._handle_event(state, event)
                     if delay is not None:
-                        retry_seq += 1
-                        heapq.heappush(
-                            retry_heap,
-                            (time.monotonic() + delay, retry_seq, state.key))
+                        requeue(state.key, delay)
                 self._tick_progress(leased=in_flight)
             self.stats.worker_respawns = supervisor.respawns
         except BaseException:
@@ -464,8 +660,12 @@ class _SweepRun:
         if event.kind == "row":
             invalid = _validate_row(self.fn_label, event.payload)
             if invalid is None:
-                self._complete(state, event.payload)
-                return None
+                if self._complete(state, event.payload):
+                    return None
+                # Fenced completion: the thief owns the outcome; poll for
+                # its row (or our next shot at the lease).
+                return (self.cluster.poll_interval
+                        if self.cluster is not None else 0.0)
             return self._record_failure(state, "corrupt-row", *invalid)
         if event.kind == "error":
             info = event.payload or {}
@@ -491,7 +691,11 @@ class _SweepRun:
         failed = sum(len(s.indices) for s in self.states.values()
                      if s.failure is not None)
         hits = self.cache.hits if self.cache is not None else 0
-        self.progress.maybe_report(done, leased, failed, hits)
+        credit = sum(s.resume_credit for s in self.states.values()
+                     if not s.done and s.failure is None)
+        self.progress.maybe_report(done, leased, failed, hits,
+                                   computed_work=self._computed_work,
+                                   in_flight_credit=credit)
 
     # -- top level -------------------------------------------------------
 
@@ -501,6 +705,8 @@ class _SweepRun:
         self.progress = (ProgressReporter(len(self.param_sets), interval)
                          if interval is not None else None)
         previous_sigint = self._install_sigint()
+        if self.coordinator is not None:
+            self.coordinator.start()
         try:
             pending = self._prefill()
             if pending:
@@ -511,15 +717,27 @@ class _SweepRun:
                     self._run_serial(pending)
                 else:
                     self._run_supervised(pending, min(workers, len(pending)))
-            if self.ledger is not None \
+            if self.ledger is not None and self.coordinator is None \
                     and all(s.done for s in self.states.values()):
                 # Clean completion: collapse the journal to one snapshot
-                # record (replay state preserved; history dropped).
+                # record (replay state preserved; history dropped).  Cluster
+                # ledgers are left verbatim: the shard audit merges every
+                # host's event history, including keys peers completed.
                 self.ledger.compact()
+            if self.cache is not None \
+                    and self.options.gc_retention is not None \
+                    and all(s.done for s in self.states.values()):
+                # Retention pass: expire old quarantined *.corrupt files
+                # and checkpoints whose rows already landed (any shard).
+                store_module.collect_garbage(
+                    self.cache.root,
+                    corrupt_retention=self.options.gc_retention)
         except KeyboardInterrupt:
             self._on_interrupt()
             raise
         finally:
+            if self.coordinator is not None:
+                self.coordinator.stop()
             if previous_sigint is not None:
                 signal.signal(signal.SIGINT, previous_sigint)
             if self.ledger is not None:
@@ -576,9 +794,13 @@ class _SweepRun:
                 failures.append(state.failure)
                 stats.failed_points += len(state.indices)
         stats.completed = len(rows)
+        if self.coordinator is not None:
+            stats.steals = self.coordinator.steals
+            stats.migrated_resumes = self.coordinator.migrations
         if self.progress is not None:
             self.progress.final(stats.completed, stats.failed_points,
-                                stats.cache_hits)
+                                stats.cache_hits,
+                                computed_work=self._computed_work)
         return SweepOutcome(
             rows=rows, failures=failures, stats=stats,
             ledger_path=self.ledger.path if self.ledger is not None else None)

@@ -2,14 +2,20 @@
 
 The store is addressed by :meth:`SweepTask.cache_key`, so it doubles as the
 sweep cache (unchanged parameters replay instantly) and as the durable row
-storage the run ledger points into (a ``done`` ledger record means "the row
-for this key is in the store").
+storage ledger done-records point into (a ``done`` ledger record means "the
+row for this key is in the store").
 
 Load validation happens **before** the hit counter: an entry that is not a
 ``{"row": {...}}`` object — a ``{"row": null}`` left by an old bug, a
 truncated write, a hand-edited file — is a miss, and the offending file is
 quarantined (renamed to ``*.corrupt``, deleted if the rename fails) so it
 cannot fail every future load of the same key.
+
+:func:`collect_garbage` is the retention side of the same discipline:
+quarantined ``*.corrupt`` files are kept for a forensics window and then
+deleted, and orphaned ``.ckpt`` checkpoint files whose rows already landed
+in the store (any shard) are deleted immediately — both previously
+accumulated forever in long-lived cache directories.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -27,6 +34,10 @@ from repro.experiments.sweeprunner.tasks import CACHE_ENV_VAR, SweepTask
 #: half-written temp mid-write, landing a torn entry in the store).
 _temp_tickets = itertools.count()
 
+#: How long quarantined ``*.corrupt`` files are kept for inspection before
+#: :func:`collect_garbage` removes them.
+DEFAULT_CORRUPT_RETENTION = 7 * 86400.0
+
 
 class SweepCache:
     """JSON-file store of sweep rows, keyed by task fingerprint."""
@@ -34,6 +45,11 @@ class SweepCache:
     def __init__(self, directory: Path, fsync: bool = False) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: The cache base directory sibling artifacts (ledger, checkpoints,
+        #: claims) hang off.  Equal to ``directory`` for the flat one-box
+        #: layout; the federated store overrides it (rows go to a per-host
+        #: shard below the shared root).
+        self.root = self.directory
         self.fsync = fsync
         self.hits = 0
         self.misses = 0
@@ -53,21 +69,27 @@ class SweepCache:
             except OSError:
                 pass
 
-    def load(self, task: SweepTask) -> Optional[Dict[str, Any]]:
-        path = self._path(task)
+    def _read_validated(self, path: Path) -> Optional[Dict[str, Any]]:
+        """The validated row at ``path``, or None (missing entries are
+        silent; corrupt ones are quarantined).  Counter-free, so merged
+        multi-shard reads can probe several candidates per logical load."""
         try:
             with path.open("r", encoding="utf-8") as handle:
                 entry = json.load(handle)
         except OSError:
-            self.misses += 1
             return None
         except ValueError:
             self._quarantine(path)
-            self.misses += 1
             return None
         row = entry.get("row") if isinstance(entry, dict) else None
         if not isinstance(row, dict):
             self._quarantine(path)
+            return None
+        return row
+
+    def load(self, task: SweepTask) -> Optional[Dict[str, Any]]:
+        row = self._read_validated(self._path(task))
+        if row is None:
             self.misses += 1
             return None
         self.hits += 1
@@ -96,6 +118,58 @@ class SweepCache:
         except OSError:  # caching is best-effort; never fail the sweep
             tmp.unlink(missing_ok=True)
             return False
+
+
+def _row_landed(root: Path, key: str) -> bool:
+    """Whether any store layout under ``root`` holds a row for ``key``."""
+    if (root / f"{key}.json").exists():
+        return True
+    shards = root / "shards"
+    if shards.is_dir():
+        for shard in shards.iterdir():
+            if (shard / f"{key}.json").exists():
+                return True
+    return False
+
+
+def collect_garbage(root: Path,
+                    corrupt_retention: float = DEFAULT_CORRUPT_RETENTION,
+                    now: Optional[float] = None) -> Dict[str, int]:
+    """Retention sweep over a cache directory; returns removal counts.
+
+    * ``*.corrupt`` quarantine files (flat layout and per-host shards)
+      older than ``corrupt_retention`` seconds are deleted.
+    * Orphaned ``checkpoints/**/*.ckpt`` files whose row already landed in
+      the store (any shard) are deleted — the row is durable, so the
+      resume file is dead weight; a checkpoint whose row has *not* landed
+      is live recovery state and is always kept.
+
+    Purely best-effort: every failure is skipped, never raised, and a
+    concurrent sweep deleting the same file is harmless.
+    """
+    root = Path(root)
+    now = time.time() if now is None else now
+    removed = {"corrupt": 0, "checkpoints": 0}
+    try:
+        for path in root.rglob("*.corrupt"):
+            try:
+                if now - path.stat().st_mtime > corrupt_retention:
+                    path.unlink()
+                    removed["corrupt"] += 1
+            except OSError:
+                continue
+        checkpoints = root / "checkpoints"
+        if checkpoints.is_dir():
+            for path in checkpoints.rglob("*.ckpt"):
+                try:
+                    if _row_landed(root, path.name[:-len(".ckpt")]):
+                        path.unlink()
+                        removed["checkpoints"] += 1
+                except OSError:
+                    continue
+    except OSError:
+        pass
+    return removed
 
 
 def default_cache_dir() -> Optional[Path]:
