@@ -6,7 +6,11 @@ Measures
   fig14's largest configuration point (2 channels x 4 ranks, Chopim
   scheme, DOT workload, mix1) for every execution variant: the
   cycle-by-cycle engine, the event-driven engine, and (when numpy is
-  importable) the event engine over the vectorized ``kernel`` backend;
+  importable) the event engine over the vectorized ``kernel`` backend —
+  without the resident stepper (``kernel``, the PR-6 baseline), with the
+  compiled multi-cycle stepper (``kernel_stepper``, present only when a C
+  toolchain built the core) and with the stepper forced onto its
+  pure-Python twin (``kernel_pystepper``, the no-toolchain fallback);
 * **fig14 sweep** — wall-clock for regenerating the full Figure 14 sweep
   three ways: the legacy path (cycle engine, one point at a time, no cache),
   the new path (event engine through the parallel sweep runner, cold cache),
@@ -30,10 +34,14 @@ With ``--profile`` a cProfile pass over the largest point is added and the
 top-20 cumulative-time entries (annotated with the repro layer each function
 belongs to) are recorded per variant into the JSON, so perf PRs can see
 where the next bottleneck lives without re-profiling by hand.  The kernel
-variant's profile additionally attributes wall-clock to each vector
-primitive (``pack``, ``scan``, ``settle``, ``scatter``) through the
-:mod:`repro.kernel.profile` counters, separating numpy time from Python
-dispatch overhead.
+variants' profiles additionally attribute wall-clock to each vector
+primitive (``pack``/``scan``/``settle``/``scatter`` plus the compiled-core
+``cscan`` and stepper ``step_setup``/``step_run``/``step_exit`` phases)
+through the :mod:`repro.kernel.profile` counters — per-primitive call
+counts, seconds and per-call microseconds — and a dispatch-overhead
+microbench times one FR-FCFS scan as a single compiled C call, as the
+numpy batched pass, and as the pure-Python twin, quantifying why fused C
+dispatch beats per-scan numpy vectorization at real queue depths.
 
 Usage::
 
@@ -79,26 +87,55 @@ LARGEST_POINT = {
 
 
 def variants() -> list:
-    """The measured (label, engine, backend) variants.
+    """The measured (label, engine, backend, stepper) variants.
 
     ``cycle`` and ``event`` are the python-backend engines (the committed
     baseline keys, unchanged); ``kernel`` is the vectorized backend under
-    the event engine, present only when numpy is importable so a no-numpy
-    environment still produces a gateable report.
+    the event engine with the resident stepper disabled (the PR-6 baseline
+    key, still gateable on its own); ``kernel_stepper`` adds the resident
+    multi-cycle stepper over the compiled C core, and ``kernel_pystepper``
+    is the same stepper forced onto its pure-Python twin (the no-toolchain
+    fallback, measured so the fallback's cost is an explicit number).  The
+    kernel rows appear only when numpy is importable, the compiled row only
+    when a C toolchain produced a loadable core, so every environment still
+    produces a gateable report.
     """
-    out = [("cycle", "cycle", "python"), ("event", "event", "python")]
+    out = [("cycle", "cycle", "python", None),
+           ("event", "event", "python", None)]
     if kernel_available():
-        out.append(("kernel", "event", "kernel"))
+        from repro.kernel import compiled_available
+
+        out.append(("kernel", "event", "kernel", False))
+        if compiled_available():
+            out.append(("kernel_stepper", "event", "kernel", True))
+        out.append(("kernel_pystepper", "event", "kernel", "python"))
     return out
 
 
 def _largest_point_system(engine: str, platform: str = DEFAULT_PLATFORM,
-                          backend: str = "python") -> ChopimSystem:
-    system = ChopimSystem(
-        config=resolve_config(platform, LARGEST_POINT["channels"],
-                              LARGEST_POINT["ranks_per_channel"]),
-        mode=LARGEST_POINT["mode"], mix=LARGEST_POINT["mix"],
-        throttle="next_rank", engine=engine, backend=backend)
+                          backend: str = "python",
+                          stepper=None) -> ChopimSystem:
+    # ``stepper="python"`` forces the pure-Python stepper core: the
+    # compiled library is hidden for the construction (binding happens at
+    # wiring time only), after which the stepper keeps the core it bound.
+    forced = stepper == "python"
+    if forced:
+        previous = os.environ.get("REPRO_FORCE_NO_COMPILED")
+        os.environ["REPRO_FORCE_NO_COMPILED"] = "1"
+        stepper = True
+    try:
+        system = ChopimSystem(
+            config=resolve_config(platform, LARGEST_POINT["channels"],
+                                  LARGEST_POINT["ranks_per_channel"]),
+            mode=LARGEST_POINT["mode"], mix=LARGEST_POINT["mix"],
+            throttle="next_rank", engine=engine, backend=backend,
+            stepper=stepper)
+    finally:
+        if forced:
+            if previous is None:
+                del os.environ["REPRO_FORCE_NO_COMPILED"]
+            else:
+                os.environ["REPRO_FORCE_NO_COMPILED"] = previous
     system.set_nda_workload(LARGEST_POINT["workload"],
                             elements_per_rank=DEFAULT_ELEMENTS_PER_RANK)
     return system
@@ -140,10 +177,11 @@ def bench_largest_point(cycles: int, warmup: int, repeats: int = 3) -> dict:
     out = {"cycles": cycles, "warmup": warmup, "repeats": repeats, "point": {
         k: getattr(v, "value", v) for k, v in LARGEST_POINT.items()}}
     total = cycles + warmup
-    for label, engine, backend in variants():
+    for label, engine, backend, stepper in variants():
         best = None
         for _ in range(max(1, repeats)):
-            system = _largest_point_system(engine, backend=backend)
+            system = _largest_point_system(engine, backend=backend,
+                                           stepper=stepper)
             start = time.perf_counter()
             system.run(cycles=cycles, warmup=warmup)
             elapsed = time.perf_counter() - start
@@ -157,6 +195,9 @@ def bench_largest_point(cycles: int, warmup: int, repeats: int = 3) -> dict:
         if backend != "python":
             best["engine"] = engine
             best["backend"] = backend
+            best["stepper"] = ("compiled" if stepper is True
+                               else "python" if stepper == "python"
+                               else "off")
         if label == "event":
             # Selective-wake scheduling statistics (deterministic across
             # repeats): per-unit wake probes, runs, dirty notifications and
@@ -177,6 +218,13 @@ def bench_largest_point(cycles: int, warmup: int, repeats: int = 3) -> dict:
     if "kernel" in out:
         out["kernel_vs_event_speedup"] = (out["kernel"]["cycles_per_second"]
                                           / out["event"]["cycles_per_second"])
+    for label in ("kernel_stepper", "kernel_pystepper"):
+        if label in out:
+            rate = out[label]["cycles_per_second"]
+            out[f"{label}_vs_event_speedup"] = (
+                rate / out["event"]["cycles_per_second"])
+            out[f"{label}_vs_kernel_speedup"] = (
+                rate / out["kernel"]["cycles_per_second"])
     return out
 
 
@@ -194,11 +242,12 @@ def bench_platforms(cycles: int, warmup: int, repeats: int = 3,
     total = cycles + warmup
     for name in names:
         entry = {}
-        for label, engine, backend in variants():
+        for label, engine, backend, stepper in variants():
             best = None
             for _ in range(max(1, repeats)):
                 system = _largest_point_system(engine, platform=name,
-                                               backend=backend)
+                                               backend=backend,
+                                               stepper=stepper)
                 start = time.perf_counter()
                 system.run(cycles=cycles, warmup=warmup)
                 elapsed = time.perf_counter() - start
@@ -218,6 +267,10 @@ def bench_platforms(cycles: int, warmup: int, repeats: int = 3,
         if "kernel" in entry:
             entry["kernel_vs_event_speedup"] = (
                 entry["kernel"]["cycles_per_second"]
+                / entry["event"]["cycles_per_second"])
+        if "kernel_stepper" in entry:
+            entry["kernel_stepper_vs_event_speedup"] = (
+                entry["kernel_stepper"]["cycles_per_second"]
                 / entry["event"]["cycles_per_second"])
         out[name] = entry
     return out
@@ -251,8 +304,9 @@ def profile_largest_point(cycles: int, warmup: int, top: int = 20) -> dict:
     numpy time or Python dispatch overhead dominates the backend.
     """
     result = {}
-    for label, engine, backend in variants():
-        system = _largest_point_system(engine, backend=backend)
+    for label, engine, backend, stepper in variants():
+        system = _largest_point_system(engine, backend=backend,
+                                       stepper=stepper)
         profiler = cProfile.Profile()
         profiler.enable()
         system.run(cycles=cycles, warmup=warmup)
@@ -283,20 +337,26 @@ def profile_largest_point(cycles: int, warmup: int, top: int = 20) -> dict:
             result[label]["burst"] = burst_summary(system)
         if backend == "kernel":
             result[label]["primitives"] = profile_kernel_primitives(
-                cycles, warmup)
+                cycles, warmup, stepper=stepper)
+    result["dispatch_overhead"] = dispatch_overhead_microbench()
     return result
 
 
-def profile_kernel_primitives(cycles: int, warmup: int) -> dict:
+def profile_kernel_primitives(cycles: int, warmup: int, stepper=None) -> dict:
     """Wall-clock attribution of the kernel backend's vector primitives.
 
-    Returns per-primitive seconds/calls plus the run's total wall-clock, so
-    the share of time spent inside the vector core (vs. the surrounding
-    Python simulation loop) is read directly from the report.
+    Returns per-primitive calls, seconds and per-call microseconds plus the
+    run's total wall-clock, so both the share of time spent inside the
+    vector core (vs. the surrounding Python simulation loop) and the unit
+    cost of each primitive are read directly from the report.  With the
+    stepper active the stepper phases (``step_setup`` / ``step_run`` /
+    ``step_exit``) and the compiled per-scan dispatches (``cscan``) appear
+    alongside the numpy primitives.
     """
     from repro.kernel.profile import PROFILE
 
-    system = _largest_point_system("event", backend="kernel")
+    system = _largest_point_system("event", backend="kernel",
+                                   stepper=stepper)
     PROFILE.reset()
     PROFILE.enabled = True
     try:
@@ -306,6 +366,10 @@ def profile_kernel_primitives(cycles: int, warmup: int) -> dict:
     finally:
         PROFILE.enabled = False
     snapshot = PROFILE.snapshot()
+    for entry in snapshot.values():
+        entry["per_call_us"] = (
+            round(entry["seconds"] / entry["calls"] * 1e6, 3)
+            if entry["calls"] else 0.0)
     in_primitives = sum(entry["seconds"] for entry in snapshot.values())
     return {
         "total_seconds": round(total_seconds, 4),
@@ -313,6 +377,72 @@ def profile_kernel_primitives(cycles: int, warmup: int) -> dict:
         "in_primitives_share": round(in_primitives / total_seconds, 4),
         "per_primitive": snapshot,
     }
+
+
+def dispatch_overhead_microbench(scans: int = 20000) -> dict:
+    """Per-scan dispatch cost: one compiled C call vs the numpy batch pass.
+
+    Runs the largest point briefly to populate real queue/timing state,
+    then times the same FR-FCFS scan three ways on a throwaway system:
+
+    * ``compiled_single_call_us`` — one ``repro_scan`` ctypes round trip
+      per scan (what the stepper's per-issue probes pay);
+    * ``numpy_batched_us`` — the PR-6 vectorized scan (one numpy pass over
+      all slots; fixed dispatch overhead dominates at small queue depths);
+    * ``pure_python_us`` — the pycore scalar twin (the no-toolchain floor).
+
+    The compiled/numpy ratio is the dispatch-overhead headline: it is why
+    routing per-issue scans through the C core (and fusing whole windows in
+    ``repro_step``) beats adding more numpy vectorization.
+    """
+    if not kernel_available():
+        return {"skipped": "kernel backend unavailable"}
+    from repro.kernel import compiled_available
+    from repro.kernel.core.pycore import py_scan
+
+    system = _largest_point_system("event", backend="kernel", stepper=True)
+    system.run(cycles=2000, warmup=500)
+    kernel_stepper = system.kernel_stepper
+    controller = system.channel_controllers[0]
+    scheduler = controller.scheduler
+    queue = controller.read_queue
+    now = system.engine.cycles_processed + system.engine.cycles_skipped + 1
+    out = {"scans": scans, "queue_depth": len(queue)}
+
+    if kernel_stepper is not None and kernel_stepper.compiled:
+        lib, ctx_ptr = kernel_stepper._lib, kernel_stepper._ctx_ptr
+        out_ptr = kernel_stepper._out_ptr
+        start = time.perf_counter()
+        for _ in range(scans):
+            lib.repro_scan(ctx_ptr, 0, 0, now, out_ptr)
+        out["compiled_single_call_us"] = round(
+            (time.perf_counter() - start) / scans * 1e6, 3)
+
+    core = scheduler._core
+    scheduler._core = None  # force the numpy batch path
+    try:
+        start = time.perf_counter()
+        for _ in range(scans):
+            scheduler._select_bucketed(queue, now)
+        out["numpy_batched_us"] = round(
+            (time.perf_counter() - start) / scans * 1e6, 3)
+    finally:
+        scheduler._core = core
+
+    if kernel_stepper is not None:
+        state = kernel_stepper.state
+        start = time.perf_counter()
+        for _ in range(scans):
+            py_scan(state, 0, 0, now)
+        out["pure_python_us"] = round(
+            (time.perf_counter() - start) / scans * 1e6, 3)
+
+    if "compiled_single_call_us" in out and out.get("numpy_batched_us"):
+        out["numpy_vs_compiled_dispatch_ratio"] = round(
+            out["numpy_batched_us"] / out["compiled_single_call_us"], 1)
+    if not compiled_available():
+        out["note"] = "compiled core unavailable; C row omitted"
+    return out
 
 
 def bench_fig14_sweep(cycles: int, warmup: int) -> dict:

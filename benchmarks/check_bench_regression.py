@@ -15,11 +15,13 @@ Compares a fresh (smoke-sized) benchmark run against the committed
   IPC costs dominate trivial-point throughput and vary across runners,
   while recovery correctness is gated hard by the test suite already.
 * per-platform entries (the ``platforms`` section) are gated hard per
-  ``(platform, engine/backend)`` pair — ``cycle``, ``event`` and (when
-  recorded) the vectorized ``kernel`` backend each against their own
-  committed baseline; variants or presets recorded in only one of the two
-  reports are skipped, so the registry can grow (or a no-numpy environment
-  can omit the kernel rows) without breaking the gate.
+  ``(platform, backend, stepper)`` variant — ``cycle``, ``event``, the
+  vectorized ``kernel`` backend, the compiled ``kernel_stepper`` and the
+  pure-python ``kernel_pystepper`` each against their own committed
+  baseline; variants or presets recorded in only one of the two reports
+  are skipped, so the registry can grow (or a no-numpy environment can
+  omit the kernel rows, or a no-toolchain environment the compiled
+  stepper row) without breaking the gate.
 
 The result is printed as a readable diff table (metric, fresh, baseline,
 floor, verdict) instead of a bare assert.
@@ -114,6 +116,14 @@ METRICS = [
            _largest_point_metric("event"), None, hard=True),
     Metric("largest_point.kernel.cycles_per_second",
            _largest_point_metric("kernel"), None, hard=True),
+    # The stepper axis gates hard per variant: the compiled stepper row is
+    # absent without a C toolchain and the pure-python stepper row is
+    # absent without numpy — both skip cleanly — but where an environment
+    # records a variant, a regression against its own baseline fails.
+    Metric("largest_point.kernel_stepper.cycles_per_second",
+           _largest_point_metric("kernel_stepper"), None, hard=True),
+    Metric("largest_point.kernel_pystepper.cycles_per_second",
+           _largest_point_metric("kernel_pystepper"), None, hard=True),
     Metric("fig14_sweep.cycles_per_second", _sweep_cycles_per_second,
            None, hard=True),
     Metric("burst.bursts_planned", _burst_metric("bursts_planned"),
@@ -148,15 +158,16 @@ def _platform_metric(name: str, engine: str) -> Callable[[dict], Optional[float]
 
 
 def platform_metrics(fresh: dict, baseline: dict) -> list:
-    """Per-(platform, variant) gates over the presets both reports carry.
+    """Per-(platform, backend, stepper) gates over presets both reports carry.
 
-    Each platform x engine/backend pair is gated independently — a
-    regression that only bites on one preset's geometry (say, HBM's 8
-    channels or DDR5's 32 banks) or one backend's hot path fails on that
-    row even when the DDR4/python numbers are fine.  Presets or variants
-    present in only one of the two reports are skipped (they render as
-    "SKIPPED (not recorded)" rows), so adding a preset — or running without
-    numpy, which omits the kernel rows — never breaks the gate.
+    Each platform x variant pair is gated independently — a regression
+    that only bites on one preset's geometry (say, HBM's 8 channels or
+    DDR5's 32 banks), one backend's hot path, or one stepper rung of the
+    fallback ladder fails on that row even when the DDR4/python numbers
+    are fine.  Presets or variants present in only one of the two reports
+    are skipped (they render as "SKIPPED (not recorded)" rows), so adding
+    a preset — or running without numpy (no kernel rows) or without a C
+    toolchain (no compiled-stepper row) — never breaks the gate.
     """
     fresh_platforms = fresh.get("platforms", {})
     baseline_platforms = baseline.get("platforms", {})
@@ -169,7 +180,8 @@ def platform_metrics(fresh: dict, baseline: dict) -> list:
         if not isinstance(fresh_platforms.get(name)
                           or baseline_platforms.get(name), dict):
             continue
-        for variant in ("cycle", "event", "kernel"):
+        for variant in ("cycle", "event", "kernel",
+                        "kernel_stepper", "kernel_pystepper"):
             metrics.append(Metric(
                 f"platforms.{name}.{variant}.cycles_per_second",
                 _platform_metric(name, variant), None, hard=True))

@@ -98,7 +98,8 @@ class ChopimSystem:
                  launch_packets_use_channel: bool = True,
                  collect_energy: bool = True,
                  engine: str = "event",
-                 backend: str = "python") -> None:
+                 backend: str = "python",
+                 stepper: Optional[bool] = None) -> None:
         self.config = config or default_config()
         self.config.validate()
         self.mode = mode
@@ -116,6 +117,26 @@ class ChopimSystem:
             raise ValueError(
                 f"unknown backend {backend!r}: expected 'python' or 'kernel'")
         self.backend = backend
+        # Resident multi-cycle stepper (repro.kernel.stepper): advances whole
+        # idle-except-channels windows in one fused call.  Auto-enabled on
+        # the event engine + kernel backend; ``stepper=True`` demands it
+        # (errors elsewhere), ``stepper=False`` / REPRO_DISABLE_STEPPER=1
+        # forces the plain event engine for A/B runs.
+        if stepper is None:
+            stepper_active = (
+                engine == "event" and backend == "kernel"
+                and os.environ.get("REPRO_DISABLE_STEPPER", "")
+                not in ("1", "true", "yes"))
+        elif stepper:
+            if engine != "event" or backend != "kernel":
+                raise ValueError(
+                    "stepper=True requires engine='event' and "
+                    f"backend='kernel' (got engine={engine!r}, "
+                    f"backend={backend!r})")
+            stepper_active = True
+        else:
+            stepper_active = False
+        self.stepper_enabled = stepper_active
         timing_cls: type = TimingEngine
         scheduler_factory = None
         if backend == "kernel":
@@ -187,7 +208,12 @@ class ChopimSystem:
                 rank_components.append(NdaRankComponent(self, key, controller))
             components.extend(rank_components)
         components.append(self._stats_component)
-        self.engine: SimulationEngine = make_engine(engine, components)
+        if stepper_active:
+            from repro.kernel.stepper import StepperEventEngine
+
+            self.engine: SimulationEngine = StepperEventEngine(components)
+        else:
+            self.engine = make_engine(engine, components)
         self._wire_wake_hub(components, channel_components, host_slot,
                             nda_host_component, rank_components)
         # Burst-issue fast path: event engine only (the cycle engine is the
@@ -201,6 +227,17 @@ class ChopimSystem:
         )
         if self.burst_enabled:
             self._wire_burst(rank_components)
+        # The stepper binds last: it aliases the kernel arrays and the
+        # wired queues/schedulers, and (when the compiled core is live)
+        # reroutes the per-channel FR-FCFS scans through the shared library.
+        self.kernel_stepper = None
+        if stepper_active:
+            from repro.kernel.stepper import KernelStepper
+
+            kernel_stepper = KernelStepper(self)
+            self.engine.bind_stepper(kernel_stepper)
+            kernel_stepper.bind_scan()
+            self.kernel_stepper = kernel_stepper
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -280,9 +317,9 @@ class ChopimSystem:
                 continue
 
             if kernel_settler_cls is not None:
-                # Kernel backend: one vector pass over all of the channel's
-                # live plans decides eligibility; effects apply through the
-                # shared scalar single-writer (_apply_settlement).
+                # Kernel backend: per-plan scalar eligibility walk; effects
+                # apply through the shared scalar single-writer
+                # (_apply_settlement).
                 settle = kernel_settler_cls(ranks)
             else:
                 def settle(upto: int, ranks=ranks) -> None:

@@ -22,7 +22,7 @@ from repro.core.modes import AccessMode
 from repro.core.system import ChopimSystem
 from repro.experiments.sweeprunner import SweepPointsFailed
 from repro.nda.isa import NdaOpcode
-from repro.platform import DEFAULT_PLATFORM, platform_config
+from repro.platform import DEFAULT_PLATFORM, platform_config, platform_names
 
 #: Default measured window per configuration point, in DRAM cycles.  Long
 #: enough for the memory system to reach steady state; short enough that a
@@ -56,8 +56,8 @@ def resolve_config(platform: Optional[str] = None,
     paper's 2x2, ...); pass values only to deliberately rescale a sweep
     point.
     """
-    name = platform or os.environ.get("REPRO_PLATFORM")
-    if not name or name == DEFAULT_PLATFORM:
+    name = resolve_platform(platform)
+    if name == DEFAULT_PLATFORM:
         return scaled_config(2 if channels is None else channels,
                              2 if ranks_per_channel is None
                              else ranks_per_channel, cores=cores)
@@ -65,14 +65,49 @@ def resolve_config(platform: Optional[str] = None,
                            ranks_per_channel=ranks_per_channel, cores=cores)
 
 
-def resolve_backend(backend: Optional[str] = None) -> str:
-    """The execution backend for one experiment point.
+def resolve_platform(platform: Optional[str] = None) -> str:
+    """The validated platform preset name for one experiment point.
 
-    Resolution order mirrors :func:`resolve_config`'s platform axis: the
-    explicit ``backend`` argument, then the ``REPRO_BACKEND`` environment
-    variable (empty counts as unset), then the pure-python backend.
+    Resolution order: the explicit ``platform`` argument, then the
+    ``REPRO_PLATFORM`` environment variable (an empty value counts as
+    unset), then the paper's DDR4-2400 baseline.  An unknown name — a typo
+    in a sweep script or a stale environment variable — fails here, at
+    resolution time, with the list of registered presets, instead of as a
+    ``KeyError`` from deep inside config construction on the first point.
     """
-    return backend or os.environ.get("REPRO_BACKEND") or "python"
+    name = platform or os.environ.get("REPRO_PLATFORM") or DEFAULT_PLATFORM
+    names = platform_names()
+    if name not in names:
+        source = ("platform argument" if platform
+                  else "REPRO_PLATFORM environment variable")
+        raise ValueError(
+            f"unknown platform {name!r} (from the {source}); "
+            f"valid choices: {', '.join(sorted(names))}")
+    return name
+
+
+#: Hot-path implementations :func:`resolve_backend` accepts.
+VALID_BACKENDS = ("python", "kernel")
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """The validated execution backend for one experiment point.
+
+    Resolution order mirrors :func:`resolve_platform`: the explicit
+    ``backend`` argument, then the ``REPRO_BACKEND`` environment variable
+    (empty counts as unset), then the pure-python backend.  Unknown values
+    are rejected here with the valid choices, so ``REPRO_BACKEND=kernle``
+    aborts the sweep up front instead of silently running one point per
+    worker into a constructor error.
+    """
+    name = backend or os.environ.get("REPRO_BACKEND") or "python"
+    if name not in VALID_BACKENDS:
+        source = ("backend argument" if backend
+                  else "REPRO_BACKEND environment variable")
+        raise ValueError(
+            f"unknown backend {name!r} (from the {source}); "
+            f"valid choices: {', '.join(VALID_BACKENDS)}")
+    return name
 
 
 def build_system(mode: AccessMode, mix: Optional[str],

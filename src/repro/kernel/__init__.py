@@ -19,6 +19,14 @@ requested without it.  The Python cycle/event engines never import numpy and
 are unaffected.  Setting ``REPRO_FORCE_NO_NUMPY=1`` makes the kernel report
 unavailable even when numpy is importable (used by the CI no-numpy job and
 the fallback tests).
+
+The **compiled core** (the resident multi-cycle stepper in
+:mod:`repro.kernel.core`, built on demand with the system C compiler) is a
+second optional layer with the same gating pattern:
+:func:`compiled_available` reports whether the shared library can be built
+and loaded, and ``REPRO_FORCE_NO_COMPILED=1`` forces it unavailable (used
+by the CI no-toolchain job), in which case the stepper runs its bit-exact
+pure-Python twin (:mod:`repro.kernel.core.pycore`).
 """
 
 from __future__ import annotations
@@ -48,6 +56,30 @@ def kernel_unavailable_reason() -> str:
         return "REPRO_FORCE_NO_NUMPY is set"
     if not _NUMPY_IMPORTABLE:
         return f"numpy is not installed ({_NUMPY_ERROR})"
+    return ""
+
+
+def compiled_available() -> bool:
+    """Whether the compiled stepper core can run in this environment.
+
+    Triggers the lazy on-demand build on first call; the result (library
+    or failure reason) is memoized per process.
+    """
+    if os.environ.get("REPRO_FORCE_NO_COMPILED", "") in ("1", "true", "yes"):
+        return False
+    from repro.kernel.core import load_core
+
+    return load_core() is not None
+
+
+def compiled_unavailable_reason() -> str:
+    """Human-readable reason :func:`compiled_available` is False."""
+    if os.environ.get("REPRO_FORCE_NO_COMPILED", "") in ("1", "true", "yes"):
+        return "REPRO_FORCE_NO_COMPILED is set"
+    from repro.kernel.core import load_core, load_error
+
+    if load_core() is None:
+        return load_error() or "compiled core failed to load"
     return ""
 
 

@@ -1,0 +1,57 @@
+"""Loader for the compiled stepper core (ctypes over a flat int64 table).
+
+``load_core()`` builds (or reuses, see :mod:`repro.kernel.core.build`) the
+shared library and returns a :class:`ctypes.CDLL` with typed entry points,
+or ``None`` with :func:`load_error` describing why — no C compiler, a build
+failure, or an ABI mismatch against a stale cached artifact.  The result is
+memoized per process; the availability *policy* (including the
+``REPRO_FORCE_NO_COMPILED`` escape hatch) lives in
+:func:`repro.kernel.compiled_available`, mirroring the numpy gate.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from typing import Optional
+
+_lib: Optional[ctypes.CDLL] = None
+_error: str = ""
+_attempted = False
+
+
+def load_core() -> Optional[ctypes.CDLL]:
+    """The compiled core library, built on first use (None on failure)."""
+    global _lib, _error, _attempted
+    if _attempted:
+        return _lib
+    _attempted = True
+    try:
+        from repro.kernel.core import layout
+        from repro.kernel.core.build import build_library
+
+        path = build_library()
+        lib = ctypes.CDLL(str(path))
+        lib.repro_core_abi.restype = ctypes.c_int64
+        lib.repro_core_abi.argtypes = ()
+        abi = int(lib.repro_core_abi())
+        if abi != layout.ABI:
+            raise RuntimeError(
+                f"compiled core ABI mismatch: library reports {abi}, "
+                f"layout.py is {layout.ABI} (stale cache?)")
+        p_i64 = ctypes.POINTER(ctypes.c_int64)
+        lib.repro_scan.restype = None
+        lib.repro_scan.argtypes = (p_i64, ctypes.c_int64, ctypes.c_int64,
+                                   ctypes.c_int64, p_i64)
+        lib.repro_step.restype = ctypes.c_int64
+        lib.repro_step.argtypes = (p_i64, ctypes.c_int64, ctypes.c_int64,
+                                   p_i64)
+        _lib = lib
+    except Exception as exc:  # noqa: BLE001 - any failure means "unavailable"
+        _error = f"{type(exc).__name__}: {exc}"
+        _lib = None
+    return _lib
+
+
+def load_error() -> str:
+    """Why :func:`load_core` returned None ('' when it succeeded/never ran)."""
+    return _error

@@ -1,0 +1,90 @@
+"""On-demand C build of the stepper core (no toolchain → graceful absence).
+
+mypyc/Cython are not part of this project's baked toolchain, so the
+compiled core is plain C99 built with whatever system C compiler is
+available (``cc``/``gcc``/``clang``, overridable via ``REPRO_CC``).  The
+build is lazy and cached:
+
+* the generated layout header (:func:`repro.kernel.core.layout.header_text`)
+  and ``stepper_core.c`` are hashed together into a cache key, so editing
+  either source (or the layout) rebuilds automatically while repeat runs
+  reuse the cached library;
+* the library lands in ``REPRO_CORE_CACHE`` if set, else
+  ``~/.cache/repro-core``, falling back to a temp directory when neither is
+  writable;
+* every failure (no compiler, compile error, unwritable filesystem) raises
+  with the tool's output attached — the loader turns that into a
+  ``compiled_unavailable_reason()`` and the pure-Python paths take over.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+from repro.kernel.core import layout
+
+_C_SOURCE = Path(__file__).with_name("stepper_core.c")
+
+
+def _compiler() -> str:
+    override = os.environ.get("REPRO_CC", "")
+    if override:
+        return override
+    for candidate in ("cc", "gcc", "clang"):
+        if shutil.which(candidate):
+            return candidate
+    raise RuntimeError(
+        "no C compiler found (tried cc, gcc, clang; set REPRO_CC to "
+        "override) — the compiled stepper core is unavailable")
+
+
+def _cache_dir() -> Path:
+    configured = os.environ.get("REPRO_CORE_CACHE", "")
+    candidates = [Path(configured)] if configured else []
+    candidates.append(Path.home() / ".cache" / "repro-core")
+    candidates.append(Path(tempfile.gettempdir()) / "repro-core")
+    for candidate in candidates:
+        try:
+            candidate.mkdir(parents=True, exist_ok=True)
+            probe = candidate / ".write-probe"
+            probe.write_text("")
+            probe.unlink()
+            return candidate
+        except OSError:
+            continue
+    raise RuntimeError("no writable cache directory for the compiled core")
+
+
+def build_library() -> Path:
+    """Compile (or reuse) the stepper core; returns the shared-library path."""
+    source = _C_SOURCE.read_text()
+    header = layout.header_text()
+    key = hashlib.sha256(
+        (header + "\x00" + source).encode("utf-8")).hexdigest()[:16]
+    cache = _cache_dir()
+    library = cache / f"repro_core_{key}.so"
+    if library.exists():
+        return library
+    compiler = _compiler()
+    with tempfile.TemporaryDirectory(dir=cache) as workdir:
+        work = Path(workdir)
+        (work / "repro_core_layout.h").write_text(header)
+        c_file = work / "stepper_core.c"
+        c_file.write_text(source)
+        out_file = work / library.name
+        command = [compiler, "-O2", "-shared", "-fPIC", "-std=c99",
+                   str(c_file), "-o", str(out_file)]
+        result = subprocess.run(command, capture_output=True, text=True)
+        if result.returncode != 0:
+            raise RuntimeError(
+                f"compiled-core build failed ({' '.join(command)}):\n"
+                f"{result.stderr.strip() or result.stdout.strip()}")
+        # Atomic publish: another process racing the same key lands the
+        # identical artifact, so either rename winning is fine.
+        os.replace(out_file, library)
+    return library

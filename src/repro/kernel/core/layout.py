@@ -1,0 +1,194 @@
+"""The compiled core's context-table layout (single source of truth).
+
+The compiled stepper core (``stepper_core.c``) and its pure-Python twin
+(:mod:`repro.kernel.core.pycore`) both operate on one flat ``int64``
+**context table**: a few geometry/timing scalars followed by raw data
+pointers into the kernel backend's preallocated numpy arrays (bank timing
+horizons, rank/channel timing scalars, per-queue slot columns, burst-plan
+mirrors, per-channel scan cursors).  This module is the only place the
+cell order is defined:
+
+* Python builds the table with :func:`build_ctx` (pointer cells filled via
+  ``ndarray.ctypes.data``, so the C side reads/writes the *same* memory the
+  scalar views shim onto);
+* the C side gets the indices as ``#define``s from :func:`header_text`,
+  which the build step writes next to the C source before compiling;
+* :data:`ABI` is a checksum of the whole layout description.  It is stamped
+  into cell 0, baked into the compiled library (``repro_core_abi()``) and
+  checked by the loader, so a stale cached ``.so`` from an older layout can
+  never be driven with a newer table.
+
+Cells fall into four groups, in order: scalars (:data:`SCALAR_CELLS`),
+array pointers (:data:`POINTER_CELLS`), then per-(channel, queue) blocks of
+:data:`QUEUE_CELLS` — two blocks per channel, read queue first — starting
+at :data:`QUEUE_BASE`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Mapping, Sequence
+
+#: Value scalars at the head of the table.  ``abi`` is the layout checksum,
+#: ``no_event`` the shared "never" sentinel (1 << 62), the rest are the
+#: derived timing constants of the scalar law in
+#: ``repro.dram.timing.TimingEngine`` (same names, same derivations).
+SCALAR_CELLS = (
+    "abi",
+    "channels",
+    "ranks_per_channel",
+    "bank_groups",
+    "no_event",
+    "tCL",
+    "tCWL",
+    "tBL",
+    "tCCDS",
+    "tCCDL",
+    "tWTRS",
+    "tWTRL",
+    "tRTRS",
+    "wr_to_rd",
+    "read_to_write",
+    "tFAW",
+    "tRTP",
+    "write_to_precharge",
+)
+
+#: Raw-pointer cells (``ndarray.ctypes.data`` of int64 arrays unless noted).
+#: ``bank_*``/``open_row`` index by dense bank index, ``rank_*``/``plan_*``
+#: by global rank index (``rank_actbg`` is the flat (ranks, bank_groups)
+#: table, ``rank_faw`` the flat (ranks, 4) tFAW ring), ``chan_*`` by
+#: channel, ``next_try`` is the stepper's per-channel scan cursor.
+POINTER_CELLS = (
+    "bank_act",
+    "bank_pre",
+    "bank_rd",
+    "bank_wr",
+    "open_row",
+    "rank_act_allowed",
+    "rank_refreshing_until",
+    "rank_last_read",
+    "rank_last_read_bg",
+    "rank_last_write",
+    "rank_last_write_bg",
+    "rank_last_host_read",
+    "rank_last_nda_read",
+    "rank_nda_bus_free",
+    "rank_actbg",
+    "rank_faw",
+    "rank_faw_len",
+    "rank_faw_head",
+    "chan_data_bus_free",
+    "chan_last_col_rank",
+    "chan_last_data_end",
+    "next_try",
+    "plan_active",
+    "plan_start",
+    "plan_step",
+    "plan_idx",
+    "plan_count",
+    "plan_is_write",
+    "plan_bank_index",
+    "plan_bank_group",
+)
+
+#: Per-(channel, queue) block: pointer cells into the queue's
+#: ``_QueueArrays`` columns (``q_is_write``/``q_alive`` point at uint8/bool
+#: storage) plus the slot capacity as a value cell.
+QUEUE_CELLS = (
+    "q_bank_idx",
+    "q_rankbg_idx",
+    "q_rank_local",
+    "q_row",
+    "q_seq",
+    "q_is_write",
+    "q_alive",
+    "q_capacity",
+)
+
+QUEUE_BASE = len(SCALAR_CELLS) + len(POINTER_CELLS)
+QUEUE_STRIDE = len(QUEUE_CELLS)
+
+#: Command-kind codes shared between the core and Python (order matters:
+#: the Python side maps them back to CommandType).
+KIND_RD = 0
+KIND_WR = 1
+KIND_ACT = 2
+KIND_PRE = 3
+
+#: Layout checksum: any change to cell names/order/kind codes changes this,
+#: invalidating cached compiled libraries via the loader's ABI check.
+ABI = zlib.crc32(repr(
+    (SCALAR_CELLS, POINTER_CELLS, QUEUE_CELLS,
+     KIND_RD, KIND_WR, KIND_ACT, KIND_PRE)
+).encode("ascii")) & 0x7FFFFFFF
+
+#: Cell index by name (scalars and pointers; queue cells are block-relative).
+INDEX: Dict[str, int] = {
+    name: i for i, name in enumerate(SCALAR_CELLS + POINTER_CELLS)
+}
+
+
+def ctx_size(channels: int) -> int:
+    """Total cell count of a context table for ``channels`` channels."""
+    return QUEUE_BASE + 2 * channels * QUEUE_STRIDE
+
+
+def queue_block(channel: int, qsel: int) -> int:
+    """Base cell index of the (channel, queue) block (qsel 0=read, 1=write)."""
+    return QUEUE_BASE + (2 * channel + qsel) * QUEUE_STRIDE
+
+
+def header_text() -> str:
+    """The generated C header mirroring this layout (written at build time)."""
+    lines = [
+        "/* Generated from repro/kernel/core/layout.py -- do not edit. */",
+        "#ifndef REPRO_CORE_LAYOUT_H",
+        "#define REPRO_CORE_LAYOUT_H",
+        f"#define REPRO_CORE_ABI {ABI}L",
+        f"#define CTX_QUEUE_BASE {QUEUE_BASE}",
+        f"#define CTX_QUEUE_STRIDE {QUEUE_STRIDE}",
+        f"#define K_RD {KIND_RD}",
+        f"#define K_WR {KIND_WR}",
+        f"#define K_ACT {KIND_ACT}",
+        f"#define K_PRE {KIND_PRE}",
+    ]
+    for name, index in INDEX.items():
+        lines.append(f"#define CTX_{name.upper()} {index}")
+    for offset, name in enumerate(QUEUE_CELLS):
+        lines.append(f"#define {name.upper()} {offset}")
+    lines.append("#endif")
+    return "\n".join(lines) + "\n"
+
+
+def build_ctx(scalars: Mapping[str, int],
+              pointers: Mapping[str, int],
+              queue_blocks: Sequence[Sequence[int]]) -> "object":
+    """Assemble the int64 context table.
+
+    ``scalars`` maps every :data:`SCALAR_CELLS` name except ``abi`` (stamped
+    here) to its value, ``pointers`` maps every :data:`POINTER_CELLS` name
+    to a raw data address, and ``queue_blocks`` supplies one pre-assembled
+    cell sequence per (channel, queue) block in layout order.
+    """
+    import numpy as np
+
+    channels = int(scalars["channels"])
+    ctx = np.zeros(ctx_size(channels), dtype=np.int64)
+    ctx[INDEX["abi"]] = ABI
+    for name in SCALAR_CELLS[1:]:
+        ctx[INDEX[name]] = int(scalars[name])
+    for name in POINTER_CELLS:
+        ctx[INDEX[name]] = int(pointers[name])
+    expected = 2 * channels
+    if len(queue_blocks) != expected:
+        raise ValueError(
+            f"expected {expected} queue blocks, got {len(queue_blocks)}")
+    for block_index, cells in enumerate(queue_blocks):
+        if len(cells) != QUEUE_STRIDE:
+            raise ValueError(
+                f"queue block {block_index} has {len(cells)} cells, "
+                f"expected {QUEUE_STRIDE}")
+        base = QUEUE_BASE + block_index * QUEUE_STRIDE
+        ctx[base:base + QUEUE_STRIDE] = [int(cell) for cell in cells]
+    return ctx

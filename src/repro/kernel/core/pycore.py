@@ -1,0 +1,349 @@
+"""Pure-Python twin of the compiled stepper core.
+
+Same state, same laws, no C: these functions run the scan/settle/step logic
+of ``stepper_core.c`` line for line over the *same* numpy arrays, reading
+and writing them elementwise.  They are the always-available fallback rung
+of the ladder (compiled → pure-Python stepper → scalar engine) and the
+differential oracle the tests drive against the compiled library: both
+implementations consume a :class:`CoreState`, so any divergence is a bug in
+the transliteration, not in the harness.
+
+Being a fused multi-cycle loop, the Python stepper still amortizes the
+per-cycle engine machinery (calendar reads, component dispatch) even though
+each scan is a Python-level slot loop; its throughput is benchmarked
+honestly as the ``kernel+pystepper`` variant in BENCH_engine.json.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.kernel.core.layout import KIND_ACT, KIND_PRE, KIND_RD, KIND_WR
+
+#: Neutral element for absent constraints (mirror of scan.py's _NEUTRAL).
+_NEUTRAL = -(1 << 50)
+
+
+class QueueBlock:
+    """One (channel, queue) slot-column view driven by the core."""
+
+    __slots__ = ("bank_idx", "rankbg_idx", "rank_local", "row", "seq",
+                 "is_write", "alive", "capacity", "requests")
+
+    def __init__(self, arrays) -> None:
+        self.bank_idx = arrays.bank_idx
+        self.rankbg_idx = arrays.rankbg_idx
+        self.rank_local = arrays.rank_local
+        self.row = arrays.row
+        self.seq = arrays.seq
+        self.is_write = arrays.is_write
+        self.alive = arrays.alive
+        self.capacity = len(arrays.alive)
+        self.requests = arrays.requests
+
+
+class CoreState:
+    """Everything the stepper core reads/writes, as named array references.
+
+    The compiled library sees the same state through the flat pointer table
+    (:mod:`repro.kernel.core.layout`); this object is the Python-side handle
+    both for building that table and for running the pure-Python twin.
+    """
+
+    __slots__ = (
+        "channels", "ranks_per_channel", "bank_groups", "no_event",
+        "tCL", "tCWL", "tBL", "tCCDS", "tCCDL", "tWTRS", "tWTRL", "tRTRS",
+        "wr_to_rd", "read_to_write", "tFAW", "tRTP", "write_to_precharge",
+        "bank_act", "bank_pre", "bank_rd", "bank_wr", "open_row",
+        "rank_act_allowed", "rank_refreshing_until",
+        "rank_last_read", "rank_last_read_bg",
+        "rank_last_write", "rank_last_write_bg",
+        "rank_last_host_read", "rank_last_nda_read", "rank_nda_bus_free",
+        "rank_actbg", "rank_faw", "rank_faw_len", "rank_faw_head",
+        "chan_data_bus_free", "chan_last_col_rank", "chan_last_data_end",
+        "next_try",
+        "plan_active", "plan_start", "plan_step", "plan_idx", "plan_count",
+        "plan_is_write", "plan_bank_index", "plan_bank_group",
+        "queues",
+    )
+
+    queues: List[List[QueueBlock]]
+
+
+def py_scan(state: CoreState, channel: int, qsel: int, now: int,
+            ) -> Tuple[int, int, int, Optional[int], int]:
+    """One FR-FCFS scan: (choice_slot, choice_kind, horizon, future_slot,
+    future_kind), slots -1 when absent — the repro_scan contract."""
+    no_event = state.no_event
+    queue = state.queues[channel][qsel]
+    alive = queue.alive
+    capacity = queue.capacity
+
+    R = state.ranks_per_channel
+    BG = state.bank_groups
+    first = channel * R
+    tCL = state.tCL
+    tCWL = state.tCWL
+    tCCDS = state.tCCDS
+    tCCDL = state.tCCDL
+
+    data_bus_free = int(state.chan_data_bus_free[channel])
+    last_col_rank = int(state.chan_last_col_rank[channel])
+    last_data_end = int(state.chan_last_data_end[channel])
+
+    act_tbl = [0] * (R * BG)
+    col_rd = [0] * (R * BG)
+    col_wr = [0] * (R * BG)
+    refresh_tbl = [0] * R
+    for r in range(R):
+        gr = first + r
+        refreshing = int(state.rank_refreshing_until[gr])
+        refresh_tbl[r] = refreshing
+        act_base = refreshing
+        act_allowed = int(state.rank_act_allowed[gr])
+        if act_allowed > act_base:
+            act_base = act_allowed
+        if state.rank_faw_len[gr] == 4:
+            head = int(state.rank_faw_head[gr])
+            faw = int(state.rank_faw[gr, head]) + state.tFAW
+            if faw > act_base:
+                act_base = faw
+        lr = int(state.rank_last_read[gr])
+        lrbg = int(state.rank_last_read_bg[gr])
+        lw = int(state.rank_last_write[gr])
+        lwbg = int(state.rank_last_write_bg[gr])
+        host_rd = int(state.rank_last_host_read[gr]) + state.read_to_write
+        nda_rd = int(state.rank_last_nda_read[gr]) + tCCDS
+        bus_rd = data_bus_free - tCL
+        bus_wr = data_bus_free - tCWL
+        switch_rd = switch_wr = _NEUTRAL
+        if last_col_rank != -1 and last_col_rank != r:
+            switch_rd = last_data_end + state.tRTRS - tCL
+            switch_wr = last_data_end + state.tRTRS - tCWL
+        actbg_row = state.rank_actbg[gr]
+        for g in range(BG):
+            entry = int(actbg_row[g])
+            act_tbl[r * BG + g] = entry if entry > act_base else act_base
+            rd = lr + (tCCDL if g == lrbg else tCCDS)
+            wtr = lw + state.wr_to_rd + (state.tWTRL if g == lwbg
+                                         else state.tWTRS)
+            if wtr > rd:
+                rd = wtr
+            if refreshing > rd:
+                rd = refreshing
+            if bus_rd > rd:
+                rd = bus_rd
+            if switch_rd > rd:
+                rd = switch_rd
+            col_rd[r * BG + g] = rd
+            wr = lw + (tCCDL if g == lwbg else tCCDS)
+            if host_rd > wr:
+                wr = host_rd
+            if nda_rd > wr:
+                wr = nda_rd
+            if refreshing > wr:
+                wr = refreshing
+            if bus_wr > wr:
+                wr = bus_wr
+            if switch_wr > wr:
+                wr = switch_wr
+            col_wr[r * BG + g] = wr
+
+    bank_act = state.bank_act
+    bank_pre = state.bank_pre
+    bank_rd = state.bank_rd
+    bank_wr = state.bank_wr
+    open_row = state.open_row
+    q_bank = queue.bank_idx
+    q_rankbg = queue.rankbg_idx
+    q_rank_local = queue.rank_local
+    q_row = queue.row
+    q_seq = queue.seq
+    q_is_write = queue.is_write
+
+    cls = [0] * capacity
+    earliest = [0] * capacity
+    best_hit_seq = no_event
+    best_hit_slot = -1
+    best_fb_seq = no_event
+    best_fb_slot = -1
+    best_fb_closed = False
+    horizon = no_event
+    for s in range(capacity):
+        if not alive[s]:
+            continue
+        bank = int(q_bank[s])
+        rbg = int(q_rankbg[s])
+        row_open = int(open_row[bank])
+        if row_open == q_row[s]:
+            c = 1
+            if q_is_write[s]:
+                e = max(col_wr[rbg], int(bank_wr[bank]))
+            else:
+                e = max(col_rd[rbg], int(bank_rd[bank]))
+        elif row_open == -1:
+            c = 2
+            e = max(int(bank_act[bank]), act_tbl[rbg])
+        else:
+            c = 3
+            e = max(int(bank_pre[bank]), refresh_tbl[int(q_rank_local[s])])
+        if e < now:
+            e = now
+        cls[s] = c
+        earliest[s] = e
+        if e <= now:
+            seq = int(q_seq[s])
+            if c == 1:
+                if seq < best_hit_seq:
+                    best_hit_seq = seq
+                    best_hit_slot = s
+            elif seq < best_fb_seq:
+                best_fb_seq = seq
+                best_fb_slot = s
+                best_fb_closed = c == 2
+        elif e < horizon:
+            horizon = e
+
+    if best_hit_slot >= 0:
+        kind = KIND_WR if q_is_write[best_hit_slot] else KIND_RD
+        return best_hit_slot, kind, no_event, -1, -1
+    if best_fb_slot >= 0:
+        kind = KIND_ACT if best_fb_closed else KIND_PRE
+        return best_fb_slot, kind, horizon, -1, -1
+    if horizon >= no_event:
+        return -1, -1, no_event, -1, -1
+
+    best_seq = no_event
+    best_slot = -1
+    best_cls = 0
+    have_hit = False
+    for s in range(capacity):
+        if cls[s] == 0 or earliest[s] != horizon:
+            continue
+        is_hit = cls[s] == 1
+        if have_hit and not is_hit:
+            continue
+        if is_hit and not have_hit:
+            have_hit = True
+            best_seq = no_event
+        seq = int(q_seq[s])
+        if seq < best_seq:
+            best_seq = seq
+            best_slot = s
+            best_cls = cls[s]
+    if best_cls == 1:
+        future_kind = KIND_WR if q_is_write[best_slot] else KIND_RD
+    elif best_cls == 2:
+        future_kind = KIND_ACT
+    else:
+        future_kind = KIND_PRE
+    return -1, -1, horizon, best_slot, future_kind
+
+
+def py_settle_channel(state: CoreState, channel: int, upto: int) -> None:
+    """Burst-plan settlement for one channel's ranks (state law only —
+    version-bump replay is the Python caller's job, as with the C core)."""
+    R = state.ranks_per_channel
+    first = channel * R
+    active = state.plan_active
+    p_idx = state.plan_idx
+    for r in range(first, first + R):
+        if not active[r]:
+            continue
+        start = int(state.plan_start[r])
+        step = int(state.plan_step[r])
+        idx = int(p_idx[r])
+        count = int(state.plan_count[r])
+        if upto <= start + idx * step:
+            continue
+        j = (upto - 1 - start) // step + 1
+        if j > count:
+            j = count
+        if j <= idx:
+            continue
+        c_last = start + (j - 1) * step
+        bank = int(state.plan_bank_index[r])
+        if state.plan_is_write[r]:
+            if c_last > state.rank_last_write[r]:
+                state.rank_last_write[r] = c_last
+                state.rank_last_write_bg[r] = state.plan_bank_group[r]
+            bus = c_last + state.tCWL + state.tBL
+            if bus > state.rank_nda_bus_free[r]:
+                state.rank_nda_bus_free[r] = bus
+            pre = c_last + state.write_to_precharge
+            if pre > state.bank_pre[bank]:
+                state.bank_pre[bank] = pre
+        else:
+            if c_last > state.rank_last_read[r]:
+                state.rank_last_read[r] = c_last
+                state.rank_last_read_bg[r] = state.plan_bank_group[r]
+            if c_last > state.rank_last_nda_read[r]:
+                state.rank_last_nda_read[r] = c_last
+            bus = c_last + state.tCL + state.tBL
+            if bus > state.rank_nda_bus_free[r]:
+                state.rank_nda_bus_free[r] = bus
+            pre = c_last + state.tRTP
+            if pre > state.bank_pre[bank]:
+                state.bank_pre[bank] = pre
+        p_idx[r] = j
+
+
+def py_step(state: CoreState, t_start: int, t_end: int, out) -> int:
+    """The resident loop — repro_step's exact contract.
+
+    Returns 0 when ``[t_start, t_end)`` is issue-free; returns 1 at the
+    first issuable host request and fills ``out`` (any int64 sequence of
+    >= 11 cells) with the detection evidence: cycle, channel, winning
+    qsel, the winning queue's scan tuple (slot, kind, horizon, future
+    slot, future kind), and — when the write queue won — the read queue's
+    same-cycle scan (horizon, future slot, future kind), so the caller can
+    prime the channel's scan memos instead of re-scanning.  The cursor
+    state is equally carried in ``state.next_try``.
+    """
+    C = state.channels
+    next_try = state.next_try
+    t = t_start
+    while t < t_end:
+        min_next = t_end
+        for ch in range(C):
+            cursor = int(next_try[ch])
+            if cursor > t:
+                if cursor < min_next:
+                    min_next = cursor
+                continue
+            py_settle_channel(state, ch, t)
+            slot, kind, horizon, fslot, fkind = py_scan(state, ch, 0, t)
+            if slot >= 0:
+                out[0] = t
+                out[1] = ch
+                out[2] = 0
+                out[3] = slot
+                out[4] = kind
+                out[5] = horizon
+                out[6] = fslot
+                out[7] = fkind
+                return 1
+            rd_h, rd_fs, rd_fk = horizon, fslot, fkind
+            slot, kind, h_write, fslot, fkind = py_scan(state, ch, 1, t)
+            if slot >= 0:
+                out[0] = t
+                out[1] = ch
+                out[2] = 1
+                out[3] = slot
+                out[4] = kind
+                out[5] = h_write
+                out[6] = fslot
+                out[7] = fkind
+                out[8] = rd_h
+                out[9] = rd_fs
+                out[10] = rd_fk
+                return 1
+            if h_write < horizon:
+                horizon = h_write
+            if horizon < t + 1:
+                horizon = t + 1
+            next_try[ch] = horizon
+            if horizon < min_next:
+                min_next = horizon
+        t = min_next
+    return 0

@@ -1,0 +1,345 @@
+/* Resident multi-cycle stepper core for the kernel backend.
+ *
+ * Compiled to a small shared library (see build.py) and driven through
+ * ctypes over a flat int64 context table whose layout is generated from
+ * layout.py (repro_core_layout.h is written next to this file at build
+ * time).  Three entry points:
+ *
+ *   repro_core_abi()   -- the layout checksum baked in at compile time;
+ *                         the loader refuses a library whose ABI differs
+ *                         from the current layout.py.
+ *   repro_scan()       -- one FR-FCFS scan of one (channel, queue) at one
+ *                         cycle: a line-by-line transliteration of the
+ *                         numpy scan (KernelFrFcfsScheduler._build_tables
+ *                         + _select_bucketed), which is itself the lock-
+ *                         step twin of the scalar law.  Returns the winner
+ *                         slot/kind, the horizon, and the at-horizon
+ *                         future winner, exactly as the numpy scan does.
+ *   repro_step()       -- the resident loop: advance cycle by cycle from
+ *                         t_start toward t_end, settling each channel's
+ *                         burst-plan prefixes (the _apply_settlement state
+ *                         law, minus the Python-side version bumps, which
+ *                         the caller replays) and scanning both queues of
+ *                         every due channel, returning at the first cycle
+ *                         any channel has an issuable request.  Between
+ *                         scans it fast-forwards straight to the earliest
+ *                         per-channel retry cursor (next_try), so a whole
+ *                         window of no-op cycles costs one C call.
+ *
+ * Everything is plain int64 arithmetic on caller-owned arrays: no Python.h,
+ * no allocation, no libc calls beyond what the compiler inlines.
+ */
+
+#include <stdint.h>
+
+#include "repro_core_layout.h"
+
+typedef int64_t i64;
+typedef uint8_t u8;
+
+#define PTR(ctx, cell) ((i64 *)(uintptr_t)(ctx)[cell])
+#define PTRU8(ctx, cell) ((u8 *)(uintptr_t)(ctx)[cell])
+
+/* Neutral element for absent constraints (mirror of scan.py's _NEUTRAL). */
+#define NEUTRAL (-(((i64)1) << 50))
+
+i64 repro_core_abi(void) { return (i64)REPRO_CORE_ABI; }
+
+static i64 imax(i64 a, i64 b) { return a > b ? a : b; }
+
+/* ------------------------------------------------------------------ */
+/* FR-FCFS scan of one (channel, queue) at cycle `now`.                */
+/* out[0] choice slot (-1 none)   out[1] choice kind                   */
+/* out[2] horizon                 out[3] future slot (-1 none)         */
+/* out[4] future kind                                                  */
+/* ------------------------------------------------------------------ */
+void repro_scan(const i64 *ctx, i64 channel, i64 qsel, i64 now, i64 *out)
+{
+    const i64 no_event = ctx[CTX_NO_EVENT];
+    out[0] = -1; out[1] = -1; out[2] = no_event; out[3] = -1; out[4] = -1;
+
+    const i64 *q = ctx + CTX_QUEUE_BASE + (2 * channel + qsel) * CTX_QUEUE_STRIDE;
+    const i64 capacity = q[Q_CAPACITY];
+    const u8 *alive = (const u8 *)(uintptr_t)q[Q_ALIVE];
+
+    const i64 R = ctx[CTX_RANKS_PER_CHANNEL];
+    const i64 BG = ctx[CTX_BANK_GROUPS];
+    const i64 first = channel * R;
+
+    const i64 tCL = ctx[CTX_TCL], tCWL = ctx[CTX_TCWL];
+    const i64 tCCDS = ctx[CTX_TCCDS], tCCDL = ctx[CTX_TCCDL];
+    const i64 tWTRS = ctx[CTX_TWTRS], tWTRL = ctx[CTX_TWTRL];
+    const i64 tRTRS = ctx[CTX_TRTRS], tFAW = ctx[CTX_TFAW];
+    const i64 wr_to_rd = ctx[CTX_WR_TO_RD];
+    const i64 read_to_write = ctx[CTX_READ_TO_WRITE];
+
+    const i64 *r_act = PTR(ctx, CTX_RANK_ACT_ALLOWED);
+    const i64 *r_refreshing = PTR(ctx, CTX_RANK_REFRESHING_UNTIL);
+    const i64 *r_last_read = PTR(ctx, CTX_RANK_LAST_READ);
+    const i64 *r_last_read_bg = PTR(ctx, CTX_RANK_LAST_READ_BG);
+    const i64 *r_last_write = PTR(ctx, CTX_RANK_LAST_WRITE);
+    const i64 *r_last_write_bg = PTR(ctx, CTX_RANK_LAST_WRITE_BG);
+    const i64 *r_host_read = PTR(ctx, CTX_RANK_LAST_HOST_READ);
+    const i64 *r_nda_read = PTR(ctx, CTX_RANK_LAST_NDA_READ);
+    const i64 *r_actbg = PTR(ctx, CTX_RANK_ACTBG);
+    const i64 *r_faw = PTR(ctx, CTX_RANK_FAW);
+    const i64 *r_faw_len = PTR(ctx, CTX_RANK_FAW_LEN);
+    const i64 *r_faw_head = PTR(ctx, CTX_RANK_FAW_HEAD);
+
+    const i64 data_bus_free = PTR(ctx, CTX_CHAN_DATA_BUS_FREE)[channel];
+    const i64 last_col_rank = PTR(ctx, CTX_CHAN_LAST_COL_RANK)[channel];
+    const i64 last_data_end = PTR(ctx, CTX_CHAN_LAST_DATA_END)[channel];
+
+    /* Constraint tables, bit-for-bit the numpy _build_tables law. */
+    i64 act_tbl[R * BG], col_rd[R * BG], col_wr[R * BG], refresh_tbl[R];
+    for (i64 r = 0; r < R; r++) {
+        const i64 gr = first + r;
+        const i64 refreshing = r_refreshing[gr];
+        refresh_tbl[r] = refreshing;
+        i64 act_base = refreshing;
+        if (r_act[gr] > act_base) act_base = r_act[gr];
+        if (r_faw_len[gr] == 4) {
+            const i64 faw = r_faw[gr * 4 + r_faw_head[gr]] + tFAW;
+            if (faw > act_base) act_base = faw;
+        }
+        const i64 lr = r_last_read[gr], lrbg = r_last_read_bg[gr];
+        const i64 lw = r_last_write[gr], lwbg = r_last_write_bg[gr];
+        const i64 host_rd = r_host_read[gr] + read_to_write;
+        const i64 nda_rd = r_nda_read[gr] + tCCDS;
+        const i64 bus_rd = data_bus_free - tCL;
+        const i64 bus_wr = data_bus_free - tCWL;
+        i64 switch_rd = NEUTRAL, switch_wr = NEUTRAL;
+        if (last_col_rank != -1 && last_col_rank != r) {
+            switch_rd = last_data_end + tRTRS - tCL;
+            switch_wr = last_data_end + tRTRS - tCWL;
+        }
+        for (i64 g = 0; g < BG; g++) {
+            act_tbl[r * BG + g] = imax(r_actbg[gr * BG + g], act_base);
+            i64 rd = lr + (g == lrbg ? tCCDL : tCCDS);
+            const i64 wtr = lw + wr_to_rd + (g == lwbg ? tWTRL : tWTRS);
+            if (wtr > rd) rd = wtr;
+            if (refreshing > rd) rd = refreshing;
+            if (bus_rd > rd) rd = bus_rd;
+            if (switch_rd > rd) rd = switch_rd;
+            col_rd[r * BG + g] = rd;
+            i64 wr = lw + (g == lwbg ? tCCDL : tCCDS);
+            if (host_rd > wr) wr = host_rd;
+            if (nda_rd > wr) wr = nda_rd;
+            if (refreshing > wr) wr = refreshing;
+            if (bus_wr > wr) wr = bus_wr;
+            if (switch_wr > wr) wr = switch_wr;
+            col_wr[r * BG + g] = wr;
+        }
+    }
+
+    const i64 *q_bank = (const i64 *)(uintptr_t)q[Q_BANK_IDX];
+    const i64 *q_rankbg = (const i64 *)(uintptr_t)q[Q_RANKBG_IDX];
+    const i64 *q_rank_local = (const i64 *)(uintptr_t)q[Q_RANK_LOCAL];
+    const i64 *q_row = (const i64 *)(uintptr_t)q[Q_ROW];
+    const i64 *q_seq = (const i64 *)(uintptr_t)q[Q_SEQ];
+    const u8 *q_is_write = (const u8 *)(uintptr_t)q[Q_IS_WRITE];
+
+    const i64 *bank_act = PTR(ctx, CTX_BANK_ACT);
+    const i64 *bank_pre = PTR(ctx, CTX_BANK_PRE);
+    const i64 *bank_rd = PTR(ctx, CTX_BANK_RD);
+    const i64 *bank_wr = PTR(ctx, CTX_BANK_WR);
+    const i64 *open_row = PTR(ctx, CTX_OPEN_ROW);
+
+    /* Per-slot class (0 dead, 1 hit, 2 closed, 3 conflict) and earliest
+     * issue cycle, plus the issuable winners and the pending horizon, in
+     * one pass. */
+    u8 cls[capacity];
+    i64 earliest[capacity];
+    i64 best_hit_seq = no_event, best_hit_slot = -1;
+    i64 best_fb_seq = no_event, best_fb_slot = -1, best_fb_closed = 0;
+    i64 horizon = no_event;
+    for (i64 s = 0; s < capacity; s++) {
+        if (!alive[s]) { cls[s] = 0; continue; }
+        const i64 bank = q_bank[s];
+        const i64 rbg = q_rankbg[s];
+        const i64 row_open = open_row[bank];
+        i64 e;
+        u8 c;
+        if (row_open == q_row[s]) {
+            c = 1;
+            e = imax(q_is_write[s] ? col_wr[rbg] : col_rd[rbg],
+                     q_is_write[s] ? bank_wr[bank] : bank_rd[bank]);
+        } else if (row_open == -1) {
+            c = 2;
+            e = imax(bank_act[bank], act_tbl[rbg]);
+        } else {
+            c = 3;
+            e = imax(bank_pre[bank], refresh_tbl[q_rank_local[s]]);
+        }
+        if (e < now) e = now;
+        cls[s] = c;
+        earliest[s] = e;
+        if (e <= now) {
+            const i64 seq = q_seq[s];
+            if (c == 1) {
+                if (seq < best_hit_seq) { best_hit_seq = seq; best_hit_slot = s; }
+            } else if (seq < best_fb_seq) {
+                best_fb_seq = seq; best_fb_slot = s; best_fb_closed = (c == 2);
+            }
+        } else if (e < horizon) {
+            horizon = e;
+        }
+    }
+
+    if (best_hit_slot >= 0) {
+        out[0] = best_hit_slot;
+        out[1] = q_is_write[best_hit_slot] ? K_WR : K_RD;
+        return;                                   /* horizon = no_event */
+    }
+    out[2] = horizon;
+    if (best_fb_slot >= 0) {
+        out[0] = best_fb_slot;
+        out[1] = best_fb_closed ? K_ACT : K_PRE;
+        return;
+    }
+    if (horizon >= no_event) return;              /* nothing pending */
+
+    /* At-horizon future winner: oldest pending at the horizon, row hits
+     * preferred (the pool switches to hits-only once one is seen). */
+    i64 best_seq = no_event, best_slot = -1, have_hit = 0;
+    u8 best_cls = 0;
+    for (i64 s = 0; s < capacity; s++) {
+        if (cls[s] == 0 || earliest[s] != horizon) continue;
+        const i64 is_hit = (cls[s] == 1);
+        if (have_hit && !is_hit) continue;
+        if (is_hit && !have_hit) { have_hit = 1; best_seq = no_event; }
+        if (q_seq[s] < best_seq) {
+            best_seq = q_seq[s];
+            best_slot = s;
+            best_cls = cls[s];
+        }
+    }
+    out[3] = best_slot;
+    out[4] = best_cls == 1 ? (q_is_write[best_slot] ? K_WR : K_RD)
+           : best_cls == 2 ? K_ACT : K_PRE;
+}
+
+/* ------------------------------------------------------------------ */
+/* Burst-plan settlement for one channel's ranks up to (exclusive)     */
+/* `upto`: the _apply_settlement state law.  Python-side version bumps */
+/* are deliberately absent; the caller replays settlement through the  */
+/* scalar single-writer before any Python-side read (idempotent maxes, */
+/* so the replay lands on identical state and adds the bumps).         */
+/* ------------------------------------------------------------------ */
+static void settle_channel(const i64 *ctx, i64 channel, i64 upto)
+{
+    const i64 R = ctx[CTX_RANKS_PER_CHANNEL];
+    const i64 first = channel * R;
+    const i64 *active = PTR(ctx, CTX_PLAN_ACTIVE);
+    i64 *p_idx = PTR(ctx, CTX_PLAN_IDX);
+    const i64 *p_start = PTR(ctx, CTX_PLAN_START);
+    const i64 *p_step = PTR(ctx, CTX_PLAN_STEP);
+    const i64 *p_count = PTR(ctx, CTX_PLAN_COUNT);
+    const i64 *p_is_write = PTR(ctx, CTX_PLAN_IS_WRITE);
+    const i64 *p_bank_index = PTR(ctx, CTX_PLAN_BANK_INDEX);
+    const i64 *p_bank_group = PTR(ctx, CTX_PLAN_BANK_GROUP);
+    i64 *r_last_read = PTR(ctx, CTX_RANK_LAST_READ);
+    i64 *r_last_read_bg = PTR(ctx, CTX_RANK_LAST_READ_BG);
+    i64 *r_last_write = PTR(ctx, CTX_RANK_LAST_WRITE);
+    i64 *r_last_write_bg = PTR(ctx, CTX_RANK_LAST_WRITE_BG);
+    i64 *r_last_nda_read = PTR(ctx, CTX_RANK_LAST_NDA_READ);
+    i64 *r_nda_bus_free = PTR(ctx, CTX_RANK_NDA_BUS_FREE);
+    i64 *bank_pre = PTR(ctx, CTX_BANK_PRE);
+    const i64 tCL = ctx[CTX_TCL], tCWL = ctx[CTX_TCWL], tBL = ctx[CTX_TBL];
+    const i64 tRTP = ctx[CTX_TRTP];
+    const i64 write_to_precharge = ctx[CTX_WRITE_TO_PRECHARGE];
+
+    for (i64 r = first; r < first + R; r++) {
+        if (!active[r]) continue;
+        const i64 start = p_start[r], step = p_step[r];
+        const i64 idx = p_idx[r], count = p_count[r];
+        if (upto <= start + idx * step) continue;
+        i64 j = (upto - 1 - start) / step + 1;
+        if (j > count) j = count;
+        if (j <= idx) continue;
+        const i64 c_last = start + (j - 1) * step;
+        const i64 bank = p_bank_index[r];
+        if (p_is_write[r]) {
+            if (c_last > r_last_write[r]) {
+                r_last_write[r] = c_last;
+                r_last_write_bg[r] = p_bank_group[r];
+            }
+            const i64 bus = c_last + tCWL + tBL;
+            if (bus > r_nda_bus_free[r]) r_nda_bus_free[r] = bus;
+            const i64 pre = c_last + write_to_precharge;
+            if (pre > bank_pre[bank]) bank_pre[bank] = pre;
+        } else {
+            if (c_last > r_last_read[r]) {
+                r_last_read[r] = c_last;
+                r_last_read_bg[r] = p_bank_group[r];
+            }
+            if (c_last > r_last_nda_read[r]) r_last_nda_read[r] = c_last;
+            const i64 bus = c_last + tCL + tBL;
+            if (bus > r_nda_bus_free[r]) r_nda_bus_free[r] = bus;
+            const i64 pre = c_last + tRTP;
+            if (pre > bank_pre[bank]) bank_pre[bank] = pre;
+        }
+        p_idx[r] = j;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* The resident loop.  Returns 0 when [t_start, t_end) is issue-free   */
+/* (t_end reached), 1 at the first cycle any channel has an issuable   */
+/* host request, with the full detection evidence so the caller can    */
+/* prime the channel's Python-side scan memo instead of re-scanning:   */
+/*                                                                     */
+/*   out[0] cycle      out[1] channel   out[2] qsel of the winner      */
+/*   out[3..7] the winning queue's scan result (slot, kind, horizon,   */
+/*             future slot, future kind — the repro_scan contract)     */
+/*   out[8..10] when qsel==1: the read queue's same-cycle scan         */
+/*              (horizon, future slot, future kind; no winner by       */
+/*              construction), so both memos can be primed             */
+/*                                                                     */
+/* next_try[] carries the per-channel retry cursors across the window  */
+/* (and back to the caller: every value is a sound "no issue before"   */
+/* bound).                                                             */
+/* ------------------------------------------------------------------ */
+i64 repro_step(const i64 *ctx, i64 t_start, i64 t_end, i64 *out)
+{
+    const i64 C = ctx[CTX_CHANNELS];
+    i64 *next_try = PTR(ctx, CTX_NEXT_TRY);
+    i64 scan_out[5];
+    i64 t = t_start;
+    while (t < t_end) {
+        i64 min_next = t_end;
+        for (i64 ch = 0; ch < C; ch++) {
+            if (next_try[ch] > t) {
+                if (next_try[ch] < min_next) min_next = next_try[ch];
+                continue;
+            }
+            settle_channel(ctx, ch, t);
+            repro_scan(ctx, ch, 0, t, scan_out);
+            if (scan_out[0] >= 0) {
+                out[0] = t; out[1] = ch; out[2] = 0;
+                out[3] = scan_out[0]; out[4] = scan_out[1];
+                out[5] = scan_out[2]; out[6] = scan_out[3];
+                out[7] = scan_out[4];
+                return 1;
+            }
+            i64 horizon = scan_out[2];
+            const i64 rd_h = scan_out[2];
+            const i64 rd_fs = scan_out[3], rd_fk = scan_out[4];
+            repro_scan(ctx, ch, 1, t, scan_out);
+            if (scan_out[0] >= 0) {
+                out[0] = t; out[1] = ch; out[2] = 1;
+                out[3] = scan_out[0]; out[4] = scan_out[1];
+                out[5] = scan_out[2]; out[6] = scan_out[3];
+                out[7] = scan_out[4];
+                out[8] = rd_h; out[9] = rd_fs; out[10] = rd_fk;
+                return 1;
+            }
+            if (scan_out[2] < horizon) horizon = scan_out[2];
+            if (horizon < t + 1) horizon = t + 1;
+            next_try[ch] = horizon;
+            if (horizon < min_next) min_next = horizon;
+        }
+        t = min_next;
+    }
+    return 0;
+}

@@ -7,7 +7,15 @@ reports where kernel time goes, split by vector primitive:
 * ``scan``    — the batched FR-FCFS vector pass (class masks, horizon max,
   winner reductions);
 * ``settle``  — closed-form burst settlement arithmetic over whole plans;
-* ``scatter`` — masked scatter application of issue/refresh effects.
+* ``scatter`` — masked scatter application of issue/refresh effects;
+* ``cscan``   — FR-FCFS scans dispatched to the compiled core's
+  ``repro_scan`` (one C call instead of the numpy pass);
+* ``step_setup`` — stepper window entry: the steppable-phase predicate,
+  cursor seeding and burst-plan mirror sync;
+* ``step_run``  — the resident multi-cycle loop itself (``repro_step`` or
+  its pure-Python twin);
+* ``step_exit`` — window exit: retry-cursor writeback into the issue hints
+  and channel re-poll marking.
 
 The collector is off by default and the hot paths guard every measurement
 with a single attribute check (``if _PROFILE.enabled:``), so the kernel pays
@@ -19,7 +27,8 @@ from __future__ import annotations
 import time
 from typing import Dict
 
-PRIMITIVES = ("pack", "scan", "settle", "scatter")
+PRIMITIVES = ("pack", "scan", "settle", "scatter",
+              "cscan", "step_setup", "step_run", "step_exit")
 
 
 class KernelProfile:

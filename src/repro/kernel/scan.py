@@ -30,6 +30,14 @@ an issuable row hit only skips candidates that could never win and whose
 horizon contribution is never consumed).  The property tests in
 tests/test_kernel_micro.py diff winner, horizon and at-horizon prediction
 against the scalar scheduler on randomized queue/timing state.
+
+When the resident stepper's compiled core is live (see
+:mod:`repro.kernel.stepper`), :meth:`~KernelFrFcfsScheduler.bind_core`
+reroutes the scan through the shared library's ``repro_scan``: one C call
+over the same live arrays replaces the whole numpy pass, which removes the
+fixed dispatch overhead that dominates at real queue depths (PR 6's
+measured bottleneck).  The numpy pass remains the scan for plain
+``backend="kernel"`` runs and for oversized queues.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ import numpy as np
 
 from repro.dram.commands import Command, CommandType, RequestSource
 from repro.dram.device import DramSystem
+from repro.kernel.core.layout import KIND_ACT, KIND_PRE, KIND_RD, KIND_WR
 from repro.kernel.profile import PROFILE, clock
 from repro.kernel.timing_kernel import KernelTimingEngine, horizon_max
 from repro.memctrl.frfcfs import NO_EVENT, FrFcfsScheduler
@@ -48,6 +57,10 @@ from repro.memctrl.request import MemoryRequest, RequestQueue
 #: Neutral element for max-reductions whose constraint may be absent
 #: (e.g. the tFAW window before four activates have been seen).
 _NEUTRAL = -(1 << 50)
+
+#: Compiled-core command kinds back to scheduler command types.
+_KIND_COMMANDS = {KIND_RD: CommandType.RD, KIND_WR: CommandType.WR,
+                  KIND_ACT: CommandType.ACT, KIND_PRE: CommandType.PRE}
 
 
 class _QueueArrays:
@@ -59,7 +72,8 @@ class _QueueArrays:
     """
 
     __slots__ = ("bank_idx", "rankbg_idx", "rank_local", "row", "seq",
-                 "is_write", "alive", "requests", "free", "slot_of")
+                 "is_write", "alive", "requests", "free", "slot_of",
+                 "core_qsel")
 
     def __init__(self, capacity: int) -> None:
         self.bank_idx = np.zeros(capacity, dtype=np.int64)
@@ -72,6 +86,9 @@ class _QueueArrays:
         self.requests: List[Optional[MemoryRequest]] = [None] * capacity
         self.free = list(range(capacity - 1, -1, -1))
         self.slot_of = {}
+        # Queue selector (0=read, 1=write) in the compiled core's context
+        # table; -1 until the stepper registers this queue.
+        self.core_qsel = -1
 
 
 class KernelFrFcfsScheduler(FrFcfsScheduler):
@@ -119,6 +136,9 @@ class KernelFrFcfsScheduler(FrFcfsScheduler):
         self._g_nda_read = np.zeros(self._R, dtype=np.int64)
         self._g_act_rank = np.zeros(self._R, dtype=np.int64)
         self._tables_version = -1
+        # Compiled-core scan binding: (lib, ctx_ptr, out, out_ptr) when the
+        # stepper routed this channel's scans through the shared library.
+        self._core = None
 
     # ------------------------------------------------------------------ #
     # Slot-array maintenance (queue observers)
@@ -236,6 +256,44 @@ class KernelFrFcfsScheduler(FrFcfsScheduler):
     # The batched scan
     # ------------------------------------------------------------------ #
 
+    def bind_core(self, lib, ctx_ptr, out, out_ptr) -> None:
+        """Route this channel's scans through the compiled core.
+
+        The shared library reads the live timing/queue arrays through the
+        stepper's context table, so there is no version cache to keep in
+        sync — every compiled scan sees current state by construction.
+        """
+        self._core = (lib, ctx_ptr, memoryview(out), out_ptr)
+
+    def _select_compiled(self, arrays: _QueueArrays, qsel: int, now: int,
+                         ) -> Tuple[Optional[Tuple[MemoryRequest, Command]],
+                                    int,
+                                    Optional[Tuple[MemoryRequest, Command]]]:
+        if PROFILE.enabled:
+            t0 = clock()
+        lib, ctx_ptr, _out, out_ptr = self._core
+        lib.repro_scan(ctx_ptr, self.channel, qsel, now, out_ptr)
+        choice_slot = _out[0]
+        horizon = _out[2]
+        if choice_slot >= 0:
+            request = arrays.requests[choice_slot]
+            cmd = Command(_KIND_COMMANDS[_out[1]], request.addr,
+                          RequestSource.HOST, request_id=request.request_id)
+            if PROFILE.enabled:
+                PROFILE.add("cscan", clock() - t0)
+            return (request, cmd), horizon, None
+        future_slot = _out[3]
+        if future_slot < 0:
+            if PROFILE.enabled:
+                PROFILE.add("cscan", clock() - t0)
+            return None, horizon, None
+        request = arrays.requests[future_slot]
+        cmd = Command(_KIND_COMMANDS[_out[4]], request.addr,
+                      RequestSource.HOST, request_id=request.request_id)
+        if PROFILE.enabled:
+            PROFILE.add("cscan", clock() - t0)
+        return None, horizon, (request, cmd)
+
     def _select_bucketed(self, queue: RequestQueue, now: int,
                          ) -> Tuple[Optional[Tuple[MemoryRequest, Command]],
                                     int,
@@ -243,6 +301,8 @@ class KernelFrFcfsScheduler(FrFcfsScheduler):
         if not queue:
             return None, NO_EVENT, None
         arrays = self._arrays_for(queue)
+        if self._core is not None and arrays.core_qsel >= 0:
+            return self._select_compiled(arrays, arrays.core_qsel, now)
         version = self._issue_version_cell[self.channel]
         if version != self._tables_version:
             self._build_tables()

@@ -9,15 +9,19 @@ settlement **across all live plans of a channel at once**:
   the settlement boundary, as pure array arithmetic;
 * :func:`settlement_horizons` — the terminal bus-occupancy and
   precharge-horizon values a settled prefix produces, vectorized over plans;
-* :class:`KernelBurstSettler` — the channel's ``burst_settler`` hook: one
-  vector pass decides which plans have elapsed commands, then each selected
-  plan's state is applied through the *scalar* single-writer
+* :class:`KernelBurstSettler` — the channel's ``burst_settler`` hook:
+  eligibility is decided per plan and each eligible plan's state is applied
+  through the *scalar* single-writer
   (``NdaRankController._apply_settlement``), so the mutation code path is
   shared with the Python backend and cannot diverge from it.
 
 The pure functions are the micro-oracle surface: tests diff them against a
 brute-force per-command replay and against the scalar settlement's state
-delta on randomized plans.
+delta on randomized plans.  The settler's per-call path is deliberately
+*scalar*: it runs before every FR-FCFS scan and issue on the channel, a
+channel has only a handful of ranks, and most boundaries fall between two
+planned commands — profiling showed the array fill alone costing an order
+of magnitude more than the plain-Python eligibility walk it guarded.
 """
 
 from __future__ import annotations
@@ -27,11 +31,6 @@ from typing import List
 import numpy as np
 
 from repro.kernel.profile import PROFILE, clock
-
-#: Gather sentinel for ranks with no live plan: makes every eligibility
-#: comparison false without a separate mask.
-_NO_PLAN_START = 1 << 62
-
 
 def elapsed_commands(start, step, idx, count, upto):
     """Per-plan settled command count at boundary ``upto`` (array form).
@@ -61,50 +60,32 @@ def settlement_horizons(start, step, j, is_write, *, tCL, tCWL, tBL, tRTP,
 
 
 class KernelBurstSettler:
-    """Vectorized ``burst_settler`` for one channel's NDA rank controllers."""
+    """Channel ``burst_settler``: scalar eligibility, shared scalar writer."""
 
-    __slots__ = ("controllers", "_start", "_step", "_idx", "_count")
+    __slots__ = ("controllers",)
 
     def __init__(self, controllers: List) -> None:
         self.controllers = list(controllers)
-        n = len(self.controllers)
-        self._start = np.zeros(n, dtype=np.int64)
-        self._step = np.ones(n, dtype=np.int64)
-        self._idx = np.zeros(n, dtype=np.int64)
-        self._count = np.zeros(n, dtype=np.int64)
 
     def __call__(self, upto: int) -> None:
-        if PROFILE.enabled:
+        profile = PROFILE.enabled
+        if profile:
             t0 = clock()
-        start = self._start
-        step = self._step
-        idx = self._idx
-        count = self._count
-        for k, controller in enumerate(self.controllers):
+        for controller in self.controllers:
             plan = controller._plan
             if plan is None:
-                start[k] = _NO_PLAN_START
-                step[k] = 1
-                idx[k] = 0
-                count[k] = 0
-            else:
-                start[k] = plan.start
-                step[k] = plan.step
-                idx[k] = plan.idx
-                count[k] = plan.count
-        # Eligibility in one pass: a plan needs settlement iff the boundary
-        # passed its first unsettled command and at least one more command
-        # elapsed.  (No-plan ranks fail both via the sentinel start.)
-        need = upto > start + idx * step
-        if not need.any():
-            if PROFILE.enabled:
-                PROFILE.add("settle", clock() - t0)
-            return
-        j = elapsed_commands(start, step, idx, count, upto)
-        need &= j > idx
-        selected = np.nonzero(need)[0]
-        if PROFILE.enabled:
+                continue
+            start = plan.start
+            step = plan.step
+            idx = plan.idx
+            # Same eligibility as elapsed_commands(): the boundary passed
+            # the first unsettled command and at least one more elapsed.
+            if upto <= start + idx * step:
+                continue
+            j = (upto - 1 - start) // step + 1
+            if j > plan.count:
+                j = plan.count
+            if j > idx:
+                controller._apply_settlement(plan, j)
+        if profile:
             PROFILE.add("settle", clock() - t0)
-        for k in selected:
-            controller = self.controllers[k]
-            controller._apply_settlement(controller._plan, int(j[k]))

@@ -1,0 +1,438 @@
+"""Resident multi-cycle stepper: N cycles per Python call on the kernel path.
+
+PR 6's honest negative result was that array-resident *math* alone loses to
+the scalar engine: with ≤32-entry queues, fixed numpy dispatch per scan
+dominates.  This module moves the *loop* out of Python.  When the system is
+in a **steppable phase** — every unit that could act before the window's
+end is a channel controller, no refresh is due, no completion is waiting —
+the event engine hands a whole window to :class:`KernelStepper`, which
+advances it in one fused call (compiled C via :mod:`repro.kernel.core`, or
+the bit-exact pure-Python twin :mod:`repro.kernel.core.pycore`): per due
+channel, settle burst-plan prefixes, scan both queues, and fast-forward to
+the earliest per-channel retry cursor.  The core returns at the first
+**non-steppable boundary**:
+
+====================================  =======================================
+boundary                              how the window ends
+====================================  =======================================
+issuable host request at cycle t      core returns (t, channel, winner); the
+                                      winner primes the channel's scan memo,
+                                      then the engine processes cycle t
+                                      through the ordinary selective path
+                                      (issue bookkeeping, wake routing) and
+                                      re-enters at t+1
+host completion delivery              window end W clamps to the host unit's
+                                      calendar entry (slot >= channels)
+NDA plan horizon / instruction        same: NDA host/rank units' calendar
+boundary, throttle or mode change     entries bound W
+refresh due                           W clamps to every channel's
+                                      ``channel_min_refresh_due``; a due
+                                      refresh blocks window entry entirely
+checkpoint safe point / run target    W clamps to ``target``
+====================================  =======================================
+
+The selective-wake contract is untouched: window entry happens only where
+the scalar engine would have processed-or-skipped the same cycles as no-ops
+for non-channel units, the per-channel ``_issue_hint`` is advanced with the
+core's (sound, never-late) retry cursors, and every channel is re-polled
+after a window, so calendar entries and ``published_wake`` stay coherent.
+Burst settlement inside the window applies the state law only (idempotent
+maxes); the Python settler replays it — adding the version bumps — before
+any Python-side scan reads the affected state, which keeps scan memos and
+constraint-table caches exact.
+
+Adding an exit condition: clamp ``W`` (or refuse entry) in
+:meth:`KernelStepper.run_window` for phase-level conditions; for per-cycle
+conditions, surface the state to the core's context table and return a new
+status from ``repro_step``/``py_step`` in lock-step (both implementations
+plus the layout ABI), then handle it here.  ARCHITECTURE.md ("Compiled
+core") carries the same recipe.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dram.commands import Command, RequestSource
+from repro.engine.core import EventEngine
+from repro.kernel.core import layout, load_core
+from repro.kernel.core.pycore import CoreState, QueueBlock, py_step
+from repro.kernel.profile import PROFILE, clock
+from repro.kernel.scan import _KIND_COMMANDS
+from repro.memctrl.frfcfs import NO_EVENT
+
+#: Stack-allocation bound of the compiled scan (per-slot scratch is a VLA);
+#: queues beyond this run the pure-Python core instead.
+_MAX_QUEUE_CAPACITY = 8192
+
+
+def build_core_state(system) -> CoreState:
+    """Assemble the stepper's :class:`CoreState` from a wired kernel system.
+
+    Pure aliasing: every array reference is the live kernel-backend array
+    (bank horizons, rank/channel scalars, queue slot columns), so the core
+    and the scalar views always see the same state.  The per-rank plan
+    mirror and per-channel cursors are the stepper's own (synced per
+    window).  Forces ``_QueueArrays`` creation on both queues of every
+    channel so the slot observers are installed before the first window.
+    """
+    kt = system.dram.timing
+    org = system.dram.org
+    state = CoreState()
+    state.channels = org.channels
+    state.ranks_per_channel = org.ranks_per_channel
+    state.bank_groups = org.bank_groups
+    state.no_event = NO_EVENT
+    state.tCL = kt._tCL
+    state.tCWL = kt._tCWL
+    state.tBL = kt._tBL
+    state.tCCDS = kt._tCCDS
+    state.tCCDL = kt._tCCDL
+    state.tWTRS = kt._tWTRS
+    state.tWTRL = kt._tWTRL
+    state.tRTRS = kt._tRTRS
+    state.wr_to_rd = kt._wr_to_rd
+    state.read_to_write = kt._read_to_write
+    state.tFAW = kt.timing.tFAW
+    state.tRTP = kt.timing.tRTP
+    state.write_to_precharge = kt._write_to_precharge
+    state.bank_act = kt.bank_act
+    state.bank_pre = kt.bank_pre
+    state.bank_rd = kt.bank_rd
+    state.bank_wr = kt.bank_wr
+    state.open_row = kt.open_row
+    rank_arrays = kt.rank_arrays
+    state.rank_act_allowed = rank_arrays["act_allowed"]
+    state.rank_refreshing_until = rank_arrays["refreshing_until"]
+    state.rank_last_read = rank_arrays["last_read_cycle"]
+    state.rank_last_read_bg = rank_arrays["last_read_bg"]
+    state.rank_last_write = rank_arrays["last_write_cycle"]
+    state.rank_last_write_bg = rank_arrays["last_write_bg"]
+    state.rank_last_host_read = rank_arrays["last_host_read_cycle"]
+    state.rank_last_nda_read = rank_arrays["last_nda_read_cycle"]
+    state.rank_nda_bus_free = rank_arrays["nda_bus_free"]
+    state.rank_actbg = rank_arrays["act_allowed_bg"]
+    state.rank_faw = rank_arrays["faw"]
+    state.rank_faw_len = rank_arrays["faw_len"]
+    state.rank_faw_head = rank_arrays["faw_head"]
+    channel_arrays = kt.channel_arrays
+    state.chan_data_bus_free = channel_arrays["data_bus_free"]
+    state.chan_last_col_rank = channel_arrays["last_col_rank"]
+    state.chan_last_data_end = channel_arrays["last_data_end"]
+    total_ranks = org.channels * org.ranks_per_channel
+    state.next_try = np.zeros(org.channels, dtype=np.int64)
+    state.plan_active = np.zeros(total_ranks, dtype=np.int64)
+    state.plan_start = np.zeros(total_ranks, dtype=np.int64)
+    state.plan_step = np.ones(total_ranks, dtype=np.int64)
+    state.plan_idx = np.zeros(total_ranks, dtype=np.int64)
+    state.plan_count = np.zeros(total_ranks, dtype=np.int64)
+    state.plan_is_write = np.zeros(total_ranks, dtype=np.int64)
+    state.plan_bank_index = np.zeros(total_ranks, dtype=np.int64)
+    state.plan_bank_group = np.zeros(total_ranks, dtype=np.int64)
+    state.queues = []
+    for ch in sorted(system.channel_controllers):
+        controller = system.channel_controllers[ch]
+        scheduler = controller.scheduler
+        blocks = []
+        for qsel, queue in enumerate((controller.read_queue,
+                                      controller.write_queue)):
+            arrays = scheduler._arrays_for(queue)
+            arrays.core_qsel = qsel
+            blocks.append(QueueBlock(arrays))
+        state.queues.append(blocks)
+    return state
+
+
+def build_ctx_table(state: CoreState):
+    """The flat int64 context table aliasing ``state`` for the C core."""
+    scalars = {name: getattr(state, name)
+               for name in layout.SCALAR_CELLS[1:]}
+    pointers = {name: getattr(state, name).ctypes.data
+                for name in layout.POINTER_CELLS}
+    blocks = []
+    for channel_blocks in state.queues:
+        for block in channel_blocks:
+            blocks.append((
+                block.bank_idx.ctypes.data,
+                block.rankbg_idx.ctypes.data,
+                block.rank_local.ctypes.data,
+                block.row.ctypes.data,
+                block.seq.ctypes.data,
+                block.is_write.ctypes.data,
+                block.alive.ctypes.data,
+                block.capacity,
+            ))
+    return layout.build_ctx(scalars, pointers, blocks)
+
+
+class KernelStepper:
+    """Window driver between a :class:`StepperEventEngine` and the core."""
+
+    def __init__(self, system, use_compiled: bool = True) -> None:
+        self.state = build_core_state(system)
+        org = system.dram.org
+        self.channels = org.channels
+        self.timing = system.dram.timing
+        self.controllers = [system.channel_controllers[ch]
+                            for ch in sorted(system.channel_controllers)]
+        self.refresh_enabled = any(c.config.refresh_enabled
+                                   for c in self.controllers)
+        # With windows handling all channel scheduling, the post-issue
+        # exact-probe refinement in wake_after_tick is redundant work: the
+        # conservative now+1 wake re-enters the window, whose core scan
+        # covers the same horizon inside the fused loop (see
+        # ChannelController.lazy_wake_probe).
+        for controller in self.controllers:
+            controller.lazy_wake_probe = True
+        total_ranks = org.channels * org.ranks_per_channel
+        ranks_per_channel = org.ranks_per_channel
+        self._plan_sources: List[Optional[object]] = [None] * total_ranks
+        for (ch, rk), controller in system.rank_controllers.items():
+            self._plan_sources[ch * ranks_per_channel + rk] = controller
+        self._plan_cache: List[Optional[object]] = [None] * total_ranks
+        # Hot-path aliases: stable in-place structures read every window.
+        self._refresh_due = self.timing._channel_refresh_due
+        self._queues = [(c.read_queue, c.write_queue)
+                        for c in self.controllers]
+        self._queue_arrays = [
+            tuple(c.scheduler._arrays_for(q) for q in qs)
+            for c, qs in zip(self.controllers, self._queues)]
+        self._next_try_mv = memoryview(self.state.next_try)
+        self._engine = None
+        self._mark = None
+        self._calendar_values = None
+        self.compiled = False
+        self._lib = None
+        self._ctx = None
+        self._ctx_ptr = None
+        # Shared out-buffer: repro_scan uses cells 0..4, repro_step/py_step
+        # cells 0..10 (cycle, channel, qsel, winning scan tuple, read-scan
+        # tuple) — see the repro_step contract in stepper_core.c.
+        self._out = np.zeros(12, dtype=np.int64)
+        self._out_mv = memoryview(self._out)
+        self._out_ptr = self._out.ctypes.data_as(
+            ctypes.POINTER(ctypes.c_int64))
+        from repro.kernel import compiled_available
+
+        if use_compiled and compiled_available():
+            lib = load_core()
+            capacity_ok = all(
+                block.capacity <= _MAX_QUEUE_CAPACITY
+                for blocks in self.state.queues for block in blocks)
+            if lib is not None and capacity_ok:
+                self._ctx = build_ctx_table(self.state)
+                self._ctx_ptr = self._ctx.ctypes.data_as(
+                    ctypes.POINTER(ctypes.c_int64))
+                self._lib = lib
+                self.compiled = True
+
+    # ------------------------------------------------------------------ #
+
+    def bind_scan(self) -> None:
+        """Route the schedulers' FR-FCFS scans through the compiled core.
+
+        Only wired when the compiled library is live: the per-issue Python
+        scans (probe + tick) then cost one C call instead of a numpy pass,
+        which is most of the Python-side work left at issue cycles.
+        """
+        if not self.compiled:
+            return
+        for controller in self.controllers:
+            controller.scheduler.bind_core(self._lib, self._ctx_ptr,
+                                           self._out, self._out_ptr)
+
+    def _sync_plans(self) -> None:
+        """Refresh the core's burst-plan mirror from the live controllers.
+
+        Identity-cached per rank: a plan object is repacked only when it is
+        replaced (plan/cancel/replan make new objects).  On a cache hit the
+        core-side settled index may legitimately run ahead of the Python
+        plan (the core settled without the Python replay having happened
+        yet); the maximum of the two cursors is always the fresher one.
+        """
+        state = self.state
+        cache = self._plan_cache
+        active = state.plan_active
+        plan_idx = state.plan_idx
+        for rank, source in enumerate(self._plan_sources):
+            plan = source._plan if source is not None else None
+            if cache[rank] is plan:
+                if plan is not None and plan.idx > plan_idx[rank]:
+                    plan_idx[rank] = plan.idx
+                continue
+            cache[rank] = plan
+            if plan is None:
+                active[rank] = 0
+                continue
+            active[rank] = 1
+            state.plan_start[rank] = plan.start
+            state.plan_step[rank] = plan.step
+            plan_idx[rank] = plan.idx
+            state.plan_count[rank] = plan.count
+            state.plan_is_write[rank] = 1 if plan.is_write else 0
+            state.plan_bank_index[rank] = plan.bank_index
+            state.plan_bank_group[rank] = plan.bank_group
+
+    # ------------------------------------------------------------------ #
+
+    def run_window(self, engine: "StepperEventEngine", now: int,
+                   target: int) -> int:
+        """Try to advance a steppable window starting at ``now``.
+
+        Returns the new ``now`` (the window end, or ``t + 1`` after the
+        engine processed an issue cycle ``t``), or ``-1`` when the phase is
+        not steppable and the caller must process ``now`` scalar-wise.
+        """
+        profile = PROFILE.enabled
+        if profile:
+            t0 = clock()
+        channels = self.channels
+        if engine is not self._engine:
+            self._engine = engine
+            self._mark = engine.hub.mark
+            self._calendar_values = engine.calendar.values
+        # Steppable-phase predicate + window end W: every non-channel unit's
+        # calendar entry must lie in the future (they bound W — completions,
+        # NDA plan horizons, workload boundaries, stats flushes), as must
+        # every channel's refresh due and pending-completion horizon.
+        window_end = target
+        for value in self._calendar_values[channels:]:
+            if value <= now:
+                return -1
+            if value < window_end:
+                window_end = value
+        controllers = self.controllers
+        if self.refresh_enabled:
+            for due in self._refresh_due:
+                if due <= now:
+                    return -1
+                if due < window_end:
+                    window_end = due
+        next_try = self._next_try_mv
+        ch = 0
+        for controller in controllers:
+            if controller._completions_min <= now:
+                return -1
+            hint = controller._issue_hint
+            next_try[ch] = now if hint < now else hint
+            ch += 1
+        state = self.state
+        self._sync_plans()
+        if profile:
+            t1 = clock()
+            PROFILE.add("step_setup", t1 - t0)
+        if self._lib is not None:
+            status = self._lib.repro_step(self._ctx_ptr, now, window_end,
+                                          self._out_ptr)
+        else:
+            status = py_step(state, now, window_end, self._out)
+        if profile:
+            t2 = clock()
+            PROFILE.add("step_run", t2 - t1)
+        # Writeback: the core's retry cursors are sound no-issue-before
+        # bounds; fold them into the hints and re-poll every channel so
+        # calendar entries / published wakes are recomputed from them.
+        mark = self._mark
+        ch = 0
+        for controller in controllers:
+            cursor = next_try[ch]
+            if cursor > controller._issue_hint:
+                controller._issue_hint = cursor
+            mark(ch)
+            ch += 1
+        if profile:
+            PROFILE.add("step_exit", clock() - t2)
+        if status == 0:
+            engine.cycles_skipped += window_end - now
+            return window_end
+        # First issuable request at issue_cycle: cycles before it were
+        # no-ops; the ordinary selective path processes the cycle itself
+        # (issue bookkeeping, completion scheduling and wake routing run
+        # the exact scalar code).  The core already found the winner, so
+        # its scan evidence primes the channel's scan memo — the winning
+        # queue's result (and, when the write queue won, the read queue's
+        # empty-handed scan) — saving the re-scan that the issuing tick
+        # would otherwise run.  The settlement replay (which adds the
+        # version bumps the core omits) must run first so the memo is
+        # guarded by the post-replay version; after it, the memo entry is
+        # exactly what _select_bucketed would return at issue_cycle.
+        out = self._out_mv
+        issue_cycle = out[0]
+        channel = out[1]
+        controller = controllers[channel]
+        settler = controller.burst_settler
+        if settler is not None:
+            settler(issue_cycle)
+        qsel = out[2]
+        queue = self._queues[channel][qsel]
+        arrays = self._queue_arrays[channel][qsel]
+        request = arrays.requests[out[3]]
+        choice = (request, Command(_KIND_COMMANDS[out[4]], request.addr,
+                                   RequestSource.HOST,
+                                   request_id=request.request_id))
+        dram_version = controller.dram.channel_issue_version[channel]
+        entry = (issue_cycle, queue.version, dram_version, choice,
+                 out[5], None)
+        if qsel:
+            controller._scan_cache_write = entry
+            read_queue = self._queues[channel][0]
+            future = None
+            future_slot = out[9]
+            if future_slot >= 0:
+                read_arrays = self._queue_arrays[channel][0]
+                future_request = read_arrays.requests[future_slot]
+                future = (future_request,
+                          Command(_KIND_COMMANDS[out[10]],
+                                  future_request.addr, RequestSource.HOST,
+                                  request_id=future_request.request_id))
+            controller._scan_cache_read = (issue_cycle, read_queue.version,
+                                           dram_version, None, out[8],
+                                           future)
+        else:
+            controller._scan_cache_read = entry
+        engine.cycles_skipped += issue_cycle - now
+        engine._process_selective(issue_cycle)
+        return issue_cycle + 1
+
+
+class StepperEventEngine(EventEngine):
+    """Event engine whose wake-<=-now path first offers the cycle window to
+    the resident stepper, falling back to the scalar selective path
+    whenever the phase is not steppable (or no stepper is bound)."""
+
+    def __init__(self, components) -> None:
+        super().__init__(components)
+        self._stepper: Optional[KernelStepper] = None
+
+    def bind_stepper(self, stepper: KernelStepper) -> None:
+        self._stepper = stepper
+
+    def run_until(self, now: int, target: int) -> int:
+        stepper = self._stepper
+        if stepper is None:
+            return super().run_until(now, target)
+        calendar = self.calendar
+        pending = self.hub.pending
+        while now < target:
+            if pending:
+                self._drain_dirty(now)
+            wake = calendar.min_cycle()
+            if wake <= now:
+                advanced = stepper.run_window(self, now, target)
+                if advanced < 0:
+                    self._process_selective(now)
+                    now += 1
+                else:
+                    now = advanced
+                continue
+            if wake >= target:
+                self.cycles_skipped += target - now
+                now = target
+                break
+            self.cycles_skipped += wake - now
+            now = wake
+        self.flush(target)
+        return now

@@ -15,9 +15,18 @@ entry becomes an :class:`_ArrayBankView` whose attributes read and write the
 arrays in place, so ``earliest_issue_at`` / ``issue`` / ``host_column_base``
 run the exact oracle code against array-resident state.  Only the refresh
 issue path is overridden, replacing the per-bank Python loop with a masked
-scatter (:func:`scatter_max`) over the rank's array slice.  Rank and channel
-state stay scalar: both are O(ranks) small and are read by NDA hot paths
-that gain nothing from vectorization.
+scatter (:func:`scatter_max`) over the rank's array slice.
+
+Rank and channel timing state is array-resident too (:class:`_ArrayRankView`
+/ :class:`_ArrayChannelView` over the :func:`~repro.platform.packing.
+pack_rank_state` / ``pack_channel_state`` arrays): not for vectorization —
+both are O(ranks) small — but so the compiled stepper core
+(:mod:`repro.kernel.core`) can read and write *all* timing state through raw
+int64 pointers without any per-cycle Python marshalling.  The tFAW sliding
+window becomes a fixed 4-slot ring (:class:`_FawWindow`) and the
+per-bank-group ACT table a row view (:class:`_BgList`), each presenting the
+exact deque/list interface the inherited scalar law and the snapshot codec
+use.
 
 Vector primitives (:func:`horizon_max`, :func:`scatter_max`) are module
 level so the micro-oracle property tests (tests/test_kernel_micro.py) can
@@ -32,7 +41,15 @@ from repro.config import DramOrgConfig, DramTimingConfig
 from repro.dram.commands import Command, CommandType
 from repro.dram.timing import TimingEngine
 from repro.kernel.profile import PROFILE, clock
-from repro.platform.packing import NO_OPEN_ROW, pack_bank_state
+from repro.platform.packing import (
+    CHANNEL_SCALAR_FIELDS,
+    FAW_CAPACITY,
+    NO_OPEN_ROW,
+    RANK_SCALAR_FIELDS,
+    pack_bank_state,
+    pack_channel_state,
+    pack_rank_state,
+)
 
 
 def horizon_max(*constraints: "np.ndarray") -> "np.ndarray":
@@ -79,8 +96,8 @@ class _ArrayBankView:
 
     __slots__ = ("_act", "_pre", "_rd", "_wr", "_i")
 
-    def __init__(self, act: "np.ndarray", pre: "np.ndarray", rd: "np.ndarray",
-                 wr: "np.ndarray", index: int) -> None:
+    def __init__(self, act: "memoryview", pre: "memoryview",
+                 rd: "memoryview", wr: "memoryview", index: int) -> None:
         self._act = act
         self._pre = pre
         self._rd = rd
@@ -89,7 +106,7 @@ class _ArrayBankView:
 
     @property
     def act_allowed(self) -> int:
-        return int(self._act[self._i])
+        return self._act[self._i]
 
     @act_allowed.setter
     def act_allowed(self, value: int) -> None:
@@ -97,7 +114,7 @@ class _ArrayBankView:
 
     @property
     def pre_allowed(self) -> int:
-        return int(self._pre[self._i])
+        return self._pre[self._i]
 
     @pre_allowed.setter
     def pre_allowed(self, value: int) -> None:
@@ -105,7 +122,7 @@ class _ArrayBankView:
 
     @property
     def rd_allowed(self) -> int:
-        return int(self._rd[self._i])
+        return self._rd[self._i]
 
     @rd_allowed.setter
     def rd_allowed(self, value: int) -> None:
@@ -113,11 +130,203 @@ class _ArrayBankView:
 
     @property
     def wr_allowed(self) -> int:
-        return int(self._wr[self._i])
+        return self._wr[self._i]
 
     @wr_allowed.setter
     def wr_allowed(self, value: int) -> None:
         self._wr[self._i] = value
+
+
+class _BgList:
+    """List view of one rank's per-bank-group ACT-horizon array row.
+
+    Presents exactly the ``list`` operations the scalar law and the snapshot
+    path use on ``_RankTiming.act_allowed_bg`` (len / index / assign /
+    iterate), backed by one row of the ``(total_ranks, bank_groups)`` table.
+    """
+
+    __slots__ = ("_row", "_mv")
+
+    def __init__(self, row: "np.ndarray") -> None:
+        self._row = row
+        self._mv = memoryview(row)
+
+    def __len__(self) -> int:
+        return len(self._row)
+
+    def __getitem__(self, index: int) -> int:
+        return self._mv[index]
+
+    def __setitem__(self, index: int, value: int) -> None:
+        self._mv[index] = value
+
+    def __iter__(self):
+        return (int(v) for v in self._row)
+
+
+class _FawWindow:
+    """tFAW sliding window as a fixed 4-slot ring over array rows.
+
+    Stands in for ``_RankTiming.faw_window`` (a ``deque(maxlen=4)`` of the
+    last four ACT cycles): ``[0]`` is the oldest entry, ``append`` evicts it
+    when full, iteration runs oldest-first.  Storage is one row of the
+    ``(total_ranks, 4)`` ring array plus per-rank ``faw_len``/``faw_head``
+    cursor cells, so the compiled core can apply the same ring arithmetic
+    in C.
+    """
+
+    __slots__ = ("_ring", "_lens", "_heads", "_i")
+
+    #: Deque-interface capacity (the snapshot path copies it).
+    maxlen = FAW_CAPACITY
+
+    def __init__(self, ring_row: "np.ndarray", lens: "np.ndarray",
+                 heads: "np.ndarray", index: int) -> None:
+        self._ring = memoryview(ring_row)
+        self._lens = memoryview(lens)
+        self._heads = memoryview(heads)
+        self._i = index
+
+    def __len__(self) -> int:
+        return self._lens[self._i]
+
+    def __getitem__(self, index: int) -> int:
+        length = self._lens[self._i]
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError(index)
+        return self._ring[(self._heads[self._i] + index) % FAW_CAPACITY]
+
+    def __iter__(self):
+        head = self._heads[self._i]
+        return (self._ring[(head + k) % FAW_CAPACITY]
+                for k in range(self._lens[self._i]))
+
+    def append(self, value: int) -> None:
+        i = self._i
+        length = self._lens[i]
+        head = self._heads[i]
+        if length < FAW_CAPACITY:
+            self._ring[(head + length) % FAW_CAPACITY] = value
+            self._lens[i] = length + 1
+        else:
+            # Full: overwrite the oldest slot in place and advance the head —
+            # exactly deque(maxlen=4).append's evict-then-append.
+            self._ring[head] = value
+            self._heads[i] = (head + 1) % FAW_CAPACITY
+
+    def replace(self, values) -> None:
+        """Reset the window to ``values`` (oldest-first), e.g. on restore."""
+        items = [int(v) for v in values][-FAW_CAPACITY:]
+        for k in range(FAW_CAPACITY):
+            self._ring[k] = items[k] if k < len(items) else 0
+        self._heads[self._i] = 0
+        self._lens[self._i] = len(items)
+
+
+def _cell_property(column_attr: str) -> property:
+    """int-typed write-through property over one packed array cell.
+
+    Reads through a per-view *column* reference (bound once in the view's
+    ``__init__``) rather than the field-name dict.  The column is held as a
+    ``memoryview`` over the packed array: scalar indexing on a memoryview
+    returns a plain Python int at roughly half the cost of
+    ``ndarray.item``, and writes land in the same buffer the compiled
+    stepper core reads, so write-through semantics are unchanged.  The
+    accessors are generated with the column attribute inlined (plain
+    ``LOAD_ATTR`` instead of a ``getattr`` call): these run a few million
+    times per simulated window and the builtin-call overhead alone is
+    measurable at that rate.
+    """
+
+    namespace: dict = {}
+    exec(
+        f"def fget(self):\n"
+        f"    return self.{column_attr}[self._i]\n"
+        f"def fset(self, value):\n"
+        f"    self.{column_attr}[self._i] = value\n",
+        namespace,
+    )
+    return property(namespace["fget"], namespace["fset"])
+
+
+class _ArrayRankView:
+    """One rank's window into the packed per-rank timing arrays.
+
+    Stands in for the scalar ``_RankTiming`` slots object: every scalar slot
+    is a write-through int property over the :func:`pack_rank_state` arrays,
+    ``act_allowed_bg`` is a :class:`_BgList` row view and ``faw_window`` a
+    :class:`_FawWindow` ring view.  Both container properties accept
+    list/deque assignment (the snapshot restore path) by copying into the
+    arrays.
+    """
+
+    __slots__ = ("_arrays", "_i", "_bg", "_faw") + tuple(
+        "_c_" + _field for _field, _ in RANK_SCALAR_FIELDS)
+
+    def __init__(self, arrays, index: int) -> None:
+        self._arrays = arrays
+        self._i = index
+        self._bg = _BgList(arrays["act_allowed_bg"][index])
+        self._faw = _FawWindow(arrays["faw"][index], arrays["faw_len"],
+                               arrays["faw_head"], index)
+        for field, _ in RANK_SCALAR_FIELDS:
+            setattr(self, "_c_" + field, memoryview(arrays[field]))
+
+    @property
+    def act_allowed_bg(self) -> _BgList:
+        return self._bg
+
+    @act_allowed_bg.setter
+    def act_allowed_bg(self, values) -> None:
+        self._arrays["act_allowed_bg"][self._i][:] = [int(v) for v in values]
+
+    @property
+    def faw_window(self) -> _FawWindow:
+        return self._faw
+
+    @faw_window.setter
+    def faw_window(self, values) -> None:
+        self._faw.replace(values)
+
+
+for _field, _ in RANK_SCALAR_FIELDS:
+    setattr(_ArrayRankView, _field, _cell_property("_c_" + _field))
+del _field
+
+
+class _ArrayChannelView:
+    """One channel's window into the packed per-channel timing arrays.
+
+    ``last_col_was_write`` converts to ``bool`` on read (packed as 0/1) so
+    snapshots and comparisons see the exact scalar ``_ChannelTiming`` types.
+    """
+
+    __slots__ = ("_arrays", "_i") + tuple(
+        "_c_" + _field for _field, _ in CHANNEL_SCALAR_FIELDS
+        if _field != "last_col_was_write")
+
+    def __init__(self, arrays, index: int) -> None:
+        self._arrays = arrays
+        self._i = index
+        for field, _ in CHANNEL_SCALAR_FIELDS:
+            if field != "last_col_was_write":
+                setattr(self, "_c_" + field, memoryview(arrays[field]))
+
+    @property
+    def last_col_was_write(self) -> bool:
+        return bool(self._arrays["last_col_was_write"][self._i])
+
+    @last_col_was_write.setter
+    def last_col_was_write(self, value: bool) -> None:
+        self._arrays["last_col_was_write"][self._i] = 1 if value else 0
+
+
+for _field, _ in CHANNEL_SCALAR_FIELDS:
+    if _field != "last_col_was_write":
+        setattr(_ArrayChannelView, _field, _cell_property("_c_" + _field))
+del _field
 
 
 class KernelTimingEngine(TimingEngine):
@@ -138,10 +347,29 @@ class KernelTimingEngine(TimingEngine):
         self.open_row: np.ndarray = arrays["open_row"]
         # Re-seat the flat bank list on the arrays: the state's single home
         # is the arrays; the views keep every inherited scalar probe exact.
+        # Views index through shared memoryviews (cheaper scalar access than
+        # ndarray indexing; same buffer, so write-through is preserved).
+        act_mv = memoryview(self.bank_act)
+        pre_mv = memoryview(self.bank_pre)
+        rd_mv = memoryview(self.bank_rd)
+        wr_mv = memoryview(self.bank_wr)
         self._banks = [
-            _ArrayBankView(self.bank_act, self.bank_pre, self.bank_rd,
-                           self.bank_wr, index)
+            _ArrayBankView(act_mv, pre_mv, rd_mv, wr_mv, index)
             for index in range(len(self._banks))
+        ]
+        #: Packed per-rank / per-channel timing state (the compiled stepper
+        #: core's view of the world); the scalar engine reads and writes it
+        #: through the views re-seated below.  Must happen here, before the
+        #: NDA scheduler captures ``timing._ranks`` by reference.
+        self.rank_arrays = pack_rank_state(org, timing)
+        self.channel_arrays = pack_channel_state(org)
+        self._ranks = [
+            _ArrayRankView(self.rank_arrays, index)
+            for index in range(len(self._ranks))
+        ]
+        self._channels = [
+            _ArrayChannelView(self.channel_arrays, index)
+            for index in range(len(self._channels))
         ]
         if PROFILE.enabled:
             PROFILE.add("pack", clock() - t0)

@@ -95,6 +95,13 @@ class ChannelController:
         #: only pushes timing constraints later, so a stale hint can only be
         #: early — which costs a no-op wake, never a missed event.
         self._issue_hint: int = 0
+        #: Set by the resident stepper: post-issue wake refinement (the
+        #: exact ``_probe_issue`` scan in :meth:`wake_after_tick`) is
+        #: skipped, because with a stepper bound the engine re-enters the
+        #: fused window at the conservative ``now + 1`` wake and the core
+        #: re-derives the horizon in C within the same window — one fused
+        #: call instead of a ctypes probe plus a later window entry.
+        self.lazy_wake_probe: bool = False
         # Memoized FR-FCFS scans, one slot per queue: (cycle, queue version,
         # channel DRAM version, choice, horizon, choice_at_horizon).  A scan
         # is a pure function of (queue contents+order, channel bank/timing
@@ -425,7 +432,7 @@ class ChannelController:
                 wake = due
         if self.read_queue or self.write_queue:
             hint = self._issue_hint
-            if hint <= now < wake:
+            if hint <= now < wake and not self.lazy_wake_probe:
                 hint = self._probe_issue(now)
             if hint < wake:
                 wake = hint
@@ -457,7 +464,8 @@ class ChannelController:
                 wake = due
         if self.read_queue or self.write_queue:
             hint = self._issue_hint
-            if hint <= now + 1 and wake > now + 1:
+            if (hint <= now + 1 and wake > now + 1
+                    and not self.lazy_wake_probe):
                 hint = self._probe_issue(now + 1)
             if hint < wake:
                 wake = hint

@@ -9,7 +9,13 @@ that array layout:
 
 * :func:`pack_geometry` — the dense-index geometry (counts and strides);
 * :func:`pack_bank_state` — the preallocated per-bank timing-horizon arrays
-  plus the open-row mirror (dtype/shape contract in ARCHITECTURE.md).
+  plus the open-row mirror (dtype/shape contract in ARCHITECTURE.md);
+* :func:`pack_rank_state` / :func:`pack_channel_state` — the per-rank and
+  per-channel timing scalars as dense int64 arrays (one array per
+  ``_RankTiming`` / ``_ChannelTiming`` slot), including the tFAW window as a
+  fixed ``(total_ranks, 4)`` ring plus length/head cursors.  The compiled
+  stepper core reads (and, for burst settlement, writes) these directly;
+  the scalar engine reads and writes them through the kernel's view shims.
 
 Only imported when the kernel backend is constructed, so numpy stays an
 optional dependency.
@@ -21,7 +27,7 @@ from typing import Dict, NamedTuple
 
 import numpy as np
 
-from repro.config import DramOrgConfig
+from repro.config import DramOrgConfig, DramTimingConfig
 
 #: Names of the per-bank timing horizons, in the order they appear in the
 #: scalar :class:`repro.dram.timing._BankTiming` flat list.  The kernel packs
@@ -76,4 +82,72 @@ def pack_bank_state(org: DramOrgConfig) -> Dict[str, "np.ndarray"]:
     }
     arrays["open_row"] = np.full(geometry.total_banks, NO_OPEN_ROW,
                                  dtype=np.int64)
+    return arrays
+
+
+#: The scalar ``_RankTiming`` slots that pack one int64 cell per rank, with
+#: their initial values (``None`` means "filled from timing config": the
+#: refresh due cell starts at tREFI).  ``act_allowed_bg`` and ``faw_window``
+#: are packed separately (2D table and ring buffer).  Keep in lock-step with
+#: ``repro.dram.timing._RankTiming.__slots__``.
+RANK_SCALAR_FIELDS = (
+    ("act_allowed", 0),
+    ("last_read_cycle", -(10 ** 9)),
+    ("last_read_bg", -1),
+    ("last_host_read_cycle", -(10 ** 9)),
+    ("last_nda_read_cycle", -(10 ** 9)),
+    ("last_write_cycle", -(10 ** 9)),
+    ("last_write_bg", -1),
+    ("busy_until", 0),
+    ("data_busy_from", 0),
+    ("data_busy_until", 0),
+    ("nda_bus_free", 0),
+    ("refresh_due", None),
+    ("refreshing_until", 0),
+)
+
+#: ``_ChannelTiming`` slots, one int64 cell per channel
+#: (``last_col_was_write`` packs as 0/1).
+CHANNEL_SCALAR_FIELDS = (
+    ("data_bus_free", 0),
+    ("last_col_rank", -1),
+    ("last_data_end", 0),
+    ("last_col_was_write", 0),
+    ("last_col_cycle", -(10 ** 9)),
+)
+
+#: Capacity of the tFAW sliding window (the last four activates).
+FAW_CAPACITY = 4
+
+
+def pack_rank_state(org: DramOrgConfig,
+                    timing: DramTimingConfig) -> Dict[str, "np.ndarray"]:
+    """Preallocated per-rank timing state for ``org``.
+
+    One int64 array of length ``total_ranks`` per :data:`RANK_SCALAR_FIELDS`
+    entry, plus ``act_allowed_bg`` as a ``(total_ranks, bank_groups)`` table
+    and the tFAW window as ``faw`` (``(total_ranks, 4)`` ring buffer) with
+    ``faw_len`` / ``faw_head`` cursors.  Initial values replicate the scalar
+    ``_RankTiming`` constructor exactly.
+    """
+    geometry = pack_geometry(org)
+    n = geometry.total_ranks
+    arrays: Dict[str, np.ndarray] = {}
+    for field, initial in RANK_SCALAR_FIELDS:
+        if initial is None:
+            initial = timing.tREFI
+        arrays[field] = np.full(n, initial, dtype=np.int64)
+    arrays["act_allowed_bg"] = np.zeros((n, geometry.bank_groups),
+                                        dtype=np.int64)
+    arrays["faw"] = np.zeros((n, FAW_CAPACITY), dtype=np.int64)
+    arrays["faw_len"] = np.zeros(n, dtype=np.int64)
+    arrays["faw_head"] = np.zeros(n, dtype=np.int64)
+    return arrays
+
+
+def pack_channel_state(org: DramOrgConfig) -> Dict[str, "np.ndarray"]:
+    """Preallocated per-channel (host data bus) timing state for ``org``."""
+    arrays: Dict[str, np.ndarray] = {}
+    for field, initial in CHANNEL_SCALAR_FIELDS:
+        arrays[field] = np.full(org.channels, initial, dtype=np.int64)
     return arrays

@@ -28,7 +28,7 @@ from pathlib import Path
 from typing import Any, Union
 
 MAGIC = "repro-snapshot"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2  # v2: build payload records stepper_enabled
 
 _TAG = "__t"
 

@@ -408,6 +408,7 @@ def snapshot_system(system) -> Dict[str, Any]:
             "engine": system.engine_kind,
             "backend": system.backend,
             "burst_enabled": system.burst_enabled,
+            "stepper_enabled": system.stepper_enabled,
         },
         "now": system.now,
         "measure_start": system._measure_start,
@@ -668,6 +669,12 @@ def restore_system(payload: Dict[str, Any]):
             f"{build['burst_enabled']}, this process resolves it to "
             f"{system.burst_enabled} (check REPRO_DISABLE_BURST); resumes "
             "must run under the same burst configuration to stay bit-exact")
+    if system.stepper_enabled != build["stepper_enabled"]:
+        raise SnapshotError(
+            f"stepper mismatch: snapshot taken with stepper_enabled="
+            f"{build['stepper_enabled']}, this process resolves it to "
+            f"{system.stepper_enabled} (check REPRO_DISABLE_STEPPER); "
+            "resumes must run under the same stepper configuration")
 
     watermarks = payload["watermarks"]
     set_request_id_watermark(watermarks["request"])

@@ -18,6 +18,7 @@ from repro.config import scaled_config
 from repro.core.modes import AccessMode
 from repro.core.system import ChopimSystem
 from repro.dram.commands import DramAddress
+from repro.dram.timing import _ChannelTiming, _RankTiming
 from repro.kernel import kernel_available
 from repro.nda.fsm import ReplicatedFsm
 from repro.nda.isa import NdaOpcode
@@ -43,21 +44,27 @@ def _build_and_run(mode, opcode, *, mix=None, throttle="issue_if_idle",
 
 
 def _timing_state(system):
+    # All three state tiers are read by *scalar field name*, not
+    # ``__slots__``: on the kernel backend ``_banks``/``_ranks``/
+    # ``_channels`` hold array views whose slots are private column
+    # references but whose public fields mirror the scalar classes, so
+    # states compare across backends.  Container fields (``faw_window``,
+    # ``act_allowed_bg``) are materialized as plain lists for the same
+    # reason.
     timing = system.dram.timing
+    rank_containers = ("faw_window", "act_allowed_bg")
     ranks = [
-        {slot: getattr(rank, slot) for slot in rank.__slots__
-         if slot != "faw_window"} | {"faw_window": list(rank.faw_window)}
+        {slot: getattr(rank, slot) for slot in _RankTiming.__slots__
+         if slot not in rank_containers}
+        | {slot: list(getattr(rank, slot)) for slot in rank_containers}
         for rank in timing._ranks
     ]
-    # Per-bank horizons are read by field name, not ``__slots__``: on the
-    # kernel backend ``_banks`` holds array views whose public fields are
-    # the same four horizons, so states compare across backends.
     banks = [
         {field: getattr(bank, field) for field in BANK_FIELDS}
         for bank in timing._banks
     ]
     channels = [
-        {slot: getattr(ch, slot) for slot in ch.__slots__}
+        {slot: getattr(ch, slot) for slot in _ChannelTiming.__slots__}
         for ch in timing._channels
     ]
     return {"ranks": ranks, "banks": banks, "channels": channels}
@@ -95,7 +102,17 @@ def _full_state(system, result, include_attempt_counters=True):
             for key, rc in system.rank_controllers.items()
         },
         "channel_stats": {
-            ch: mc.stats() for ch, mc in system.channel_controllers.items()
+            # drain_entries counts write-drain hysteresis *evaluations* that
+            # entered drain mode; in pick-insensitive oscillating states
+            # (see _update_drain_mode) its value depends on tick cadence,
+            # which legitimately differs across wake patterns (per-cycle
+            # replay vs selective wakes vs the stepper's fused windows).
+            # Mode trajectory at every decision point is pinned by the rest
+            # of the state compared here (issue order, bank counters,
+            # timing horizons), so the oscillation count is excluded — the
+            # same reasoning as the blocked_by_* attempt counters above.
+            ch: {k: v for k, v in mc.stats().items() if k != "drain_entries"}
+            for ch, mc in system.channel_controllers.items()
         },
         "now": system.now,
     }

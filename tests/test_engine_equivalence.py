@@ -18,6 +18,7 @@ and the suite still proves cycle == event on the pure-python backend.
 """
 
 import dataclasses
+import os
 import random
 
 import pytest
@@ -33,10 +34,21 @@ CYCLES = 1500
 WARMUP = 150
 
 #: (engine, backend) legs every equivalence assertion runs; index 0 is the
-#: oracle all others are compared against.
+#: oracle all others are compared against.  The ``kernel`` leg runs with
+#: the resident stepper in its default configuration (compiled when a C
+#: toolchain is present, the pure-Python twin otherwise);
+#: ``kernel-nostepper`` pins the plain per-cycle kernel path, and
+#: ``kernel-pystepper`` (only meaningful when the compiled core exists)
+#: pins the pure-Python stepper — so all three stepper configurations stay
+#: on the equivalence contract.
 _LEGS = [("cycle", "python"), ("event", "python")]
 if kernel_available():
+    from repro.kernel import compiled_available
+
     _LEGS.append(("event", "kernel"))
+    _LEGS.append(("event", "kernel-nostepper"))
+    if compiled_available():
+        _LEGS.append(("event", "kernel-pystepper"))
 
 requires_kernel = pytest.mark.skipif(
     not kernel_available(), reason="numpy unavailable: kernel backend off")
@@ -44,9 +56,25 @@ requires_kernel = pytest.mark.skipif(
 
 def _build(engine, mode, mix=None, throttle="next_rank", config=None,
            stochastic_probability=0.25, backend="python"):
-    return ChopimSystem(config=config, mode=mode, mix=mix, throttle=throttle,
-                        stochastic_probability=stochastic_probability,
-                        engine=engine, backend=backend)
+    stepper = None
+    forced = backend == "kernel-pystepper"
+    if backend == "kernel-nostepper":
+        backend, stepper = "kernel", False
+    elif forced:
+        backend, stepper = "kernel", True
+        forced_env = os.environ.get("REPRO_FORCE_NO_COMPILED")
+        os.environ["REPRO_FORCE_NO_COMPILED"] = "1"
+    try:
+        return ChopimSystem(config=config, mode=mode, mix=mix,
+                            throttle=throttle,
+                            stochastic_probability=stochastic_probability,
+                            engine=engine, backend=backend, stepper=stepper)
+    finally:
+        if forced:
+            if forced_env is None:
+                os.environ.pop("REPRO_FORCE_NO_COMPILED", None)
+            else:
+                os.environ["REPRO_FORCE_NO_COMPILED"] = forced_env
 
 
 def _assert_equivalent(configure, mode, mix=None, throttle="next_rank",
